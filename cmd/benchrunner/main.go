@@ -1,0 +1,125 @@
+// Command benchrunner regenerates the paper's evaluation: it runs every
+// table/figure experiment (or a selected subset) at paper scale, prints the
+// per-rate series tables, derives the paper's headline claims from the
+// measured data, and optionally writes CSV for plotting.
+//
+// Usage:
+//
+//	benchrunner                         # all 16 figures, paper-scale sweep
+//	benchrunner -experiments fig2a,fig8 # a subset
+//	benchrunner -quick                  # reduced sweep for a fast look
+//	benchrunner -csv results.csv        # also write CSV rows
+//	benchrunner -repeats 20             # the paper's repetition count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdnbuffer/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		expList = flag.String("experiments", "", "comma-separated figure ids (default: all)")
+		repeats = flag.Int("repeats", 5, "seeds per sweep point (paper: 20)")
+		rates   = flag.String("rates", "", "comma-separated sending rates in Mbps (default: 5..100 step 5)")
+		flowsA  = flag.Int("flows", 1000, "§IV workload flow count")
+		quick   = flag.Bool("quick", false, "reduced sweep: rates 20/50/80, 1 repeat, 300 flows")
+		csvPath = flag.String("csv", "", "write CSV rows to this file")
+		plot    = flag.Bool("plot", false, "render an ASCII chart per figure")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Repeats: *repeats, FlowsA: *flowsA}
+	if *rates != "" {
+		for _, tok := range strings.Split(*rates, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: bad rate %q: %v\n", tok, err)
+				return 2
+			}
+			opts.Rates = append(opts.Rates, v)
+		}
+	}
+	if *quick {
+		opts.Rates = []float64{20, 50, 80}
+		opts.Repeats = 1
+		opts.FlowsA = 300
+		opts.FlowsB, opts.PktsPerFlowB, opts.GroupB = 20, 10, 5
+	}
+
+	all := experiments.All()
+	selected := all
+	if *expList != "" {
+		selected = nil
+		for _, id := range strings.Split(*expList, ",") {
+			exp, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+				return 2
+			}
+			selected = append(selected, exp)
+		}
+	}
+
+	var csv *os.File
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: closing csv: %v\n", err)
+			}
+		}()
+		csv = f
+	}
+
+	var claims []string
+	for i, exp := range selected {
+		start := time.Now()
+		res, err := experiments.Run(exp, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", exp.ID, err)
+			return 1
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: writing table: %v\n", err)
+			return 1
+		}
+		if *plot {
+			if err := res.WritePlot(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: writing plot: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Printf("paper claim: %s\n", exp.PaperClaim)
+		claims = append(claims, res.Claims()...)
+		if csv != nil {
+			if err := res.WriteCSV(csv, i == 0); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Printf("(%s in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if len(claims) > 0 {
+		fmt.Println("==== measured headline comparisons ====")
+		for _, c := range claims {
+			fmt.Println(c)
+		}
+	}
+	return 0
+}

@@ -1,0 +1,136 @@
+// Command ofctl runs the live-mode controller: a real OpenFlow TCP server
+// with the reactive forwarding application — the Floodlight role in the
+// paper's testbed. Switches built from this repository (cmd/ofswitch) or
+// any OpenFlow 1.0 switch restricted to this subset can connect to it.
+//
+// Usage:
+//
+//	ofctl -listen :6633 -route 10.0.0.0/24=2 -route 10.1.0.0/16=1
+//	ofctl -listen :6633 -buffer flow -rerequest 50ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/openflow"
+)
+
+// routeFlags collects repeated -route flags of the form PREFIX=PORT.
+type routeFlags []controller.Route
+
+func (r *routeFlags) String() string {
+	parts := make([]string, len(*r))
+	for i, rt := range *r {
+		parts[i] = fmt.Sprintf("%s=%d", rt.Prefix, rt.Port)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (r *routeFlags) Set(v string) error {
+	eq := strings.LastIndex(v, "=")
+	if eq < 0 {
+		return fmt.Errorf("route %q: want PREFIX=PORT", v)
+	}
+	prefix, err := netip.ParsePrefix(v[:eq])
+	if err != nil {
+		return fmt.Errorf("route %q: %w", v, err)
+	}
+	port, err := strconv.ParseUint(v[eq+1:], 10, 16)
+	if err != nil {
+		return fmt.Errorf("route %q: %w", v, err)
+	}
+	*r = append(*r, controller.Route{Prefix: prefix, Port: uint16(port)})
+	return nil
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var routes routeFlags
+	var (
+		listen      = flag.String("listen", ":6633", "TCP listen address")
+		bufferMode  = flag.String("buffer", "", "buffer mode to push to switches: none, packet or flow (empty: leave switch default)")
+		rerequest   = flag.Duration("rerequest", 50*time.Millisecond, "flow-granularity re-request timeout")
+		maxPerFlow  = flag.Int("max-per-flow", 0, "flow-granularity per-flow packet bound (0 = unbounded)")
+		missSendLen = flag.Uint("miss-send-len", openflow.DefaultMissSendLen, "packet_in truncation pushed via SET_CONFIG")
+		idle        = flag.Uint("idle-timeout", 0, "rule idle timeout in seconds")
+		hard        = flag.Uint("hard-timeout", 0, "rule hard timeout in seconds")
+	)
+	flag.Var(&routes, "route", "PREFIX=PORT forwarding route (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+	if len(routes) == 0 {
+		routes = routeFlags{
+			{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Port: 2},
+			{Prefix: netip.MustParsePrefix("10.1.0.0/16"), Port: 1},
+		}
+		logger.Printf("ofctl: no -route given; using defaults %s", routes.String())
+	}
+
+	app, err := controller.NewReactiveForwarder(controller.ForwarderConfig{
+		Routes:      routes,
+		IdleTimeout: uint16(*idle),
+		HardTimeout: uint16(*hard),
+	})
+	if err != nil {
+		logger.Printf("ofctl: %v", err)
+		return 1
+	}
+
+	cfg := controller.ServerConfig{
+		MissSendLen: uint16(*missSendLen),
+		Logger:      logger,
+	}
+	switch *bufferMode {
+	case "":
+	case "none":
+		cfg.Buffer = &openflow.FlowBufferConfig{Granularity: openflow.GranularityNone}
+	case "packet":
+		cfg.Buffer = &openflow.FlowBufferConfig{Granularity: openflow.GranularityPacket}
+	case "flow":
+		cfg.Buffer = &openflow.FlowBufferConfig{
+			Granularity:        openflow.GranularityFlow,
+			RerequestTimeoutMs: uint32(*rerequest / time.Millisecond),
+			MaxPacketsPerFlow:  uint32(*maxPerFlow),
+		}
+	default:
+		logger.Printf("ofctl: unknown -buffer %q (want none, packet or flow)", *bufferMode)
+		return 2
+	}
+
+	srv, err := controller.NewServer(cfg, app)
+	if err != nil {
+		logger.Printf("ofctl: %v", err)
+		return 1
+	}
+	if err := srv.Listen(*listen); err != nil {
+		logger.Printf("ofctl: %v", err)
+		return 1
+	}
+	logger.Printf("ofctl: listening on %s", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	logger.Printf("ofctl: shutting down")
+	if err := srv.Close(); err != nil {
+		logger.Printf("ofctl: close: %v", err)
+		return 1
+	}
+	packetIns, flooded := app.Stats()
+	logger.Printf("ofctl: handled %d packet_ins (%d flooded)", packetIns, flooded)
+	return 0
+}

@@ -1,0 +1,79 @@
+// Quickstart: run the paper's §IV workload once per buffer mode and print
+// the headline metrics side by side — the fastest way to see what the SDN
+// switch buffer buys.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sdnbuffer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		rateMbps = 70.0
+		flows    = 1000
+	)
+	fmt.Printf("workload: %d single-packet UDP flows at %g Mbps (paper §IV)\n\n", flows, rateMbps)
+	fmt.Printf("%-22s %12s %12s %12s %12s %12s\n",
+		"mode", "ctrl→up Mbps", "ctrl→dn Mbps", "ctl CPU %", "setup ms", "buf units")
+
+	type mode struct {
+		name string
+		p    sdnbuffer.Platform
+	}
+	modes := []mode{
+		{"no-buffer", sdnbuffer.Platform{Mode: sdnbuffer.ModeNoBuffer}},
+		{"buffer-16", sdnbuffer.Platform{Mode: sdnbuffer.ModePacketGranularity, BufferUnits: 16}},
+		{"buffer-256", sdnbuffer.Platform{Mode: sdnbuffer.ModePacketGranularity, BufferUnits: 256}},
+		{"flow-granularity", sdnbuffer.Platform{Mode: sdnbuffer.ModeFlowGranularity, BufferUnits: 256}},
+	}
+
+	var baseline *sdnbuffer.Report
+	for _, m := range modes {
+		rep, err := sdnbuffer.Run(m.p, sdnbuffer.SinglePacketFlows(rateMbps, flows))
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		if rep.FramesDelivered != int64(rep.FramesSent) {
+			return fmt.Errorf("%s: lost frames (%d of %d)", m.name, rep.FramesDelivered, rep.FramesSent)
+		}
+		fmt.Printf("%-22s %12.2f %12.2f %12.1f %12.3f %12.0f\n",
+			m.name,
+			rep.CtrlLoadToControllerMbps,
+			rep.CtrlLoadToSwitchMbps,
+			rep.ControllerUsagePercent,
+			rep.FlowSetupDelay.Mean()*1000,
+			rep.BufferOccupancyMax)
+		if baseline == nil {
+			baseline = rep
+		} else {
+			fmt.Printf("%-22s %11.1f%% %11.1f%% %11.1f%% %11.1f%%\n",
+				"  vs no-buffer",
+				reduction(baseline.CtrlLoadToControllerMbps, rep.CtrlLoadToControllerMbps),
+				reduction(baseline.CtrlLoadToSwitchMbps, rep.CtrlLoadToSwitchMbps),
+				reduction(baseline.ControllerUsagePercent, rep.ControllerUsagePercent),
+				reduction(baseline.FlowSetupDelay.Mean(), rep.FlowSetupDelay.Mean()))
+		}
+	}
+	fmt.Println("\npaper: buffering cuts 78.7% control load, 37% controller overhead,")
+	fmt.Println("and with enough buffer space 78% of the flow setup delay (§IV).")
+	return nil
+}
+
+func reduction(base, v float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - v) / base * 100
+}

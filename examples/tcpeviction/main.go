@@ -1,0 +1,77 @@
+// tcpeviction demonstrates the paper's §VI.B argument for buffering TCP
+// flows: an established connection goes quiet, its rule is evicted from the
+// size-limited flow table (idle timeout), and when the transfer resumes the
+// first packets of the restart burst miss again. Without a buffer, every
+// missed segment becomes its own full-packet request to the controller;
+// with the flow-granularity buffer the switch sends one small request per
+// miss cycle and releases the burst from its own memory, in order.
+//
+//	go run ./examples/tcpeviction
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"sdnbuffer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "tcpeviction: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		burst1 = 5
+		burst2 = 12
+		pause  = 3 * time.Second
+	)
+	w := sdnbuffer.TCPReconnect(60, burst1, pause, burst2)
+	fmt.Printf("scenario: %s\n", w.Name())
+	fmt.Println("rule idle timeout: 1 s (shorter than the pause, so the rule is evicted)")
+	fmt.Println()
+	fmt.Printf("%-22s %10s %14s %12s %12s\n",
+		"mode", "pkt_ins", "bytes/request", "delivered", "rerequests")
+
+	results := map[string]*sdnbuffer.Report{}
+	for _, m := range []struct {
+		name string
+		p    sdnbuffer.Platform
+	}{
+		{"no-buffer", sdnbuffer.Platform{Mode: sdnbuffer.ModeNoBuffer, RuleIdleTimeout: 1}},
+		{"flow-granularity", sdnbuffer.Platform{Mode: sdnbuffer.ModeFlowGranularity, RuleIdleTimeout: 1}},
+	} {
+		rep, err := sdnbuffer.Run(m.p, w)
+		if err != nil {
+			return fmt.Errorf("%s: %w", m.name, err)
+		}
+		if rep.FramesDelivered != int64(rep.FramesSent) {
+			return fmt.Errorf("%s: lost segments (%d of %d)", m.name, rep.FramesDelivered, rep.FramesSent)
+		}
+		fmt.Printf("%-22s %10d %14s %12d %12d\n",
+			m.name, rep.PacketIns, perRequestSize(rep), rep.FramesDelivered, rep.Rerequests)
+		results[m.name] = rep
+	}
+
+	nb, fg := results["no-buffer"], results["flow-granularity"]
+	fmt.Println()
+	fmt.Printf("the flow-granularity switch sent %d requests (connection setup and the\n", fg.PacketIns)
+	fmt.Printf("post-eviction restart), each a header-only message; the no-buffer switch sent %d —\n", nb.PacketIns)
+	fmt.Println("one full segment per miss — because the restart burst keeps arriving")
+	fmt.Println("while the new rule is still in flight. This is exactly why the paper")
+	fmt.Println("argues the buffer helps long-lived TCP connections too (§VI.B).")
+	return nil
+}
+
+// perRequestSize formats the average uplink bytes per request message.
+func perRequestSize(rep *sdnbuffer.Report) string {
+	if rep.PacketIns == 0 {
+		return "-"
+	}
+	bytes := rep.CtrlLoadToControllerMbps * 1e6 / 8 * rep.Elapsed.Seconds()
+	return fmt.Sprintf("%.0f B", bytes/float64(rep.PacketIns))
+}

@@ -1,0 +1,64 @@
+// udpburst reproduces the paper's §V comparison on its own motivating
+// scenario: a UDP sender bursts many packets per flow without any
+// negotiation, so every early packet of a new flow misses the flow table.
+// The example sweeps the sending rate and contrasts the default
+// packet-granularity buffer with the proposed flow-granularity mechanism:
+// requests sent, control load, and buffer units consumed.
+//
+//	go run ./examples/udpburst
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"sdnbuffer"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "udpburst: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const (
+		flows       = 50
+		pktsPerFlow = 20
+		groupSize   = 5
+	)
+	fmt.Printf("workload: %d UDP flows × %d packets, released in interleaved groups of %d (paper §V)\n\n",
+		flows, pktsPerFlow, groupSize)
+	fmt.Printf("%10s  %28s  %28s\n", "", "packet-granularity", "flow-granularity")
+	fmt.Printf("%10s  %9s %9s %8s  %9s %9s %8s\n",
+		"rate Mbps", "pkt_ins", "up Mbps", "units", "pkt_ins", "up Mbps", "units")
+
+	for _, rate := range []float64{10, 30, 50, 70, 95} {
+		w := sdnbuffer.BurstFlows(rate, flows, pktsPerFlow, groupSize)
+		pkt, err := sdnbuffer.Run(sdnbuffer.Platform{
+			Mode: sdnbuffer.ModePacketGranularity, BufferUnits: 256,
+		}, w)
+		if err != nil {
+			return err
+		}
+		flow, err := sdnbuffer.Run(sdnbuffer.Platform{
+			Mode: sdnbuffer.ModeFlowGranularity, BufferUnits: 256,
+		}, w)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10.0f  %9d %9.3f %8.0f  %9d %9.3f %8.0f\n",
+			rate,
+			pkt.PacketIns, pkt.CtrlLoadToControllerMbps, pkt.BufferOccupancyMax,
+			flow.PacketIns, flow.CtrlLoadToControllerMbps, flow.BufferOccupancyMax)
+		if flow.PacketIns != flows {
+			return fmt.Errorf("flow granularity sent %d requests for %d flows", flow.PacketIns, flows)
+		}
+	}
+
+	fmt.Println("\nflow granularity sends exactly one request per flow no matter how")
+	fmt.Println("many packets arrive before the rule lands — the paper's 64% control")
+	fmt.Println("load and 71.6% buffer utilization reductions come from this gap.")
+	return nil
+}

@@ -1,0 +1,3 @@
+module sdnbuffer
+
+go 1.23

@@ -1,0 +1,140 @@
+// Package capture is the testbed's tcpdump equivalent: sniffers attach to
+// links as taps and account every payload by OpenFlow message type and
+// direction. Control path load in the experiments — the paper's Fig. 2 and
+// Fig. 9 — is computed from these counters exactly as the paper computes it
+// from tcpdump captures: observed bytes over the measurement window.
+package capture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"sdnbuffer/internal/metrics"
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/openflow"
+)
+
+// Sniffer accounts payloads seen on one link direction. OpenFlow frames are
+// classified by message type; anything too short to carry an OpenFlow
+// header is accounted as raw data.
+type Sniffer struct {
+	name    string
+	perType map[openflow.MsgType]*metrics.Counter
+	raw     metrics.Counter
+	total   metrics.Counter
+	first   time.Duration
+	last    time.Duration
+	seen    bool
+}
+
+// NewSniffer creates a sniffer with a diagnostic name.
+func NewSniffer(name string) *Sniffer {
+	return &Sniffer{
+		name:    name,
+		perType: make(map[openflow.MsgType]*metrics.Counter),
+	}
+}
+
+// Tap returns the tap function to attach to a link.
+func (s *Sniffer) Tap() netem.Tap {
+	return func(now time.Duration, payload []byte) { s.observe(now, payload) }
+}
+
+func (s *Sniffer) observe(now time.Duration, payload []byte) {
+	if !s.seen {
+		s.first, s.seen = now, true
+	}
+	s.last = now
+	s.total.Inc(len(payload))
+	if len(payload) >= openflow.HeaderLen && payload[0] == openflow.Version {
+		t := openflow.MsgType(payload[1])
+		c := s.perType[t]
+		if c == nil {
+			c = &metrics.Counter{}
+			s.perType[t] = c
+		}
+		c.Inc(len(payload))
+		return
+	}
+	s.raw.Inc(len(payload))
+}
+
+// Name reports the sniffer's diagnostic name.
+func (s *Sniffer) Name() string { return s.name }
+
+// Total reports all observed payloads and bytes.
+func (s *Sniffer) Total() (count, bytes int64) {
+	return s.total.Count(), s.total.Bytes()
+}
+
+// ByType reports the count and bytes of one OpenFlow message type.
+func (s *Sniffer) ByType(t openflow.MsgType) (count, bytes int64) {
+	c := s.perType[t]
+	if c == nil {
+		return 0, 0
+	}
+	return c.Count(), c.Bytes()
+}
+
+// Raw reports non-OpenFlow payloads (data-plane frames).
+func (s *Sniffer) Raw() (count, bytes int64) {
+	return s.raw.Count(), s.raw.Bytes()
+}
+
+// LoadMbps reports observed traffic as megabits per second over the window
+// [0, elapsed] — the quantity the paper plots as control path load.
+func (s *Sniffer) LoadMbps(elapsed time.Duration) float64 {
+	return metrics.Rate(s.total.Bytes(), elapsed)
+}
+
+// Window reports the first and last observation instants (zero, false if
+// nothing was seen).
+func (s *Sniffer) Window() (first, last time.Duration, ok bool) {
+	return s.first, s.last, s.seen
+}
+
+// Summary formats the per-type accounting, highest byte volume first.
+func (s *Sniffer) Summary() string {
+	type row struct {
+		t     openflow.MsgType
+		count int64
+		bytes int64
+	}
+	rows := make([]row, 0, len(s.perType))
+	for t, c := range s.perType {
+		rows = append(rows, row{t, c.Count(), c.Bytes()})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].bytes > rows[j].bytes })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d msgs, %d bytes", s.name, s.total.Count(), s.total.Bytes())
+	for _, r := range rows {
+		fmt.Fprintf(&b, "; %v %d/%dB", r.t, r.count, r.bytes)
+	}
+	if n, bytes := s.Raw(); n > 0 {
+		fmt.Fprintf(&b, "; raw %d/%dB", n, bytes)
+	}
+	return b.String()
+}
+
+// ControlChannel bundles the two sniffers of a switch-controller channel,
+// matching the paper's two control-path-load directions.
+type ControlChannel struct {
+	// ToController observes switch-to-controller traffic (packet_in).
+	ToController *Sniffer
+	// ToSwitch observes controller-to-switch traffic (flow_mod, packet_out).
+	ToSwitch *Sniffer
+}
+
+// NewControlChannel creates the sniffer pair and attaches them to the two
+// directions of the control cable.
+func NewControlChannel(toController, toSwitch *netem.Link) *ControlChannel {
+	c := &ControlChannel{
+		ToController: NewSniffer("switch->controller"),
+		ToSwitch:     NewSniffer("controller->switch"),
+	}
+	toController.AddTap(c.ToController.Tap())
+	toSwitch.AddTap(c.ToSwitch.Tap())
+	return c
+}

@@ -1,0 +1,117 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/sim"
+)
+
+func TestSnifferClassifiesOpenFlowTypes(t *testing.T) {
+	s := NewSniffer("test")
+	tap := s.Tap()
+
+	pktIn := openflow.MustEncode(&openflow.PacketIn{BufferID: 1, Data: make([]byte, 100)}, 1)
+	flowMod := openflow.MustEncode(&openflow.FlowMod{Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}, 2)
+	tap(0, pktIn)
+	tap(time.Millisecond, pktIn)
+	tap(2*time.Millisecond, flowMod)
+
+	count, bytes := s.ByType(openflow.TypePacketIn)
+	if count != 2 || bytes != int64(2*len(pktIn)) {
+		t.Errorf("packet_in = %d/%d, want 2/%d", count, bytes, 2*len(pktIn))
+	}
+	count, bytes = s.ByType(openflow.TypeFlowMod)
+	if count != 1 || bytes != int64(len(flowMod)) {
+		t.Errorf("flow_mod = %d/%d", count, bytes)
+	}
+	if count, _ := s.ByType(openflow.TypeHello); count != 0 {
+		t.Errorf("hello = %d, want 0", count)
+	}
+	total, totalBytes := s.Total()
+	if total != 3 || totalBytes != int64(2*len(pktIn)+len(flowMod)) {
+		t.Errorf("total = %d/%d", total, totalBytes)
+	}
+}
+
+func TestSnifferRawPayloads(t *testing.T) {
+	s := NewSniffer("raw")
+	tap := s.Tap()
+	tap(0, []byte{1, 2, 3})   // too short for an OF header
+	tap(0, make([]byte, 100)) // version byte 0 != 0x01
+	count, bytes := s.Raw()
+	if count != 2 || bytes != 103 {
+		t.Errorf("raw = %d/%d, want 2/103", count, bytes)
+	}
+}
+
+func TestSnifferLoadMbps(t *testing.T) {
+	s := NewSniffer("load")
+	tap := s.Tap()
+	tap(0, make([]byte, 125_000)) // 1 Mbit
+	if got := s.LoadMbps(time.Second); got < 0.99 || got > 1.01 {
+		t.Errorf("LoadMbps = %g, want 1", got)
+	}
+	if got := s.LoadMbps(0); got != 0 {
+		t.Errorf("LoadMbps(0) = %g", got)
+	}
+}
+
+func TestSnifferWindow(t *testing.T) {
+	s := NewSniffer("w")
+	if _, _, ok := s.Window(); ok {
+		t.Error("empty sniffer reported a window")
+	}
+	tap := s.Tap()
+	tap(time.Millisecond, []byte{1})
+	tap(5*time.Millisecond, []byte{1})
+	first, last, ok := s.Window()
+	if !ok || first != time.Millisecond || last != 5*time.Millisecond {
+		t.Errorf("window = %v..%v/%v", first, last, ok)
+	}
+}
+
+func TestSnifferSummary(t *testing.T) {
+	s := NewSniffer("sum")
+	tap := s.Tap()
+	tap(0, openflow.MustEncode(&openflow.Hello{}, 1))
+	tap(0, []byte{9, 9, 9})
+	got := s.Summary()
+	for _, want := range []string{"sum:", "HELLO", "raw"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("Summary() = %q missing %q", got, want)
+		}
+	}
+}
+
+func TestControlChannelAttachesToLinks(t *testing.T) {
+	k := sim.New(1)
+	up, err := netem.NewLink(k, "up", 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := netem.NewLink(k, "down", 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch := NewControlChannel(up, down)
+	up.Send(openflow.MustEncode(&openflow.PacketIn{BufferID: 1}, 1), nil)
+	down.Send(openflow.MustEncode(&openflow.PacketOut{BufferID: 1}, 1), nil)
+	down.Send(openflow.MustEncode(&openflow.FlowMod{}, 2), nil)
+	k.Run()
+	if count, _ := ch.ToController.ByType(openflow.TypePacketIn); count != 1 {
+		t.Errorf("packet_in count = %d", count)
+	}
+	if count, _ := ch.ToSwitch.ByType(openflow.TypePacketOut); count != 1 {
+		t.Errorf("packet_out count = %d", count)
+	}
+	if count, _ := ch.ToSwitch.ByType(openflow.TypeFlowMod); count != 1 {
+		t.Errorf("flow_mod count = %d", count)
+	}
+	if count, _ := ch.ToSwitch.ByType(openflow.TypePacketIn); count != 0 {
+		t.Error("packet_in leaked into the downlink accounting")
+	}
+}

@@ -1,0 +1,174 @@
+// Package controller is the testbed's SDN controller — the stand-in for
+// Floodlight. The reactive forwarding application answers every packet_in
+// with a pair of control operation messages, exactly the interaction the
+// paper measures: a flow_mod installing the forwarding rule and a
+// packet_out releasing the miss-match packet.
+//
+// Like the switch, the protocol logic is shared between the deterministic
+// simulator (SimController) and the live TCP server (Server).
+package controller
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// App decides how to answer switch-originated messages.
+type App interface {
+	// Name identifies the application.
+	Name() string
+	// HandlePacketIn answers one request; the returned messages are sent to
+	// the switch in order, all carrying the request's transaction id.
+	HandlePacketIn(pi *openflow.PacketIn, xid uint32) ([]openflow.Message, error)
+}
+
+// Route maps a destination prefix to an output port.
+type Route struct {
+	Prefix netip.Prefix
+	Port   uint16
+}
+
+// ForwarderConfig configures the reactive forwarding application.
+type ForwarderConfig struct {
+	// Routes select the output port by longest-prefix match on the
+	// destination IP. A packet matching no route is flooded.
+	Routes []Route
+	// IdleTimeout / HardTimeout are installed into each rule, in seconds
+	// (0 = no timeout, the paper's single-run setting).
+	IdleTimeout uint16
+	HardTimeout uint16
+	// Priority of installed rules.
+	Priority uint16
+	// CombinedFlowMod makes the rule installation release the buffered
+	// packet too (flow_mod carrying the buffer_id) instead of sending the
+	// spec's separate packet_out. This is an ablation knob; the paper's
+	// interaction always uses the flow_mod + packet_out pair.
+	CombinedFlowMod bool
+	// MatchFlowOnly installs 5-tuple rules instead of exact-match rules.
+	MatchFlowOnly bool
+	// RequestFlowRemoved sets OFPFF_SEND_FLOW_REM on installed rules.
+	RequestFlowRemoved bool
+}
+
+// ReactiveForwarder is the Floodlight-style forwarding application.
+type ReactiveForwarder struct {
+	cfg ForwarderConfig
+
+	packetIns uint64
+	flooded   uint64
+}
+
+var _ App = (*ReactiveForwarder)(nil)
+
+// NewReactiveForwarder builds the application.
+func NewReactiveForwarder(cfg ForwarderConfig) (*ReactiveForwarder, error) {
+	if cfg.Priority == 0 {
+		cfg.Priority = 100
+	}
+	for _, r := range cfg.Routes {
+		if !r.Prefix.IsValid() || !r.Prefix.Addr().Is4() {
+			return nil, fmt.Errorf("controller: invalid IPv4 route prefix %v", r.Prefix)
+		}
+		if r.Port == 0 {
+			return nil, fmt.Errorf("controller: route %v has port 0", r.Prefix)
+		}
+	}
+	return &ReactiveForwarder{cfg: cfg}, nil
+}
+
+// Name implements App.
+func (*ReactiveForwarder) Name() string { return "reactive-forwarder" }
+
+// lookupPort picks the longest-prefix route for dst, or flood.
+func (f *ReactiveForwarder) lookupPort(dst netip.Addr) uint16 {
+	best := -1
+	port := openflow.PortFlood
+	for _, r := range f.cfg.Routes {
+		if r.Prefix.Contains(dst) && r.Prefix.Bits() > best {
+			best = r.Prefix.Bits()
+			port = r.Port
+		}
+	}
+	if best < 0 {
+		f.flooded++
+	}
+	return port
+}
+
+// HandlePacketIn implements App: decide the output port from the packet
+// headers, install the rule, and release the miss-match packet.
+func (f *ReactiveForwarder) HandlePacketIn(pi *openflow.PacketIn, xid uint32) ([]openflow.Message, error) {
+	f.packetIns++
+	frame, err := packet.ParseHeaders(pi.Data)
+	if err != nil {
+		return nil, fmt.Errorf("controller: parsing packet_in payload: %w", err)
+	}
+	outPort := f.lookupPort(frame.DstIP)
+	actions := []openflow.Action{&openflow.ActionOutput{Port: outPort, MaxLen: 0xffff}}
+
+	var match openflow.Match
+	if f.cfg.MatchFlowOnly {
+		match = openflow.FlowMatch(frame.Key())
+	} else {
+		match = openflow.ExactMatch(pi.InPort, frame)
+	}
+	var flags uint16
+	if f.cfg.RequestFlowRemoved {
+		flags |= openflow.FlowModFlagSendFlowRem
+	}
+	fm := &openflow.FlowMod{
+		Match:       match,
+		Command:     openflow.FlowModAdd,
+		IdleTimeout: f.cfg.IdleTimeout,
+		HardTimeout: f.cfg.HardTimeout,
+		Priority:    f.cfg.Priority,
+		BufferID:    openflow.NoBuffer,
+		OutPort:     openflow.PortNone,
+		Flags:       flags,
+		Actions:     actions,
+	}
+	if f.cfg.CombinedFlowMod && pi.BufferID != openflow.NoBuffer {
+		// Ablation: one message installs the rule and releases the buffer.
+		fm.BufferID = pi.BufferID
+		return []openflow.Message{fm}, nil
+	}
+	po := &openflow.PacketOut{
+		BufferID: pi.BufferID,
+		InPort:   pi.InPort,
+		Actions:  actions,
+	}
+	if pi.BufferID == openflow.NoBuffer {
+		// Not buffered: the controller must carry the whole packet back.
+		po.Data = pi.Data
+	}
+	return []openflow.Message{fm, po}, nil
+}
+
+// Stats reports requests handled and flood decisions.
+func (f *ReactiveForwarder) Stats() (packetIns, flooded uint64) {
+	return f.packetIns, f.flooded
+}
+
+// CostModel is the controller's CPU demand per handled message: a base
+// decision cost plus a per-byte parse/encapsulation cost. The per-byte term
+// is what makes full-packet packet_ins expensive — the source of the
+// paper's Fig. 3 controller-usage gap.
+type CostModel struct {
+	Base    time.Duration
+	PerByte time.Duration
+}
+
+// Cost reports the CPU demand for a message of the given length, including
+// the bytes the controller must emit in response.
+func (c CostModel) Cost(inBytes, outBytes int) time.Duration {
+	return c.Base + time.Duration(inBytes+outBytes)*c.PerByte
+}
+
+// DefaultCostModel returns the calibrated Floodlight-like cost model.
+func DefaultCostModel() CostModel {
+	return CostModel{Base: 40 * time.Microsecond, PerByte: 75 * time.Nanosecond}
+}

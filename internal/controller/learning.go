@@ -1,0 +1,105 @@
+package controller
+
+import (
+	"fmt"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// LearningSwitch is the classic L2 learning application: it learns source
+// MAC → ingress port from every packet_in, forwards to the learned port for
+// known destinations, and floods unknowns. Where ReactiveForwarder needs
+// configured routes (the paper's static two-host topology), LearningSwitch
+// needs none — it is the zero-configuration app for live-mode
+// experimentation with arbitrary hosts.
+type LearningSwitch struct {
+	cfg ForwarderConfig // reuses the rule-shaping knobs; Routes ignored
+
+	macs map[packet.MAC]uint16
+
+	packetIns uint64
+	learned   uint64
+	flooded   uint64
+}
+
+var _ App = (*LearningSwitch)(nil)
+
+// NewLearningSwitch builds the application. Only the rule-shaping fields of
+// cfg (timeouts, priority, CombinedFlowMod, RequestFlowRemoved) are used.
+func NewLearningSwitch(cfg ForwarderConfig) *LearningSwitch {
+	if cfg.Priority == 0 {
+		cfg.Priority = 100
+	}
+	return &LearningSwitch{cfg: cfg, macs: make(map[packet.MAC]uint16)}
+}
+
+// Name implements App.
+func (*LearningSwitch) Name() string { return "learning-switch" }
+
+// HandlePacketIn implements App.
+func (l *LearningSwitch) HandlePacketIn(pi *openflow.PacketIn, xid uint32) ([]openflow.Message, error) {
+	l.packetIns++
+	frame, err := packet.ParseHeaders(pi.Data)
+	if err != nil {
+		return nil, fmt.Errorf("controller: parsing packet_in payload: %w", err)
+	}
+	// Learn the source.
+	if _, known := l.macs[frame.SrcMAC]; !known {
+		l.learned++
+	}
+	l.macs[frame.SrcMAC] = pi.InPort
+
+	outPort, known := l.macs[frame.DstMAC]
+	if !known || frame.DstMAC.IsBroadcast() {
+		outPort = openflow.PortFlood
+		l.flooded++
+	}
+	actions := []openflow.Action{&openflow.ActionOutput{Port: outPort, MaxLen: 0xffff}}
+
+	var msgs []openflow.Message
+	if known && !frame.DstMAC.IsBroadcast() {
+		// Install a rule only once the destination is known; flooding rules
+		// would blackhole hosts that appear later.
+		var flags uint16
+		if l.cfg.RequestFlowRemoved {
+			flags |= openflow.FlowModFlagSendFlowRem
+		}
+		fm := &openflow.FlowMod{
+			Match:       openflow.ExactMatch(pi.InPort, frame),
+			Command:     openflow.FlowModAdd,
+			IdleTimeout: l.cfg.IdleTimeout,
+			HardTimeout: l.cfg.HardTimeout,
+			Priority:    l.cfg.Priority,
+			BufferID:    openflow.NoBuffer,
+			OutPort:     openflow.PortNone,
+			Flags:       flags,
+			Actions:     actions,
+		}
+		if l.cfg.CombinedFlowMod && pi.BufferID != openflow.NoBuffer {
+			fm.BufferID = pi.BufferID
+			return []openflow.Message{fm}, nil
+		}
+		msgs = append(msgs, fm)
+	}
+	po := &openflow.PacketOut{
+		BufferID: pi.BufferID,
+		InPort:   pi.InPort,
+		Actions:  actions,
+	}
+	if pi.BufferID == openflow.NoBuffer {
+		po.Data = pi.Data
+	}
+	return append(msgs, po), nil
+}
+
+// Stats reports requests handled, MACs learned and flood decisions.
+func (l *LearningSwitch) Stats() (packetIns, learned, flooded uint64) {
+	return l.packetIns, l.learned, l.flooded
+}
+
+// Lookup reports the learned port for a MAC (0, false if unknown).
+func (l *LearningSwitch) Lookup(mac packet.MAC) (uint16, bool) {
+	p, ok := l.macs[mac]
+	return p, ok
+}

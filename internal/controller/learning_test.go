@@ -1,0 +1,146 @@
+package controller
+
+import (
+	"net/netip"
+	"testing"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+func learnPacketIn(t *testing.T, src, dst packet.MAC, inPort uint16, bufferID uint32) *openflow.PacketIn {
+	t.Helper()
+	f := &packet.Frame{
+		SrcMAC:    src,
+		DstMAC:    dst,
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     netip.MustParseAddr("10.0.0.1"),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		SrcPort:   1,
+		DstPort:   2,
+		Payload:   make([]byte, 64),
+	}
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &openflow.PacketIn{
+		BufferID: bufferID,
+		TotalLen: uint16(len(wire)),
+		InPort:   inPort,
+		Data:     wire,
+	}
+}
+
+func TestLearningSwitchFloodsUnknownThenForwards(t *testing.T) {
+	l := NewLearningSwitch(ForwarderConfig{})
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB := packet.MAC{2, 0, 0, 0, 0, 0xb}
+
+	// A talks to B: B unknown, flood, no rule.
+	msgs, err := l.HandlePacketIn(learnPacketIn(t, macA, macB, 1, 7), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("replies = %d, want 1 (packet_out only)", len(msgs))
+	}
+	po := msgs[0].(*openflow.PacketOut)
+	if out := po.Actions[0].(*openflow.ActionOutput); out.Port != openflow.PortFlood {
+		t.Errorf("unknown destination port = %d, want flood", out.Port)
+	}
+	if p, ok := l.Lookup(macA); !ok || p != 1 {
+		t.Errorf("macA not learned: %d/%v", p, ok)
+	}
+
+	// B answers A: A is known, rule installed toward port 1.
+	msgs, err = l.HandlePacketIn(learnPacketIn(t, macB, macA, 2, 8), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 {
+		t.Fatalf("replies = %d, want flow_mod + packet_out", len(msgs))
+	}
+	fm := msgs[0].(*openflow.FlowMod)
+	if out := fm.Actions[0].(*openflow.ActionOutput); out.Port != 1 {
+		t.Errorf("rule port = %d, want 1", out.Port)
+	}
+
+	// A to B again: B now known.
+	msgs, err = l.HandlePacketIn(learnPacketIn(t, macA, macB, 1, 9), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fm = msgs[0].(*openflow.FlowMod)
+	if out := fm.Actions[0].(*openflow.ActionOutput); out.Port != 2 {
+		t.Errorf("rule port = %d, want 2", out.Port)
+	}
+
+	packetIns, learned, flooded := l.Stats()
+	if packetIns != 3 || learned != 2 || flooded != 1 {
+		t.Errorf("stats = %d/%d/%d, want 3/2/1", packetIns, learned, flooded)
+	}
+}
+
+func TestLearningSwitchBroadcastAlwaysFloods(t *testing.T) {
+	l := NewLearningSwitch(ForwarderConfig{})
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xa}
+	msgs, err := l.HandlePacketIn(learnPacketIn(t, macA, packet.Broadcast, 1, openflow.NoBuffer), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("replies = %d, want packet_out only for broadcast", len(msgs))
+	}
+	po := msgs[0].(*openflow.PacketOut)
+	if out := po.Actions[0].(*openflow.ActionOutput); out.Port != openflow.PortFlood {
+		t.Errorf("broadcast port = %d, want flood", out.Port)
+	}
+	if len(po.Data) == 0 {
+		t.Error("NoBuffer packet_out must carry the packet")
+	}
+}
+
+func TestLearningSwitchMobility(t *testing.T) {
+	// A host that moves ports is re-learned at the new port.
+	l := NewLearningSwitch(ForwarderConfig{})
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB := packet.MAC{2, 0, 0, 0, 0, 0xb}
+	if _, err := l.HandlePacketIn(learnPacketIn(t, macA, macB, 1, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.HandlePacketIn(learnPacketIn(t, macA, macB, 3, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	if p, _ := l.Lookup(macA); p != 3 {
+		t.Errorf("moved host learned at %d, want 3", p)
+	}
+}
+
+func TestLearningSwitchCombinedFlowMod(t *testing.T) {
+	l := NewLearningSwitch(ForwarderConfig{CombinedFlowMod: true})
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xa}
+	macB := packet.MAC{2, 0, 0, 0, 0, 0xb}
+	if _, err := l.HandlePacketIn(learnPacketIn(t, macB, macA, 2, 1), 1); err != nil {
+		t.Fatal(err)
+	}
+	msgs, err := l.HandlePacketIn(learnPacketIn(t, macA, macB, 1, 42), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 {
+		t.Fatalf("combined replies = %d, want 1", len(msgs))
+	}
+	if fm := msgs[0].(*openflow.FlowMod); fm.BufferID != 42 {
+		t.Errorf("combined flow_mod buffer id = %d", fm.BufferID)
+	}
+}
+
+func TestLearningSwitchRejectsGarbage(t *testing.T) {
+	l := NewLearningSwitch(ForwarderConfig{})
+	if _, err := l.HandlePacketIn(&openflow.PacketIn{Data: []byte{1}}, 1); err == nil {
+		t.Error("accepted garbage payload")
+	}
+}

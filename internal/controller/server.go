@@ -1,0 +1,224 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"sdnbuffer/internal/openflow"
+)
+
+// ServerConfig configures the live controller.
+type ServerConfig struct {
+	// Buffer, when non-nil, is pushed to every connecting switch as a
+	// FlowBufferConfig vendor message after the handshake — how an operator
+	// enables the flow-granularity mechanism fleet-wide.
+	Buffer *openflow.FlowBufferConfig
+	// MissSendLen is pushed via SET_CONFIG (0 = spec default).
+	MissSendLen uint16
+	// Logger receives connection lifecycle messages; nil silences them.
+	Logger *log.Logger
+}
+
+// Server is the live-mode controller: a TCP listener speaking OpenFlow to
+// real switches, running an App — the Floodlight role in the paper's Fig. 1.
+type Server struct {
+	cfg ServerConfig
+	app App
+
+	ln     net.Listener
+	mu     sync.Mutex
+	conns  map[*switchConn]struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// switchConn is one connected switch.
+type switchConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+}
+
+func (sc *switchConn) send(m openflow.Message, xid uint32) error {
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	return openflow.WriteMessage(sc.conn, m, xid)
+}
+
+// NewServer builds a live controller around an App.
+func NewServer(cfg ServerConfig, app App) (*Server, error) {
+	if app == nil {
+		return nil, fmt.Errorf("controller: nil app")
+	}
+	return &Server{cfg: cfg, app: app, conns: make(map[*switchConn]struct{})}, nil
+}
+
+// Listen binds the listener. Use addr ":0" to pick an ephemeral port; Addr
+// reports the bound address.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("controller: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr reports the bound listener address ("" before Listen).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sc := &switchConn{conn: conn}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(sc)
+		}()
+	}
+}
+
+// serve drives one switch connection: handshake, then the dispatch loop.
+func (s *Server) serve(sc *switchConn) {
+	defer func() {
+		_ = sc.conn.Close()
+		s.mu.Lock()
+		delete(s.conns, sc)
+		s.mu.Unlock()
+	}()
+	s.logf("controller: switch connected from %s", sc.conn.RemoteAddr())
+
+	xid := uint32(1)
+	if err := sc.send(&openflow.Hello{}, xid); err != nil {
+		s.logf("controller: hello: %v", err)
+		return
+	}
+	xid++
+	if err := sc.send(&openflow.FeaturesRequest{}, xid); err != nil {
+		return
+	}
+	xid++
+	if s.cfg.MissSendLen != 0 {
+		if err := sc.send(&openflow.SetConfig{
+			Config: openflow.SwitchConfig{MissSendLen: s.cfg.MissSendLen},
+		}, xid); err != nil {
+			return
+		}
+		xid++
+	}
+	if s.cfg.Buffer != nil {
+		v, err := openflow.EncodeFlowBufferConfig(*s.cfg.Buffer)
+		if err != nil {
+			s.logf("controller: bad buffer config: %v", err)
+			return
+		}
+		if err := sc.send(v, xid); err != nil {
+			return
+		}
+		xid++
+	}
+
+	r := openflow.NewReader(sc.conn)
+	for {
+		m, inXid, err := r.ReadMessage()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("controller: read: %v", err)
+			}
+			return
+		}
+		if err := s.dispatch(sc, m, inXid); err != nil {
+			s.logf("controller: dispatch %v: %v", m.Type(), err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(sc *switchConn, m openflow.Message, xid uint32) error {
+	switch t := m.(type) {
+	case *openflow.Hello:
+		return nil
+	case *openflow.EchoRequest:
+		return sc.send(&openflow.EchoReply{Data: t.Data}, xid)
+	case *openflow.FeaturesReply:
+		s.logf("controller: datapath %016x with %d buffers, %d ports",
+			t.DatapathID, t.NBuffers, len(t.Ports))
+		return nil
+	case *openflow.PacketIn:
+		replies, err := s.app.HandlePacketIn(t, xid)
+		if err != nil {
+			return fmt.Errorf("app: %w", err)
+		}
+		for _, reply := range replies {
+			if err := sc.send(reply, xid); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *openflow.FlowRemoved:
+		s.logf("controller: flow removed (reason %d): %s", t.Reason, t.Match.String())
+		return nil
+	case *openflow.ErrorMsg:
+		s.logf("controller: switch error: %v", t)
+		return nil
+	case *openflow.StatsReply:
+		s.logf("controller: stats reply (%v)", t.StatsType)
+		return nil
+	case *openflow.EchoReply, *openflow.BarrierReply, *openflow.GetConfigReply,
+		*openflow.PortStatus, *openflow.Vendor:
+		return nil
+	default:
+		s.logf("controller: ignoring %v", m.Type())
+		return nil
+	}
+}
+
+// Close shuts the listener and all switch connections down and waits for
+// the connection goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*switchConn, 0, len(s.conns))
+	for sc := range s.conns {
+		conns = append(conns, sc)
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	for _, sc := range conns {
+		_ = sc.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}

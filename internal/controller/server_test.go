@@ -1,0 +1,214 @@
+package controller
+
+import (
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+)
+
+// fakeSwitch is a raw TCP client that speaks just enough OpenFlow to
+// exercise the server.
+type fakeSwitch struct {
+	t    *testing.T
+	conn net.Conn
+	r    *openflow.Reader
+}
+
+func dialFakeSwitch(t *testing.T, addr string) *fakeSwitch {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { _ = conn.Close() })
+	return &fakeSwitch{t: t, conn: conn, r: openflow.NewReader(conn)}
+}
+
+func (f *fakeSwitch) send(m openflow.Message, xid uint32) {
+	f.t.Helper()
+	if err := openflow.WriteMessage(f.conn, m, xid); err != nil {
+		f.t.Fatalf("write %v: %v", m.Type(), err)
+	}
+}
+
+func (f *fakeSwitch) read() (openflow.Message, uint32) {
+	f.t.Helper()
+	if err := f.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		f.t.Fatal(err)
+	}
+	m, xid, err := f.r.ReadMessage()
+	if err != nil {
+		f.t.Fatalf("read: %v", err)
+	}
+	return m, xid
+}
+
+func startServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	app, err := NewReactiveForwarder(ForwarderConfig{Routes: []Route{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Port: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv
+}
+
+func TestServerHandshakeSequence(t *testing.T) {
+	srv := startServer(t, ServerConfig{
+		MissSendLen: 200,
+		Buffer: &openflow.FlowBufferConfig{
+			Granularity:        openflow.GranularityFlow,
+			RerequestTimeoutMs: 30,
+		},
+	})
+	fs := dialFakeSwitch(t, srv.Addr())
+	// Expect HELLO, FEATURES_REQUEST, SET_CONFIG, VENDOR(config) in order.
+	wantTypes := []openflow.MsgType{
+		openflow.TypeHello, openflow.TypeFeaturesRequest,
+		openflow.TypeSetConfig, openflow.TypeVendor,
+	}
+	for i, want := range wantTypes {
+		m, _ := fs.read()
+		if m.Type() != want {
+			t.Fatalf("handshake message %d = %v, want %v", i, m.Type(), want)
+		}
+		switch v := m.(type) {
+		case *openflow.SetConfig:
+			if v.Config.MissSendLen != 200 {
+				t.Errorf("miss_send_len = %d, want 200", v.Config.MissSendLen)
+			}
+		case *openflow.Vendor:
+			payload, err := openflow.ParseVendor(v)
+			if err != nil || payload.Config == nil {
+				t.Fatalf("vendor payload = %+v, %v", payload, err)
+			}
+			if payload.Config.Granularity != openflow.GranularityFlow ||
+				payload.Config.RerequestTimeoutMs != 30 {
+				t.Errorf("pushed config = %+v", payload.Config)
+			}
+		}
+	}
+}
+
+func TestServerAnswersPacketInAndEcho(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	fs := dialFakeSwitch(t, srv.Addr())
+	fs.read() // hello
+	fs.read() // features request
+	fs.send(&openflow.Hello{}, 1)
+	fs.send(&openflow.FeaturesReply{DatapathID: 9, NBuffers: 64}, 2)
+
+	fs.send(&openflow.EchoRequest{Data: []byte("ping")}, 3)
+	m, xid := fs.read()
+	er, ok := m.(*openflow.EchoReply)
+	if !ok || string(er.Data) != "ping" || xid != 3 {
+		t.Fatalf("echo reply = %T %v xid %d", m, m, xid)
+	}
+
+	fs.send(testPacketIn(t, 42, 128), 4)
+	m1, x1 := fs.read()
+	m2, x2 := fs.read()
+	if m1.Type() != openflow.TypeFlowMod || m2.Type() != openflow.TypePacketOut {
+		t.Fatalf("replies = %v, %v", m1.Type(), m2.Type())
+	}
+	if x1 != 4 || x2 != 4 {
+		t.Errorf("xids = %d/%d, want 4", x1, x2)
+	}
+	if po := m2.(*openflow.PacketOut); po.BufferID != 42 {
+		t.Errorf("packet_out buffer id = %d", po.BufferID)
+	}
+}
+
+func TestServerToleratesNotificationTraffic(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	fs := dialFakeSwitch(t, srv.Addr())
+	fs.read()
+	fs.read()
+	// Notifications and replies the server consumes without answering.
+	fs.send(&openflow.BarrierReply{}, 1)
+	fs.send(&openflow.ErrorMsg{ErrType: 1, Code: 7}, 2)
+	fs.send(&openflow.FlowRemoved{Reason: openflow.RemovedIdleTimeout}, 3)
+	fs.send(&openflow.StatsReply{StatsType: openflow.StatsTable}, 4)
+	fs.send(&openflow.PortStatus{Reason: openflow.PortReasonModify}, 5)
+	// The connection must still be alive: an echo round trip works.
+	fs.send(&openflow.EchoRequest{Data: []byte("x")}, 6)
+	if m, _ := fs.read(); m.Type() != openflow.TypeEchoReply {
+		t.Fatalf("connection dead after notifications: %v", m.Type())
+	}
+}
+
+func TestServerDropsBrokenApp(t *testing.T) {
+	// A packet_in with garbage payload makes the app error; the server
+	// closes that connection but stays up for others.
+	srv := startServer(t, ServerConfig{})
+	fs := dialFakeSwitch(t, srv.Addr())
+	fs.read()
+	fs.read()
+	fs.send(&openflow.PacketIn{BufferID: 1, Data: []byte{1, 2}}, 1)
+	// Read until EOF (the server hangs up).
+	if err := fs.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, _, err := fs.r.ReadMessage(); err != nil {
+			break
+		}
+	}
+	// A new switch can still connect.
+	fs2 := dialFakeSwitch(t, srv.Addr())
+	if m, _ := fs2.read(); m.Type() != openflow.TypeHello {
+		t.Fatal("server no longer accepting connections")
+	}
+}
+
+func TestServerCloseIdempotentAndAddr(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	if srv.Addr() == "" {
+		t.Error("Addr empty after Listen")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Second close: the listener error is expected but must not panic or
+	// hang.
+	_ = srv.Close()
+}
+
+func TestServerRejectsNilApp(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}, nil); err == nil {
+		t.Error("NewServer(nil app) succeeded")
+	}
+}
+
+func TestServerGarbageBytesDisconnect(t *testing.T) {
+	srv := startServer(t, ServerConfig{})
+	fs := dialFakeSwitch(t, srv.Addr())
+	fs.read()
+	fs.read()
+	// Bad version, valid length: rejected immediately.
+	if _, err := fs.conn.Write([]byte{0xff, 0x00, 0x00, 0x08, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, err := fs.r.ReadMessage(); err != nil {
+			return // disconnected as expected
+		}
+	}
+	t.Error("server kept a connection that sent garbage")
+}

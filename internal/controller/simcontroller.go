@@ -1,0 +1,149 @@
+package controller
+
+import (
+	"fmt"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/sim"
+)
+
+// SimConfig is the simulated controller's resource model.
+type SimConfig struct {
+	// CPUCores is the controller host's core count (paper Table I).
+	CPUCores int
+	// Cost is the per-message CPU demand model.
+	Cost CostModel
+}
+
+// DefaultSimConfig returns the calibrated model.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{CPUCores: 2, Cost: DefaultCostModel()}
+}
+
+// SimController runs an App on the discrete-event kernel behind a
+// multi-core CPU resource, so controller usage and queueing delay emerge
+// from load exactly as they do on the paper's Floodlight host.
+type SimController struct {
+	kernel *sim.Kernel
+	cfg    SimConfig
+	app    App
+	cpu    *sim.Resource
+
+	// senders holds one downlink per attached switch; slot 0 is the
+	// default connection used by SetSwitchSender/Deliver.
+	senders []func(msg []byte)
+
+	handled   uint64
+	appErrors uint64
+}
+
+// NewSimController builds the simulated controller.
+func NewSimController(k *sim.Kernel, cfg SimConfig, app App) (*SimController, error) {
+	if cfg.CPUCores <= 0 {
+		return nil, fmt.Errorf("controller: CPU cores must be positive, got %d", cfg.CPUCores)
+	}
+	if cfg.Cost.Base < 0 || cfg.Cost.PerByte < 0 {
+		return nil, fmt.Errorf("controller: negative cost model")
+	}
+	if app == nil {
+		return nil, fmt.Errorf("controller: nil app")
+	}
+	return &SimController{
+		kernel:  k,
+		cfg:     cfg,
+		app:     app,
+		cpu:     sim.NewResource(k, "controller-cpu", cfg.CPUCores),
+		senders: make([]func(msg []byte), 1),
+	}, nil
+}
+
+// SetSwitchSender wires the default downlink: fn is called with each
+// encoded control message to put on the control link toward the switch.
+// Multi-switch testbeds use Attach instead.
+func (c *SimController) SetSwitchSender(fn func(msg []byte)) { c.senders[0] = fn }
+
+// Attach registers an additional switch connection and returns the Deliver
+// function for its uplink. All attached switches share the controller's CPU
+// — one Floodlight process serving a multi-switch topology.
+func (c *SimController) Attach(send func(msg []byte)) func(msg []byte) {
+	c.senders = append(c.senders, send)
+	conn := len(c.senders) - 1
+	return func(msg []byte) { c.deliverFrom(conn, msg) }
+}
+
+// Deliver is called when a control message arrives from the default switch
+// (the control link's delivery callback). Processing cost is charged on the
+// controller CPU before the application runs.
+func (c *SimController) Deliver(msg []byte) { c.deliverFrom(0, msg) }
+
+func (c *SimController) deliverFrom(conn int, msg []byte) {
+	// The cost depends on the response size too, which is unknown until the
+	// app runs; charge the ingress share first and the egress share when
+	// sending. Splitting keeps causality: expensive requests delay the
+	// decision, expensive responses delay the send.
+	inCost := c.cfg.Cost.Cost(len(msg), 0)
+	c.cpu.Submit(inCost, func() { c.process(conn, msg) })
+}
+
+func (c *SimController) process(conn int, msg []byte) {
+	m, xid, err := openflow.Decode(msg)
+	if err != nil {
+		c.appErrors++
+		return
+	}
+	c.handled++
+	switch t := m.(type) {
+	case *openflow.PacketIn:
+		replies, err := c.app.HandlePacketIn(t, xid)
+		if err != nil {
+			c.appErrors++
+			return
+		}
+		c.sendAll(conn, replies, xid)
+	case *openflow.EchoRequest:
+		c.sendAll(conn, []openflow.Message{&openflow.EchoReply{Data: t.Data}}, xid)
+	case *openflow.Hello:
+		c.sendAll(conn, []openflow.Message{&openflow.Hello{}}, xid)
+	case *openflow.ErrorMsg, *openflow.BarrierReply, *openflow.EchoReply,
+		*openflow.FeaturesReply, *openflow.GetConfigReply, *openflow.FlowRemoved,
+		*openflow.PortStatus, *openflow.Vendor:
+		// Notifications and replies: consumed, no response required.
+	default:
+		c.appErrors++
+	}
+}
+
+func (c *SimController) sendAll(conn int, replies []openflow.Message, xid uint32) {
+	total := 0
+	encoded := make([][]byte, 0, len(replies))
+	for _, r := range replies {
+		b, err := openflow.Encode(r, xid)
+		if err != nil {
+			c.appErrors++
+			return
+		}
+		encoded = append(encoded, b)
+		total += len(b)
+	}
+	outCost := c.cfg.Cost.Cost(0, total) - c.cfg.Cost.Base // egress share only
+	if outCost < 0 {
+		outCost = 0
+	}
+	c.cpu.Submit(outCost, func() {
+		sender := c.senders[conn]
+		if sender == nil {
+			return
+		}
+		for _, b := range encoded {
+			sender(b)
+		}
+	})
+}
+
+// CPUUtilizationPercent reports time-averaged controller CPU usage in
+// percent of one core — the paper's "controller usages" metric (Fig. 3 /
+// Fig. 10).
+func (c *SimController) CPUUtilizationPercent() float64 { return c.cpu.UtilizationPercent() }
+
+// Handled reports messages processed and application errors.
+func (c *SimController) Handled() (handled, appErrors uint64) { return c.handled, c.appErrors }

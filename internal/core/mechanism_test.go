@@ -1,0 +1,587 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"net/netip"
+	"strconv"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+func testKey(i int) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)}),
+		DstIP:   netip.MustParseAddr("10.0.0.2"),
+		SrcPort: uint16(1000 + i),
+		DstPort: 9,
+		Proto:   packet.ProtoUDP,
+	}
+}
+
+func testData(i, size int) []byte {
+	d := bytes.Repeat([]byte{byte(i)}, size)
+	copy(d, strconv.Itoa(i))
+	return d
+}
+
+func TestNoBufferSendsFullPacket(t *testing.T) {
+	m := NewNoBuffer()
+	data := testData(1, 1000)
+	res := m.HandleMiss(0, 1, data, testKey(1))
+	if res.Buffered || res.Fallback {
+		t.Errorf("res = %+v, want unbuffered non-fallback", res)
+	}
+	pi := res.PacketIn
+	if pi == nil || pi.BufferID != openflow.NoBuffer {
+		t.Fatalf("packet_in = %+v", pi)
+	}
+	if len(pi.Data) != 1000 || pi.TotalLen != 1000 {
+		t.Errorf("data len %d total %d, want full 1000", len(pi.Data), pi.TotalLen)
+	}
+	if _, err := m.Release(0, 1); !errors.Is(err, ErrUnknownBufferID) {
+		t.Errorf("Release: %v", err)
+	}
+	if err := m.Drop(0, 1); !errors.Is(err, ErrUnknownBufferID) {
+		t.Errorf("Drop: %v", err)
+	}
+	if _, ok := m.NextDeadline(); ok {
+		t.Error("NoBuffer reported a deadline")
+	}
+	if got := m.Stats(0).PacketIns; got != 1 {
+		t.Errorf("PacketIns = %d, want 1", got)
+	}
+	if m.OccupancyMean(time.Second) != 0 || m.OccupancyMax() != 0 {
+		t.Error("NoBuffer reported nonzero occupancy")
+	}
+}
+
+func TestPacketGranularityBuffersAndTruncates(t *testing.T) {
+	m, err := NewPacketGranularity(16, 128, 0)
+	if err != nil {
+		t.Fatalf("NewPacketGranularity: %v", err)
+	}
+	data := testData(1, 1000)
+	res := m.HandleMiss(0, 1, data, testKey(1))
+	if !res.Buffered || res.Fallback {
+		t.Fatalf("res = %+v, want buffered", res)
+	}
+	pi := res.PacketIn
+	if pi.BufferID == openflow.NoBuffer {
+		t.Fatal("buffered packet_in carries NoBuffer id")
+	}
+	if len(pi.Data) != 128 {
+		t.Errorf("packet_in payload = %d bytes, want miss_send_len 128", len(pi.Data))
+	}
+	if pi.TotalLen != 1000 {
+		t.Errorf("TotalLen = %d, want 1000", pi.TotalLen)
+	}
+	rel, err := m.Release(time.Millisecond, pi.BufferID)
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if len(rel) != 1 || !bytes.Equal(rel[0].Data, data) || rel[0].InPort != 1 {
+		t.Errorf("released = %+v", rel)
+	}
+	if _, err := m.Release(time.Millisecond, pi.BufferID); !errors.Is(err, ErrUnknownBufferID) {
+		t.Errorf("double release: %v", err)
+	}
+}
+
+func TestPacketGranularityEachPacketOwnID(t *testing.T) {
+	m, err := NewPacketGranularity(16, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1) // same flow for all packets
+	ids := make(map[uint32]bool)
+	for i := 0; i < 5; i++ {
+		res := m.HandleMiss(0, 1, testData(i, 500), key)
+		if res.PacketIn == nil {
+			t.Fatalf("packet %d: no packet_in — default mechanism must request per packet", i)
+		}
+		if ids[res.PacketIn.BufferID] {
+			t.Fatalf("duplicate buffer id %d", res.PacketIn.BufferID)
+		}
+		ids[res.PacketIn.BufferID] = true
+	}
+	if got := m.Stats(0).PacketIns; got != 5 {
+		t.Errorf("PacketIns = %d, want 5", got)
+	}
+}
+
+func TestPacketGranularityFallbackWhenExhausted(t *testing.T) {
+	m, err := NewPacketGranularity(2, 128, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if res := m.HandleMiss(0, 1, testData(i, 500), testKey(i)); !res.Buffered {
+			t.Fatalf("packet %d not buffered", i)
+		}
+	}
+	res := m.HandleMiss(0, 1, testData(2, 500), testKey(2))
+	if res.Buffered || !res.Fallback {
+		t.Fatalf("res = %+v, want fallback", res)
+	}
+	if res.PacketIn.BufferID != openflow.NoBuffer {
+		t.Error("fallback packet_in must carry NoBuffer")
+	}
+	if len(res.PacketIn.Data) != 500 {
+		t.Errorf("fallback payload = %d bytes, want full 500", len(res.PacketIn.Data))
+	}
+	if got := m.Stats(0).DroppedNoBuffer; got != 1 {
+		t.Errorf("fallbacks = %d, want 1", got)
+	}
+}
+
+func TestPacketGranularityExpiry(t *testing.T) {
+	m, err := NewPacketGranularity(4, 128, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.HandleMiss(0, 1, testData(1, 100), testKey(1))
+	next, ok := m.NextDeadline()
+	if !ok || next != 10*time.Millisecond {
+		t.Fatalf("NextDeadline = %v/%v, want 10ms", next, ok)
+	}
+	if out := m.Tick(11 * time.Millisecond); out != nil {
+		t.Errorf("Tick produced packet_ins: %v", out)
+	}
+	if _, err := m.Release(11*time.Millisecond, res.PacketIn.BufferID); !errors.Is(err, ErrUnknownBufferID) {
+		t.Errorf("release after expiry: %v", err)
+	}
+	if _, ok := m.NextDeadline(); ok {
+		t.Error("deadline remains after expiry")
+	}
+}
+
+func TestPacketGranularityValidation(t *testing.T) {
+	if _, err := NewPacketGranularity(16, 0, 0); err == nil {
+		t.Error("accepted zero miss_send_len")
+	}
+	if _, err := NewPacketGranularity(0, 128, 0); err == nil {
+		t.Error("accepted zero capacity")
+	}
+}
+
+func TestFlowGranularityOnePacketInPerFlow(t *testing.T) {
+	m, err := NewFlowGranularity(256, 128, 50*time.Millisecond, 0, 0)
+	if err != nil {
+		t.Fatalf("NewFlowGranularity: %v", err)
+	}
+	key := testKey(1)
+	first := m.HandleMiss(0, 1, testData(0, 1000), key)
+	if first.PacketIn == nil || !first.Buffered {
+		t.Fatalf("first packet: %+v", first)
+	}
+	if len(first.PacketIn.Data) != 128 {
+		t.Errorf("first packet_in payload = %d", len(first.PacketIn.Data))
+	}
+	id := first.PacketIn.BufferID
+	for i := 1; i < 20; i++ {
+		res := m.HandleMiss(time.Duration(i)*time.Millisecond, 1, testData(i, 1000), key)
+		if res.PacketIn != nil {
+			t.Fatalf("packet %d triggered a packet_in — flow granularity must not", i)
+		}
+		if !res.Buffered {
+			t.Fatalf("packet %d not buffered", i)
+		}
+	}
+	st := m.Stats(0)
+	if st.PacketIns != 1 {
+		t.Errorf("PacketIns = %d, want 1 for 20 packets", st.PacketIns)
+	}
+	// The whole flow occupies a single buffer unit — the mechanism's
+	// utilization improvement (paper Fig. 13).
+	if st.FlowsBuffered != 1 || st.UnitsInUse != 1 {
+		t.Errorf("flows/units = %d/%d, want 1/1", st.FlowsBuffered, st.UnitsInUse)
+	}
+	if stored, _, _, _ := m.Pool().Counters(); stored != 20 {
+		t.Errorf("stored packets = %d, want 20", stored)
+	}
+
+	rel, err := m.Release(25*time.Millisecond, id)
+	if err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if len(rel) != 20 {
+		t.Fatalf("released %d packets, want 20", len(rel))
+	}
+	// Arrival order must be preserved (Algorithm 2 drains FIFO).
+	for i, r := range rel {
+		want := testData(i, 1000)
+		if !bytes.Equal(r.Data, want) {
+			t.Fatalf("packet %d out of order", i)
+		}
+		if i > 0 && r.BufferedAt < rel[i-1].BufferedAt {
+			t.Fatalf("packet %d released before earlier arrival", i)
+		}
+	}
+	if m.FlowsBuffered() != 0 || m.Pool().Live() != 0 {
+		t.Errorf("state left after release: flows=%d units=%d", m.FlowsBuffered(), m.Pool().Live())
+	}
+}
+
+func TestFlowGranularityDistinctFlowsDistinctIDs(t *testing.T) {
+	m, err := NewFlowGranularity(256, 128, 50*time.Millisecond, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[uint32]packet.FlowKey)
+	for i := 0; i < 50; i++ {
+		key := testKey(i)
+		res := m.HandleMiss(0, 1, testData(i, 100), key)
+		if res.PacketIn == nil {
+			t.Fatalf("flow %d: no packet_in", i)
+		}
+		id := res.PacketIn.BufferID
+		if id == openflow.NoBuffer {
+			t.Fatalf("flow %d: NoBuffer id", i)
+		}
+		if prev, dup := ids[id]; dup {
+			t.Fatalf("flows %v and %v share buffer id %d", prev, key, id)
+		}
+		ids[id] = key
+	}
+}
+
+func TestFlowGranularityBufferIDDeterministic(t *testing.T) {
+	// The id is derived from the 5-tuple: the same flow gets the same id
+	// across independent mechanism instances (absent collisions).
+	mk := func() uint32 {
+		m, err := NewFlowGranularity(256, 128, 50*time.Millisecond, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := m.HandleMiss(0, 1, testData(0, 100), testKey(7))
+		return res.PacketIn.BufferID
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("ids differ across instances: %d vs %d", a, b)
+	}
+}
+
+func TestFlowGranularityRerequestTimeout(t *testing.T) {
+	m, err := NewFlowGranularity(256, 128, 50*time.Millisecond, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.HandleMiss(0, 1, testData(0, 100), testKey(1))
+	next, ok := m.NextDeadline()
+	if !ok || next != 50*time.Millisecond {
+		t.Fatalf("NextDeadline = %v/%v, want 50ms", next, ok)
+	}
+	// Subsequent packets must not push the deadline out.
+	m.HandleMiss(20*time.Millisecond, 1, testData(1, 100), testKey(1))
+	if next, _ := m.NextDeadline(); next != 50*time.Millisecond {
+		t.Errorf("deadline moved to %v after subsequent packet", next)
+	}
+
+	resend := m.Tick(50 * time.Millisecond)
+	if len(resend) != 1 {
+		t.Fatalf("Tick resent %d packet_ins, want 1", len(resend))
+	}
+	if resend[0].BufferID != first.PacketIn.BufferID {
+		t.Error("re-request carries a different buffer id")
+	}
+	st := m.Stats(0)
+	if st.Rerequests != 1 || st.PacketIns != 2 {
+		t.Errorf("rerequests/packetIns = %d/%d, want 1/2", st.Rerequests, st.PacketIns)
+	}
+	// Deadline reset: another timeout re-requests again.
+	if next, _ := m.NextDeadline(); next != 100*time.Millisecond {
+		t.Errorf("deadline after re-request = %v, want 100ms", next)
+	}
+}
+
+func TestFlowGranularityTickBeforeDeadlineDoesNothing(t *testing.T) {
+	m, err := NewFlowGranularity(256, 128, 50*time.Millisecond, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.HandleMiss(0, 1, testData(0, 100), testKey(1))
+	if resend := m.Tick(49 * time.Millisecond); len(resend) != 0 {
+		t.Errorf("premature Tick resent %d packet_ins", len(resend))
+	}
+}
+
+func TestFlowGranularityPoolExhaustionFallback(t *testing.T) {
+	// A 3-unit pool holds at most 3 concurrently buffered flows; the fourth
+	// flow's first packet takes the full-packet path.
+	m, err := NewFlowGranularity(3, 128, 50*time.Millisecond, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if res := m.HandleMiss(0, 1, testData(i, 100), testKey(i)); !res.Buffered {
+			t.Fatalf("flow %d not buffered", i)
+		}
+	}
+	res := m.HandleMiss(0, 1, testData(3, 100), testKey(3))
+	if !res.Fallback || res.PacketIn == nil || res.PacketIn.BufferID != openflow.NoBuffer {
+		t.Fatalf("overflow flow: %+v, want full-packet fallback", res)
+	}
+	// Already-buffered flows keep absorbing packets: units don't grow.
+	if res := m.HandleMiss(0, 1, testData(4, 100), testKey(1)); !res.Buffered || res.PacketIn != nil {
+		t.Fatalf("subsequent packet of buffered flow: %+v", res)
+	}
+	st := m.Stats(0)
+	if st.UnitsInUse != 3 || st.FlowsBuffered != 3 || st.DroppedNoBuffer != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFlowGranularityMaxPerFlowBound(t *testing.T) {
+	m, err := NewFlowGranularity(256, 128, 50*time.Millisecond, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	m.HandleMiss(0, 1, testData(0, 100), key)
+	m.HandleMiss(0, 1, testData(1, 100), key)
+	res := m.HandleMiss(0, 1, testData(2, 100), key)
+	if !res.Fallback {
+		t.Fatalf("third packet: %+v, want per-flow bound fallback", res)
+	}
+	// Other flows are unaffected.
+	res2 := m.HandleMiss(0, 1, testData(0, 100), testKey(2))
+	if !res2.Buffered || res2.PacketIn == nil {
+		t.Errorf("other flow: %+v", res2)
+	}
+}
+
+func TestFlowGranularityDrop(t *testing.T) {
+	m, err := NewFlowGranularity(256, 128, 50*time.Millisecond, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.HandleMiss(0, 1, testData(0, 100), testKey(1))
+	m.HandleMiss(0, 1, testData(1, 100), testKey(1))
+	if err := m.Drop(time.Millisecond, res.PacketIn.BufferID); err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	if m.Pool().Live() != 0 || m.FlowsBuffered() != 0 {
+		t.Error("Drop left state behind")
+	}
+	if err := m.Drop(time.Millisecond, res.PacketIn.BufferID); !errors.Is(err, ErrUnknownBufferID) {
+		t.Errorf("double Drop: %v", err)
+	}
+}
+
+func TestFlowGranularityExpiry(t *testing.T) {
+	m, err := NewFlowGranularity(256, 128, time.Hour, 0, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.HandleMiss(0, 1, testData(0, 100), testKey(1))
+	m.HandleMiss(5*time.Millisecond, 1, testData(1, 100), testKey(1))
+	next, ok := m.NextDeadline()
+	if !ok || next != 20*time.Millisecond {
+		t.Fatalf("NextDeadline = %v, want 20ms (expiry before 1h re-request)", next)
+	}
+	m.Tick(20 * time.Millisecond)
+	if m.FlowsBuffered() != 0 || m.Pool().Live() != 0 {
+		t.Error("expiry did not clear the flow")
+	}
+	if _, err := m.Release(21*time.Millisecond, res.PacketIn.BufferID); !errors.Is(err, ErrUnknownBufferID) {
+		t.Errorf("release after expiry: %v", err)
+	}
+	_, _, expired, _ := m.Pool().Counters()
+	if expired != 2 {
+		t.Errorf("expired = %d, want 2", expired)
+	}
+}
+
+func TestFlowGranularityFlowRestartsAfterRelease(t *testing.T) {
+	m, err := NewFlowGranularity(256, 128, 50*time.Millisecond, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	first := m.HandleMiss(0, 1, testData(0, 100), key)
+	if _, err := m.Release(time.Millisecond, first.PacketIn.BufferID); err != nil {
+		t.Fatal(err)
+	}
+	// If the flow misses again later (rule evicted), it is a fresh cycle:
+	// a new packet_in must go out.
+	again := m.HandleMiss(time.Second, 1, testData(1, 100), key)
+	if again.PacketIn == nil {
+		t.Fatal("restarted flow did not trigger a packet_in")
+	}
+}
+
+func TestFlowGranularityValidation(t *testing.T) {
+	if _, err := NewFlowGranularity(256, 0, time.Millisecond, 0, 0); err == nil {
+		t.Error("accepted zero miss_send_len")
+	}
+	if _, err := NewFlowGranularity(256, 128, 0, 0, 0); err == nil {
+		t.Error("accepted zero re-request timeout")
+	}
+	if _, err := NewFlowGranularity(256, 128, time.Millisecond, -1, 0); err == nil {
+		t.Error("accepted negative max-per-flow")
+	}
+	if _, err := NewFlowGranularity(0, 128, time.Millisecond, 0, 0); err == nil {
+		t.Error("accepted zero capacity")
+	}
+}
+
+func TestNewMechanismFromConfig(t *testing.T) {
+	tests := []struct {
+		g    openflow.BufferGranularity
+		want openflow.BufferGranularity
+	}{
+		{openflow.GranularityNone, openflow.GranularityNone},
+		{openflow.GranularityPacket, openflow.GranularityPacket},
+		{openflow.GranularityFlow, openflow.GranularityFlow},
+	}
+	for _, tt := range tests {
+		m, err := NewMechanism(openflow.FlowBufferConfig{
+			Granularity:        tt.g,
+			RerequestTimeoutMs: 50,
+		}, 16, 128, 0)
+		if err != nil {
+			t.Fatalf("NewMechanism(%v): %v", tt.g, err)
+		}
+		if m.Granularity() != tt.want {
+			t.Errorf("Granularity = %v, want %v", m.Granularity(), tt.want)
+		}
+	}
+	if _, err := NewMechanism(openflow.FlowBufferConfig{}, 16, 128, 0); err == nil {
+		t.Error("NewMechanism accepted invalid granularity")
+	}
+}
+
+// TestPropertyFlowGranularityInvariants drives random miss/release/tick
+// sequences and checks the paper's core invariants: at most one outstanding
+// packet_in per flow cycle (plus re-requests), FIFO release order, no unit
+// leaks, and pool bounds respected.
+func TestPropertyFlowGranularityInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	prop := func() bool {
+		capacity := 4 + r.Intn(32)
+		m, err := NewFlowGranularity(capacity, 128, 10*time.Millisecond, 0, 0)
+		if err != nil {
+			return false
+		}
+		type pending struct {
+			id   uint32
+			sent [][]byte
+		}
+		flows := make(map[int]*pending)
+		now := time.Duration(0)
+		seq := 0
+		for step := 0; step < 300; step++ {
+			now += time.Duration(r.Intn(1000)) * time.Microsecond
+			flowIdx := r.Intn(5)
+			switch r.Intn(3) {
+			case 0: // miss
+				seq++
+				data := testData(seq, 64)
+				res := m.HandleMiss(now, 1, data, testKey(flowIdx))
+				p := flows[flowIdx]
+				if p == nil {
+					// First packet of a cycle must produce a packet_in
+					// unless it fell back.
+					if res.Fallback {
+						continue
+					}
+					if res.PacketIn == nil {
+						return false
+					}
+					flows[flowIdx] = &pending{id: res.PacketIn.BufferID, sent: [][]byte{data}}
+				} else {
+					if res.Fallback {
+						continue
+					}
+					if res.PacketIn != nil {
+						return false // subsequent packet must not request
+					}
+					p.sent = append(p.sent, data)
+				}
+			case 1: // release
+				p := flows[flowIdx]
+				if p == nil {
+					continue
+				}
+				rel, err := m.Release(now, p.id)
+				if err != nil {
+					return false
+				}
+				if len(rel) != len(p.sent) {
+					return false
+				}
+				for i := range rel {
+					if !bytes.Equal(rel[i].Data, p.sent[i]) {
+						return false // FIFO violated
+					}
+				}
+				delete(flows, flowIdx)
+			default: // tick
+				m.Tick(now)
+			}
+			// One live unit per pending flow; packet counts conserved.
+			if m.Pool().Live() != len(flows) {
+				return false // leak or loss
+			}
+			if m.Pool().Live() > capacity {
+				return false
+			}
+			stored, released, expired, _ := m.Pool().Counters()
+			pending := uint64(0)
+			for _, p := range flows {
+				pending += uint64(len(p.sent))
+			}
+			if stored != released+expired+pending {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyPacketGranularityReleaseExactlyOnce checks that every
+// successful HandleMiss yields an id releasable exactly once.
+func TestPropertyPacketGranularityReleaseExactlyOnce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	prop := func() bool {
+		m, err := NewPacketGranularity(8+r.Intn(32), 128, 0)
+		if err != nil {
+			return false
+		}
+		var live []uint32
+		now := time.Duration(0)
+		for i := 0; i < 200; i++ {
+			now += time.Microsecond
+			if r.Intn(2) == 0 {
+				res := m.HandleMiss(now, 1, testData(i, 64), testKey(i))
+				if res.Buffered {
+					live = append(live, res.PacketIn.BufferID)
+				}
+			} else if len(live) > 0 {
+				idx := r.Intn(len(live))
+				id := live[idx]
+				rel, err := m.Release(now, id)
+				if err != nil || len(rel) != 1 {
+					return false
+				}
+				if _, err := m.Release(now, id); !errors.Is(err, ErrUnknownBufferID) {
+					return false
+				}
+				live = append(live[:idx], live[idx+1:]...)
+			}
+		}
+		return m.Pool().Live() == len(live)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,293 @@
+// Package experiments defines one reproducible experiment per table and
+// figure of the paper's evaluation, and the sweep runner that regenerates
+// them: for each sending rate and each series (buffer configuration), it
+// assembles a fresh testbed, replays the workload with several seeds, and
+// aggregates the figure's metric.
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+
+	"sdnbuffer/internal/metrics"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/testbed"
+)
+
+// Workload selects the paper's two workload shapes.
+type Workload uint8
+
+// Workload kinds.
+const (
+	// WorkloadSinglePacketFlows is §IV: n single-packet flows with forged
+	// sources (paper: 1000 flows).
+	WorkloadSinglePacketFlows Workload = 1
+	// WorkloadInterleavedBursts is §V: multi-packet flows released in
+	// interleaved groups (paper: 50 flows × 20 packets, groups of 5).
+	WorkloadInterleavedBursts Workload = 2
+)
+
+// Series is one curve of a figure: a named buffer configuration.
+type Series struct {
+	Name           string
+	Buffer         openflow.FlowBufferConfig
+	BufferCapacity int
+}
+
+// Paper series definitions.
+var (
+	// SeriesNoBuffer is the baseline: full packets in packet_in.
+	SeriesNoBuffer = Series{
+		Name:           "no-buffer",
+		Buffer:         openflow.FlowBufferConfig{Granularity: openflow.GranularityNone},
+		BufferCapacity: 256,
+	}
+	// SeriesBuffer16 is the 16-unit packet-granularity buffer.
+	SeriesBuffer16 = Series{
+		Name:           "buffer-16",
+		Buffer:         openflow.FlowBufferConfig{Granularity: openflow.GranularityPacket},
+		BufferCapacity: 16,
+	}
+	// SeriesBuffer256 is the 256-unit packet-granularity buffer.
+	SeriesBuffer256 = Series{
+		Name:           "buffer-256",
+		Buffer:         openflow.FlowBufferConfig{Granularity: openflow.GranularityPacket},
+		BufferCapacity: 256,
+	}
+	// SeriesPacketGranularity is §V's default mechanism (256 units).
+	SeriesPacketGranularity = Series{
+		Name:           "packet-granularity",
+		Buffer:         openflow.FlowBufferConfig{Granularity: openflow.GranularityPacket},
+		BufferCapacity: 256,
+	}
+	// SeriesFlowGranularity is the paper's proposed mechanism (256 units,
+	// 50 ms re-request timer).
+	SeriesFlowGranularity = Series{
+		Name: "flow-granularity",
+		Buffer: openflow.FlowBufferConfig{
+			Granularity:        openflow.GranularityFlow,
+			RerequestTimeoutMs: 50,
+		},
+		BufferCapacity: 256,
+	}
+)
+
+// Experiment regenerates one figure.
+type Experiment struct {
+	// ID is the figure identifier, e.g. "fig2a".
+	ID string
+	// Title is the paper's caption.
+	Title string
+	// Metric is the y-axis label.
+	Metric string
+	// Workload selects the traffic shape.
+	Workload Workload
+	// Series are the figure's curves.
+	Series []Series
+	// Extract pulls the figure's metric out of one run's results.
+	Extract func(*testbed.Result) float64
+	// PaperClaim is the quantitative statement the paper attaches to this
+	// figure, used in EXPERIMENTS.md.
+	PaperClaim string
+}
+
+// Options scale an experiment run. The zero value is filled with the
+// paper's parameters (which take a few seconds per experiment); benchmarks
+// pass reduced values.
+type Options struct {
+	// Rates are the sending-rate sweep points in Mbps (default 5..100
+	// step 5, the paper's x-axis).
+	Rates []float64
+	// Repeats is the number of seeds per point (paper: 20; default 5).
+	Repeats int
+	// FlowsA is the §IV flow count (default 1000).
+	FlowsA int
+	// FlowsB, PktsPerFlowB, GroupB are the §V workload shape (default
+	// 50/20/5).
+	FlowsB, PktsPerFlowB, GroupB int
+	// FrameSize is the Ethernet frame size (default 1000).
+	FrameSize int
+	// Jitter is the pktgen pacing jitter (default 0.5).
+	Jitter float64
+	// Testbed overrides the platform configuration builder; nil uses
+	// testbed.DefaultConfig.
+	Testbed func(s Series) testbed.Config
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Rates) == 0 {
+		for r := 5.0; r <= 100; r += 5 {
+			o.Rates = append(o.Rates, r)
+		}
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 5
+	}
+	if o.FlowsA == 0 {
+		o.FlowsA = 1000
+	}
+	if o.FlowsB == 0 {
+		o.FlowsB = 50
+	}
+	if o.PktsPerFlowB == 0 {
+		o.PktsPerFlowB = 20
+	}
+	if o.GroupB == 0 {
+		o.GroupB = 5
+	}
+	if o.FrameSize == 0 {
+		o.FrameSize = 1000
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.5
+	}
+	if o.Testbed == nil {
+		o.Testbed = func(s Series) testbed.Config {
+			return testbed.DefaultConfig(s.Buffer, s.BufferCapacity)
+		}
+	}
+	return o
+}
+
+// Point is one aggregated sweep point of one series.
+type Point struct {
+	RateMbps float64
+	// Mean and StdDev aggregate the metric across repeats.
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// SeriesResult is one curve of a completed experiment.
+type SeriesResult struct {
+	Series Series
+	Points []Point
+	// Overall aggregates the metric across every rate and repeat, the way
+	// the paper reports per-figure means.
+	Overall metrics.Summary
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Experiment Experiment
+	Options    Options
+	Series     []SeriesResult
+}
+
+// Run executes the experiment's full sweep.
+func Run(exp Experiment, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if exp.Extract == nil {
+		return nil, fmt.Errorf("experiments: %s has no metric extractor", exp.ID)
+	}
+	out := &Result{Experiment: exp, Options: opts}
+	for _, s := range exp.Series {
+		sr := SeriesResult{Series: s}
+		for _, rate := range opts.Rates {
+			var agg metrics.Summary
+			for rep := 0; rep < opts.Repeats; rep++ {
+				v, err := runOne(exp, s, opts, rate, int64(rep)+1)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s %s at %g Mbps rep %d: %w",
+						exp.ID, s.Name, rate, rep, err)
+				}
+				agg.Observe(v)
+				sr.Overall.Observe(v)
+			}
+			sr.Points = append(sr.Points, Point{
+				RateMbps: rate,
+				Mean:     agg.Mean(),
+				StdDev:   agg.StdDev(),
+				Min:      agg.Min(),
+				Max:      agg.Max(),
+			})
+		}
+		out.Series = append(out.Series, sr)
+	}
+	return out, nil
+}
+
+// runOne executes a single (series, rate, seed) cell and extracts the
+// metric.
+func runOne(exp Experiment, s Series, opts Options, rate float64, seed int64) (float64, error) {
+	cfg := opts.Testbed(s)
+	cfg.Seed = seed
+	tb, err := testbed.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	pcfg := pktgen.Config{
+		FrameSize: opts.FrameSize,
+		RateMbps:  rate,
+		Jitter:    opts.Jitter,
+		Seed:      seed,
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+	}
+	var sched pktgen.Schedule
+	switch exp.Workload {
+	case WorkloadSinglePacketFlows:
+		sched, err = pktgen.SinglePacketFlows(pcfg, opts.FlowsA)
+	case WorkloadInterleavedBursts:
+		sched, err = pktgen.InterleavedBursts(pcfg, opts.FlowsB, opts.PktsPerFlowB, opts.GroupB)
+	default:
+		return 0, fmt.Errorf("unknown workload %d", exp.Workload)
+	}
+	if err != nil {
+		return 0, err
+	}
+	res, err := tb.Run(sched)
+	if err != nil {
+		return 0, err
+	}
+	if res.FramesDelivered != int64(res.FramesSent) {
+		return 0, fmt.Errorf("lost frames: delivered %d of %d", res.FramesDelivered, res.FramesSent)
+	}
+	return exp.Extract(res), nil
+}
+
+// FindSeries returns the named curve of a result.
+func (r *Result) FindSeries(name string) (*SeriesResult, error) {
+	for i := range r.Series {
+		if r.Series[i].Series.Name == name {
+			return &r.Series[i], nil
+		}
+	}
+	return nil, fmt.Errorf("experiments: no series %q in %s", name, r.Experiment.ID)
+}
+
+// MeanReduction reports how much the target series improves on the baseline
+// series, averaged across sweep points: mean over rates of
+// (baseline - target) / baseline, in percent. This is the aggregate the
+// paper quotes ("reduces X by N% on average").
+func (r *Result) MeanReduction(baseline, target string) (float64, error) {
+	b, err := r.FindSeries(baseline)
+	if err != nil {
+		return 0, err
+	}
+	t, err := r.FindSeries(target)
+	if err != nil {
+		return 0, err
+	}
+	if len(b.Points) != len(t.Points) {
+		return 0, fmt.Errorf("experiments: point count mismatch %d vs %d", len(b.Points), len(t.Points))
+	}
+	var agg metrics.Summary
+	for i := range b.Points {
+		if b.Points[i].Mean == 0 {
+			continue
+		}
+		agg.Observe((b.Points[i].Mean - t.Points[i].Mean) / b.Points[i].Mean * 100)
+	}
+	if agg.Count() == 0 {
+		return 0, fmt.Errorf("experiments: no comparable points")
+	}
+	return agg.Mean(), nil
+}
+
+// durationMs converts a seconds-valued summary mean to milliseconds.
+func durationMs(s metrics.Summary) float64 { return s.Mean() * 1000 }

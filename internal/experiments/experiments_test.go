@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts keeps experiment tests fast: three rates, one seed, small
+// workloads.
+func quickOpts() Options {
+	return Options{
+		Rates:   []float64{20, 50, 80},
+		Repeats: 1,
+		FlowsA:  200,
+		FlowsB:  20, PktsPerFlowB: 10, GroupB: 5,
+	}
+}
+
+func TestAllDefinitionsComplete(t *testing.T) {
+	all := All()
+	if len(all) != 16 {
+		t.Fatalf("experiments = %d, want 16 (every figure of the paper)", len(all))
+	}
+	seen := make(map[string]bool)
+	for _, e := range all {
+		if e.ID == "" || e.Title == "" || e.Metric == "" || e.PaperClaim == "" {
+			t.Errorf("%q: incomplete definition", e.ID)
+		}
+		if e.Extract == nil {
+			t.Errorf("%q: nil extractor", e.ID)
+		}
+		if len(e.Series) < 2 {
+			t.Errorf("%q: %d series", e.ID, len(e.Series))
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig9a")
+	if err != nil || e.ID != "fig9a" {
+		t.Errorf("ByID(fig9a) = %v, %v", e.ID, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("ByID accepted unknown id")
+	}
+}
+
+func TestRunFig2aShape(t *testing.T) {
+	exp, err := ByID("fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(exp, quickOpts())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	noBuf, err := res.FindSeries("no-buffer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf256, err := res.FindSeries("buffer-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No-buffer load grows with rate; buffered load is far below it.
+	for i := 1; i < len(noBuf.Points); i++ {
+		if noBuf.Points[i].Mean <= noBuf.Points[i-1].Mean {
+			t.Errorf("no-buffer load not increasing: %+v", noBuf.Points)
+		}
+	}
+	for i := range buf256.Points {
+		if buf256.Points[i].Mean > 0.3*noBuf.Points[i].Mean {
+			t.Errorf("rate %g: buffered load %g not well below no-buffer %g",
+				buf256.Points[i].RateMbps, buf256.Points[i].Mean, noBuf.Points[i].Mean)
+		}
+	}
+	red, err := res.MeanReduction("no-buffer", "buffer-256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red < 70 {
+		t.Errorf("mean load reduction = %.1f%%, want >= 70%% (paper: 78.7%%)", red)
+	}
+}
+
+func TestRunFig13Shape(t *testing.T) {
+	exp, err := ByID("fig13a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(exp, quickOpts())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	red, err := res.MeanReduction("packet-granularity", "flow-granularity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red < 30 {
+		t.Errorf("buffer utilization improvement = %.1f%%, want >= 30%% (paper: 71.6%%)", red)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	exp, err := ByID("fig8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Rates: []float64{40}, Repeats: 2, FlowsA: 150}
+	a, err := Run(exp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(exp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Series {
+		if a.Series[i].Points[0].Mean != b.Series[i].Points[0].Mean {
+			t.Errorf("series %s differs across identical runs", a.Series[i].Series.Name)
+		}
+	}
+}
+
+func TestWriteTableAndCSV(t *testing.T) {
+	exp, err := ByID("fig11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(exp, Options{Rates: []float64{30}, Repeats: 1, FlowsB: 10, PktsPerFlowB: 5, GroupB: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tbl strings.Builder
+	if err := res.WriteTable(&tbl); err != nil {
+		t.Fatalf("WriteTable: %v", err)
+	}
+	for _, want := range []string{"fig11", "packet-granularity", "flow-granularity", "30", "overall"} {
+		if !strings.Contains(tbl.String(), want) {
+			t.Errorf("table missing %q:\n%s", want, tbl.String())
+		}
+	}
+	var csv strings.Builder
+	if err := res.WriteCSV(&csv, true); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 { // header + 2 series × 1 rate
+		t.Errorf("csv lines = %d, want 3:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "experiment,series,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestClaims(t *testing.T) {
+	exp, err := ByID("fig9a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(exp, Options{Rates: []float64{50}, Repeats: 1, FlowsB: 20, PktsPerFlowB: 10, GroupB: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	claims := res.Claims()
+	if len(claims) == 0 {
+		t.Fatal("no claims derived")
+	}
+	if !strings.Contains(claims[0], "fig9a") {
+		t.Errorf("claim = %q", claims[0])
+	}
+}
+
+func TestMeanReductionErrors(t *testing.T) {
+	exp, err := ByID("fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{Experiment: exp}
+	if _, err := res.MeanReduction("no-buffer", "buffer-256"); err == nil {
+		t.Error("MeanReduction on empty result succeeded")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Experiment{ID: "x"}, Options{}); err == nil {
+		t.Error("Run accepted experiment without extractor")
+	}
+}
+
+func TestWritePlot(t *testing.T) {
+	exp, err := ByID("fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(exp, Options{Rates: []float64{20, 50, 80}, Repeats: 1, FlowsA: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WritePlot(&sb); err != nil {
+		t.Fatalf("WritePlot: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"fig2a", "o=no-buffer", "+=buffer-256", "Mbps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// The plot must contain at least one glyph per series.
+	for _, g := range []string{"o", "*", "+"} {
+		if !strings.Contains(out, g) {
+			t.Errorf("plot missing glyph %q", g)
+		}
+	}
+}
+
+func TestWritePlotEmpty(t *testing.T) {
+	exp, err := ByID("fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Result{Experiment: exp}
+	var sb strings.Builder
+	if err := res.WritePlot(&sb); err != nil {
+		t.Fatalf("WritePlot: %v", err)
+	}
+	if !strings.Contains(sb.String(), "no data") {
+		t.Errorf("empty plot output: %q", sb.String())
+	}
+}
+
+func TestAllExperimentsRunOnTinySweep(t *testing.T) {
+	// Every figure's extractor, table writer and claim derivation must work
+	// end to end, even on a tiny sweep.
+	opts := Options{
+		Rates:   []float64{40, 80},
+		Repeats: 1,
+		FlowsA:  80,
+		FlowsB:  10, PktsPerFlowB: 5, GroupB: 5,
+	}
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			res, err := Run(exp, opts)
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if len(res.Series) != len(exp.Series) {
+				t.Fatalf("series = %d, want %d", len(res.Series), len(exp.Series))
+			}
+			for _, s := range res.Series {
+				if len(s.Points) != 2 {
+					t.Errorf("%s: points = %d, want 2", s.Series.Name, len(s.Points))
+				}
+				if s.Overall.Count() != 2 {
+					t.Errorf("%s: overall count = %d", s.Series.Name, s.Overall.Count())
+				}
+				for _, p := range s.Points {
+					if p.Mean < 0 {
+						t.Errorf("%s: negative metric %g at %g Mbps", s.Series.Name, p.Mean, p.RateMbps)
+					}
+				}
+			}
+			var sb strings.Builder
+			if err := res.WriteTable(&sb); err != nil {
+				t.Fatalf("WriteTable: %v", err)
+			}
+			if err := res.WritePlot(&sb); err != nil {
+				t.Fatalf("WritePlot: %v", err)
+			}
+			if err := res.WriteCSV(&sb, true); err != nil {
+				t.Fatalf("WriteCSV: %v", err)
+			}
+			if claims := res.Claims(); len(claims) == 0 {
+				t.Errorf("no claims derived for %s", exp.ID)
+			}
+		})
+	}
+}

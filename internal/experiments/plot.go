@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// plotHeight is the number of character rows in an ASCII plot.
+const plotHeight = 16
+
+// seriesGlyphs mark the curves, in series order.
+var seriesGlyphs = []byte{'o', '*', '+', 'x', '#'}
+
+// WritePlot renders the result as an ASCII chart — one glyph per series —
+// so a terminal run of benchrunner visually mirrors the paper's figures.
+func (r *Result) WritePlot(w io.Writer) error {
+	if len(r.Series) == 0 || len(r.Series[0].Points) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no data\n", r.Experiment.ID)
+		return err
+	}
+	cols := len(r.Series[0].Points)
+
+	// Y range across all series.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			lo = math.Min(lo, p.Mean)
+			hi = math.Max(hi, p.Mean)
+		}
+	}
+	if lo > 0 && lo < hi/10 {
+		lo = 0 // anchor at zero unless the whole range is far from it
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	// Cells: 3 columns per sweep point keeps curves readable.
+	const colWidth = 3
+	grid := make([][]byte, plotHeight)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols*colWidth))
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		rw := int(math.Round(frac * float64(plotHeight-1)))
+		if rw < 0 {
+			rw = 0
+		}
+		if rw > plotHeight-1 {
+			rw = plotHeight - 1
+		}
+		return plotHeight - 1 - rw // row 0 is the top
+	}
+	for si, s := range r.Series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for pi, p := range s.Points {
+			x := pi*colWidth + 1
+			y := row(p.Mean)
+			if grid[y][x] == ' ' {
+				grid[y][x] = glyph
+			} else if grid[y][x] != glyph {
+				grid[y][x] = '@' // overlapping series
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", r.Experiment.ID, r.Experiment.Title); err != nil {
+		return err
+	}
+	for i, line := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%10.3g", hi)
+		case plotHeight - 1:
+			label = fmt.Sprintf("%10.3g", lo)
+		case plotHeight / 2:
+			label = fmt.Sprintf("%10.3g", (hi+lo)/2)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%10s +%s\n", "", strings.Repeat("-", cols*colWidth)); err != nil {
+		return err
+	}
+	// X labels: first, middle, last rate.
+	xl := make([]byte, cols*colWidth)
+	for i := range xl {
+		xl[i] = ' '
+	}
+	place := func(pi int) {
+		s := fmt.Sprintf("%g", r.Series[0].Points[pi].RateMbps)
+		at := pi * colWidth
+		if at+len(s) > len(xl) {
+			at = len(xl) - len(s)
+		}
+		copy(xl[at:], s)
+	}
+	place(0)
+	place(cols / 2)
+	place(cols - 1)
+	if _, err := fmt.Fprintf(w, "%10s  %s Mbps\n", "", string(xl)); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(r.Series))
+	for si, s := range r.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.Series.Name))
+	}
+	_, err := fmt.Fprintf(w, "%10s  %s  (@=overlap)\n", "", strings.Join(legend, "  "))
+	return err
+}

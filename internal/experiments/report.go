@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteTable renders the result as a fixed-width text table: one row per
+// sending rate, one column per series (mean ± std across repeats), matching
+// how the paper's figures read.
+func (r *Result) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n%s\n", r.Experiment.ID, r.Experiment.Title, r.Experiment.Metric); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%10s", "rate(Mbps)")
+	for _, s := range r.Series {
+		header += fmt.Sprintf("  %22s", s.Series.Name)
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	if len(r.Series) == 0 {
+		return nil
+	}
+	for i, p := range r.Series[0].Points {
+		row := fmt.Sprintf("%10.0f", p.RateMbps)
+		for _, s := range r.Series {
+			if i >= len(s.Points) {
+				row += fmt.Sprintf("  %22s", "-")
+				continue
+			}
+			row += fmt.Sprintf("  %14.4g ±%6.2g", s.Points[i].Mean, s.Points[i].StdDev)
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		if _, err := fmt.Fprintf(w, "overall %-20s mean=%.4g sd=%.4g min=%.4g max=%.4g\n",
+			s.Series.Name, s.Overall.Mean(), s.Overall.StdDev(), s.Overall.Min(), s.Overall.Max()); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the result as CSV rows:
+// experiment,series,rate_mbps,mean,stddev,min,max.
+func (r *Result) WriteCSV(w io.Writer, includeHeader bool) error {
+	if includeHeader {
+		if _, err := fmt.Fprintln(w, "experiment,series,rate_mbps,mean,stddev,min,max"); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%s,%g,%g,%g,%g,%g\n",
+				r.Experiment.ID, s.Series.Name, p.RateMbps, p.Mean, p.StdDev, p.Min, p.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Claims summarizes the paper's quantitative statements against the
+// measured aggregates for the figures with a clear baseline/target pair.
+// It returns one line per derivable claim.
+func (r *Result) Claims() []string {
+	var out []string
+	add := func(baseline, target, what string) {
+		red, err := r.MeanReduction(baseline, target)
+		if err != nil {
+			return
+		}
+		out = append(out, fmt.Sprintf("%s: %s vs %s — measured mean reduction of %s: %.1f%%",
+			r.Experiment.ID, target, baseline, what, red))
+	}
+	switch r.Experiment.ID {
+	case "fig2a", "fig2b", "fig3", "fig5", "fig6", "fig7":
+		add(SeriesNoBuffer.Name, SeriesBuffer256.Name, r.Experiment.Metric)
+	case "fig8":
+		b16, err16 := r.FindSeries(SeriesBuffer16.Name)
+		b256, err256 := r.FindSeries(SeriesBuffer256.Name)
+		if err16 == nil && err256 == nil {
+			out = append(out, fmt.Sprintf(
+				"fig8: peak buffer occupancy — buffer-16 %.0f units (capacity 16), buffer-256 %.0f units (capacity 256)",
+				b16.Overall.Max(), b256.Overall.Max()))
+		}
+	case "fig4":
+		red, err := r.MeanReduction(SeriesNoBuffer.Name, SeriesBuffer256.Name)
+		if err == nil {
+			out = append(out, fmt.Sprintf("fig4: buffer-256 switch overhead vs no-buffer: %+.1f%%", -red))
+		}
+	case "fig9a", "fig9b", "fig10", "fig11", "fig13a", "fig13b", "fig12a", "fig12b":
+		add(SeriesPacketGranularity.Name, SeriesFlowGranularity.Name, r.Experiment.Metric)
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+// Package flowtable implements the OpenFlow flow table the switch datapath
+// matches packets against: priority-ordered rules with idle and hard
+// timeouts, per-rule traffic counters, and a configurable capacity bound
+// with LRU eviction.
+//
+// The capacity bound exists because the paper's root-cause analysis (§II and
+// §VI.B) hinges on it: rules for inactive flows get kicked out of the
+// size-limited table, so packets of long-lived but bursty TCP connections
+// can miss again mid-connection — exactly the scenario the switch buffer
+// helps with.
+//
+// All methods take the current time explicitly (a time.Duration since the
+// start of the run) so the same code serves the virtual-time simulator and
+// the live switch.
+package flowtable
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// Unlimited disables the capacity bound.
+const Unlimited = 0
+
+// Entry is one installed flow rule.
+type Entry struct {
+	Match       openflow.Match
+	Priority    uint16
+	Actions     []openflow.Action
+	Cookie      uint64
+	IdleTimeout time.Duration // 0 = never idles out
+	HardTimeout time.Duration // 0 = never hard-expires
+	Flags       uint16
+
+	installedAt time.Duration
+	lastUsed    time.Duration
+	packets     uint64
+	bytes       uint64
+}
+
+// Stats reports the rule's traffic counters and age.
+func (e *Entry) Stats(now time.Duration) (packets, bytes uint64, age time.Duration) {
+	return e.packets, e.bytes, now - e.installedAt
+}
+
+// LastUsed reports when the rule last matched a packet (or was installed).
+func (e *Entry) LastUsed() time.Duration { return e.lastUsed }
+
+// Removed describes a rule that left the table and why; the switch turns
+// these into flow_removed messages when the rule asked for them.
+type Removed struct {
+	Entry  *Entry
+	Reason uint8 // openflow.Removed* code
+	At     time.Duration
+}
+
+// EvictionPolicy selects the victim when the table is full.
+type EvictionPolicy uint8
+
+// Eviction policies.
+const (
+	// EvictNone rejects inserts into a full table with ErrTableFull.
+	EvictNone EvictionPolicy = 1
+	// EvictLRU removes the least recently used rule to make room. This is
+	// the behaviour the paper's §VI.B discussion assumes ("rules for
+	// inactive flows will be kicked out and replaced by rules for active
+	// flows").
+	EvictLRU EvictionPolicy = 2
+)
+
+// ErrTableFull reports an insert into a full table under EvictNone.
+var ErrTableFull = errors.New("flowtable: table full")
+
+// Table is a single OpenFlow flow table.
+type Table struct {
+	capacity int
+	policy   EvictionPolicy
+	entries  []*Entry
+
+	lookups   uint64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// New creates a table. capacity Unlimited (0) means unbounded; policy
+// selects full-table behaviour and must be valid when capacity is bounded.
+func New(capacity int, policy EvictionPolicy) (*Table, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("flowtable: negative capacity %d", capacity)
+	}
+	if policy != EvictNone && policy != EvictLRU {
+		return nil, fmt.Errorf("flowtable: unknown eviction policy %d", policy)
+	}
+	return &Table{capacity: capacity, policy: policy}, nil
+}
+
+// Len reports the number of installed rules.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Capacity reports the configured bound (Unlimited if none).
+func (t *Table) Capacity() int { return t.capacity }
+
+// LookupStats reports lookup/hit/miss/eviction counters.
+func (t *Table) LookupStats() (lookups, hits, misses, evictions uint64) {
+	return t.lookups, t.hits, t.misses, t.evictions
+}
+
+// Lookup finds the highest-priority rule matching a frame on inPort,
+// updating its counters and recency. It returns nil on a table miss — the
+// event that triggers the whole packet_in machinery.
+func (t *Table) Lookup(now time.Duration, inPort uint16, f *packet.Frame, wireLen int) *Entry {
+	t.lookups++
+	var best *Entry
+	for _, e := range t.entries {
+		if best != nil && e.Priority <= best.Priority {
+			continue
+		}
+		if e.Match.Matches(inPort, f) {
+			best = e
+		}
+	}
+	if best == nil {
+		t.misses++
+		return nil
+	}
+	t.hits++
+	best.lastUsed = now
+	best.packets++
+	best.bytes += uint64(wireLen)
+	return best
+}
+
+// Insert installs a rule. A rule with an identical match and priority
+// replaces the old one (preserving nothing — spec flow_mod ADD semantics).
+// When the table is full the policy decides: ErrTableFull, or LRU eviction
+// with the victim returned so the caller can emit flow_removed.
+func (t *Table) Insert(now time.Duration, e *Entry) (*Removed, error) {
+	if e == nil {
+		return nil, fmt.Errorf("flowtable: nil entry")
+	}
+	e.installedAt = now
+	e.lastUsed = now
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
+			t.entries[i] = e
+			return nil, nil
+		}
+	}
+	var victim *Removed
+	if t.capacity != Unlimited && len(t.entries) >= t.capacity {
+		switch t.policy {
+		case EvictNone:
+			return nil, fmt.Errorf("%w: %d rules", ErrTableFull, len(t.entries))
+		case EvictLRU:
+			idx := 0
+			for i, old := range t.entries {
+				if old.lastUsed < t.entries[idx].lastUsed {
+					idx = i
+				}
+			}
+			victim = &Removed{Entry: t.entries[idx], Reason: openflow.RemovedEviction, At: now}
+			copy(t.entries[idx:], t.entries[idx+1:])
+			t.entries[len(t.entries)-1] = nil
+			t.entries = t.entries[:len(t.entries)-1]
+			t.evictions++
+		}
+	}
+	t.entries = append(t.entries, e)
+	return victim, nil
+}
+
+// Delete removes every rule whose match equals m (strict) or is matched by
+// the wildcarded deletion pattern (non-strict behaves like strict here for
+// simplicity of the subset). It returns the removed rules.
+func (t *Table) Delete(now time.Duration, m *openflow.Match, priority uint16, strict bool) []Removed {
+	var removed []Removed
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		match := e.Match.Equal(m)
+		if strict {
+			match = match && e.Priority == priority
+		}
+		if match {
+			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedDelete, At: now})
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	clearTail(t.entries, len(kept))
+	t.entries = kept
+	return removed
+}
+
+// Expire removes rules whose idle or hard timeout has passed, returning them
+// with the matching reason codes.
+func (t *Table) Expire(now time.Duration) []Removed {
+	var removed []Removed
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		switch {
+		case e.HardTimeout > 0 && now-e.installedAt >= e.HardTimeout:
+			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedHardTimeout, At: now})
+		case e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout:
+			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedIdleTimeout, At: now})
+		default:
+			kept = append(kept, e)
+		}
+	}
+	clearTail(t.entries, len(kept))
+	t.entries = kept
+	return removed
+}
+
+// NextExpiry reports the earliest future instant at which some rule could
+// expire, and false if no rule carries a timeout. The simulator uses it to
+// schedule expiry sweeps without polling.
+func (t *Table) NextExpiry() (time.Duration, bool) {
+	var next time.Duration
+	found := false
+	consider := func(d time.Duration) {
+		if !found || d < next {
+			next, found = d, true
+		}
+	}
+	for _, e := range t.entries {
+		if e.HardTimeout > 0 {
+			consider(e.installedAt + e.HardTimeout)
+		}
+		if e.IdleTimeout > 0 {
+			consider(e.lastUsed + e.IdleTimeout)
+		}
+	}
+	return next, found
+}
+
+// Entries returns a snapshot copy of the rule list (for stats and tests).
+func (t *Table) Entries() []*Entry {
+	out := make([]*Entry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}
+
+func clearTail(s []*Entry, from int) {
+	for i := from; i < len(s); i++ {
+		s[i] = nil
+	}
+}

@@ -1,0 +1,360 @@
+package flowtable
+
+import (
+	"errors"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+func frameFor(srcIP string, srcPort uint16) *packet.Frame {
+	return &packet.Frame{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		EtherType: packet.EtherTypeIPv4,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     netip.MustParseAddr(srcIP),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		SrcPort:   srcPort,
+		DstPort:   9,
+	}
+}
+
+func entryFor(f *packet.Frame, priority uint16) *Entry {
+	return &Entry{
+		Match:    openflow.ExactMatch(1, f),
+		Priority: priority,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	}
+}
+
+func mustNew(t *testing.T, capacity int, policy EvictionPolicy) *Table {
+	t.Helper()
+	tbl, err := New(capacity, policy)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tbl
+}
+
+func TestLookupMissThenHit(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	f := frameFor("10.0.0.1", 100)
+	if got := tbl.Lookup(0, 1, f, 1000); got != nil {
+		t.Fatalf("Lookup on empty table = %v, want nil", got)
+	}
+	if _, err := tbl.Insert(time.Millisecond, entryFor(f, 10)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	e := tbl.Lookup(2*time.Millisecond, 1, f, 1000)
+	if e == nil {
+		t.Fatal("Lookup after insert = nil")
+	}
+	pkts, bytes, _ := e.Stats(2 * time.Millisecond)
+	if pkts != 1 || bytes != 1000 {
+		t.Errorf("stats = %d pkts %d bytes, want 1/1000", pkts, bytes)
+	}
+	lookups, hits, misses, _ := tbl.LookupStats()
+	if lookups != 2 || hits != 1 || misses != 1 {
+		t.Errorf("counters = %d/%d/%d, want 2/1/1", lookups, hits, misses)
+	}
+}
+
+func TestLookupRespectsInPort(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	f := frameFor("10.0.0.1", 100)
+	if _, err := tbl.Insert(0, entryFor(f, 10)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if got := tbl.Lookup(0, 3, f, 100); got != nil {
+		t.Error("rule for in_port 1 matched on in_port 3")
+	}
+}
+
+func TestLookupPicksHighestPriority(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	f := frameFor("10.0.0.1", 100)
+	lo := &Entry{Match: openflow.MatchAll(), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 3}}}
+	hi := entryFor(f, 100)
+	if _, err := tbl.Insert(0, lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(0, hi); err != nil {
+		t.Fatal(err)
+	}
+	got := tbl.Lookup(0, 1, f, 100)
+	if got != hi {
+		t.Errorf("Lookup picked priority %d, want %d", got.Priority, hi.Priority)
+	}
+	// A frame only the wildcard rule matches falls through to it.
+	other := frameFor("99.0.0.1", 1)
+	if got := tbl.Lookup(0, 1, other, 100); got != lo {
+		t.Errorf("fallback rule not used")
+	}
+}
+
+func TestInsertReplacesSameMatchAndPriority(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	f := frameFor("10.0.0.1", 100)
+	a := entryFor(f, 10)
+	b := entryFor(f, 10)
+	b.Actions = []openflow.Action{&openflow.ActionOutput{Port: 7}}
+	if _, err := tbl.Insert(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after replace", tbl.Len())
+	}
+	got := tbl.Lookup(0, 1, f, 100)
+	if out := got.Actions[0].(*openflow.ActionOutput); out.Port != 7 {
+		t.Errorf("actions not replaced: port %d", out.Port)
+	}
+	// Different priority inserts separately.
+	c := entryFor(f, 20)
+	if _, err := tbl.Insert(0, c); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tbl.Len())
+	}
+}
+
+func TestCapacityEvictNone(t *testing.T) {
+	tbl := mustNew(t, 2, EvictNone)
+	for i := 0; i < 2; i++ {
+		f := frameFor("10.0.0.1", uint16(i+1))
+		if _, err := tbl.Insert(0, entryFor(f, 10)); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	f := frameFor("10.0.0.1", 99)
+	if _, err := tbl.Insert(0, entryFor(f, 10)); !errors.Is(err, ErrTableFull) {
+		t.Errorf("Insert into full table: %v, want ErrTableFull", err)
+	}
+}
+
+func TestCapacityEvictLRU(t *testing.T) {
+	tbl := mustNew(t, 2, EvictLRU)
+	f1 := frameFor("10.0.0.1", 1)
+	f2 := frameFor("10.0.0.1", 2)
+	f3 := frameFor("10.0.0.1", 3)
+	e1, e2 := entryFor(f1, 10), entryFor(f2, 10)
+	if _, err := tbl.Insert(0, e1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Insert(time.Millisecond, e2); err != nil {
+		t.Fatal(err)
+	}
+	// Touch e1 so e2 becomes LRU.
+	tbl.Lookup(2*time.Millisecond, 1, f1, 100)
+	victim, err := tbl.Insert(3*time.Millisecond, entryFor(f3, 10))
+	if err != nil {
+		t.Fatalf("Insert with eviction: %v", err)
+	}
+	if victim == nil || victim.Entry != e2 {
+		t.Fatalf("victim = %+v, want e2", victim)
+	}
+	if victim.Reason != openflow.RemovedEviction {
+		t.Errorf("victim reason = %d, want eviction", victim.Reason)
+	}
+	if tbl.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tbl.Len())
+	}
+	if tbl.Lookup(4*time.Millisecond, 1, f1, 100) == nil {
+		t.Error("recently used rule was evicted")
+	}
+	_, _, _, evictions := tbl.LookupStats()
+	if evictions != 1 {
+		t.Errorf("evictions = %d, want 1", evictions)
+	}
+}
+
+func TestDeleteStrict(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	f := frameFor("10.0.0.1", 1)
+	e := entryFor(f, 10)
+	if _, err := tbl.Insert(0, e); err != nil {
+		t.Fatal(err)
+	}
+	m := openflow.ExactMatch(1, f)
+	removed := tbl.Delete(time.Millisecond, &m, 11, true)
+	if len(removed) != 0 {
+		t.Errorf("strict delete with wrong priority removed %d rules", len(removed))
+	}
+	removed = tbl.Delete(time.Millisecond, &m, 10, true)
+	if len(removed) != 1 || removed[0].Entry != e {
+		t.Fatalf("strict delete removed %d rules", len(removed))
+	}
+	if removed[0].Reason != openflow.RemovedDelete {
+		t.Errorf("reason = %d, want delete", removed[0].Reason)
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("Len = %d, want 0", tbl.Len())
+	}
+}
+
+func TestExpireIdleAndHard(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	f1 := frameFor("10.0.0.1", 1)
+	f2 := frameFor("10.0.0.1", 2)
+	f3 := frameFor("10.0.0.1", 3)
+	idle := entryFor(f1, 10)
+	idle.IdleTimeout = 5 * time.Second
+	hard := entryFor(f2, 10)
+	hard.HardTimeout = 8 * time.Second
+	forever := entryFor(f3, 10)
+	for _, e := range []*Entry{idle, hard, forever} {
+		if _, err := tbl.Insert(0, e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Keep the idle rule alive by matching it at t=4s.
+	tbl.Lookup(4*time.Second, 1, f1, 100)
+
+	if removed := tbl.Expire(4 * time.Second); len(removed) != 0 {
+		t.Fatalf("premature expiry of %d rules", len(removed))
+	}
+	removed := tbl.Expire(9 * time.Second)
+	if len(removed) != 2 {
+		t.Fatalf("expired %d rules, want 2 (idle at 4+5s, hard at 8s)", len(removed))
+	}
+	reasons := map[uint8]int{}
+	for _, r := range removed {
+		reasons[r.Reason]++
+	}
+	if reasons[openflow.RemovedIdleTimeout] != 1 || reasons[openflow.RemovedHardTimeout] != 1 {
+		t.Errorf("reasons = %v", reasons)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d, want 1 (the timeout-free rule)", tbl.Len())
+	}
+}
+
+func TestNextExpiry(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	if _, ok := tbl.NextExpiry(); ok {
+		t.Error("NextExpiry on empty table reported a deadline")
+	}
+	f := frameFor("10.0.0.1", 1)
+	e := entryFor(f, 10)
+	e.IdleTimeout = 5 * time.Second
+	e.HardTimeout = 30 * time.Second
+	if _, err := tbl.Insert(2*time.Second, e); err != nil {
+		t.Fatal(err)
+	}
+	next, ok := tbl.NextExpiry()
+	if !ok || next != 7*time.Second {
+		t.Errorf("NextExpiry = %v/%v, want 7s/true", next, ok)
+	}
+	tbl.Lookup(6*time.Second, 1, f, 100)
+	next, ok = tbl.NextExpiry()
+	if !ok || next != 11*time.Second {
+		t.Errorf("NextExpiry after touch = %v, want 11s", next)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(-1, EvictNone); err == nil {
+		t.Error("New(-1) succeeded")
+	}
+	if _, err := New(10, EvictionPolicy(0)); err == nil {
+		t.Error("New with invalid policy succeeded")
+	}
+}
+
+func TestInsertNil(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	if _, err := tbl.Insert(0, nil); err == nil {
+		t.Error("Insert(nil) succeeded")
+	}
+}
+
+func TestEntriesSnapshotIsolated(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	f := frameFor("10.0.0.1", 1)
+	if _, err := tbl.Insert(0, entryFor(f, 10)); err != nil {
+		t.Fatal(err)
+	}
+	snap := tbl.Entries()
+	snap[0] = nil
+	if tbl.Entries()[0] == nil {
+		t.Error("snapshot mutation leaked into table")
+	}
+}
+
+func TestPropertyTableNeverExceedsCapacity(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	prop := func() bool {
+		capacity := 1 + r.Intn(8)
+		tbl, err := New(capacity, EvictLRU)
+		if err != nil {
+			return false
+		}
+		now := time.Duration(0)
+		for i := 0; i < 50; i++ {
+			f := frameFor("10.0.0.1", uint16(r.Intn(20)+1))
+			switch r.Intn(3) {
+			case 0:
+				if _, err := tbl.Insert(now, entryFor(f, uint16(r.Intn(3)))); err != nil {
+					return false
+				}
+			case 1:
+				tbl.Lookup(now, 1, f, 100)
+			default:
+				m := openflow.ExactMatch(1, f)
+				tbl.Delete(now, &m, 0, false)
+			}
+			now += time.Millisecond
+			if tbl.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExpireMonotone(t *testing.T) {
+	// After Expire(now), no remaining rule is past its deadline.
+	r := rand.New(rand.NewSource(22))
+	prop := func() bool {
+		tbl, err := New(Unlimited, EvictNone)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			f := frameFor("10.0.0.1", uint16(i+1))
+			e := entryFor(f, 10)
+			e.IdleTimeout = time.Duration(r.Intn(10)) * time.Second
+			e.HardTimeout = time.Duration(r.Intn(10)) * time.Second
+			if _, err := tbl.Insert(0, e); err != nil {
+				return false
+			}
+		}
+		now := time.Duration(r.Intn(12)) * time.Second
+		tbl.Expire(now)
+		for _, e := range tbl.Entries() {
+			if e.HardTimeout > 0 && now >= e.HardTimeout {
+				return false
+			}
+			if e.IdleTimeout > 0 && now >= e.IdleTimeout {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,256 @@
+// Package metrics provides the statistical primitives used to summarize
+// experiment results: streaming mean/stddev (Welford), min/max tracking,
+// fixed-bucket histograms, and time-weighted gauges for quantities sampled
+// over virtual time (for example buffer occupancy or CPU busy fraction).
+//
+// All types in this package are plain accumulators with no locking; in sim
+// mode everything runs on a single virtual-time event loop, and live-mode
+// callers wrap them with their own synchronization.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary is a streaming summary of a series of float64 observations.
+// It tracks count, mean, variance (via Welford's algorithm), min and max.
+// The zero value is ready to use.
+type Summary struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Observe adds one observation to the summary.
+func (s *Summary) Observe(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// Count reports the number of observations seen so far.
+func (s *Summary) Count() int64 { return s.n }
+
+// Mean reports the arithmetic mean of the observations, or 0 if empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance reports the population variance of the observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// StdDev reports the population standard deviation of the observations.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min reports the smallest observation, or 0 if empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max reports the largest observation, or 0 if empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// Merge folds other into s, as if every observation of other had been
+// observed by s. Merging with an empty summary is a no-op.
+func (s *Summary) Merge(other *Summary) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *other
+		return
+	}
+	n := s.n + other.n
+	delta := other.mean - s.mean
+	mean := s.mean + delta*float64(other.n)/float64(n)
+	m2 := s.m2 + other.m2 + delta*delta*float64(s.n)*float64(other.n)/float64(n)
+	if other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.n, s.mean, s.m2 = n, mean, m2
+}
+
+// String formats the summary as "mean=… sd=… min=… max=… n=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("mean=%.4g sd=%.4g min=%.4g max=%.4g n=%d",
+		s.Mean(), s.StdDev(), s.Min(), s.Max(), s.n)
+}
+
+// Histogram is a fixed-boundary histogram. Boundaries are upper bounds of
+// each bucket; one overflow bucket collects values above the last boundary.
+type Histogram struct {
+	bounds []float64
+	counts []int64
+	sum    Summary
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. It returns an error if bounds is empty or not strictly ascending.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("metrics: histogram bounds must be strictly ascending (bound %d: %g <= %g)",
+				i, bounds[i], bounds[i-1])
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]int64, len(bounds)+1)}, nil
+}
+
+// Observe adds one observation to the histogram.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum.Observe(v)
+}
+
+// Count reports the total number of observations.
+func (h *Histogram) Count() int64 { return h.sum.Count() }
+
+// Bucket reports the count of observations in bucket i. Bucket len(bounds)
+// is the overflow bucket.
+func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
+
+// NumBuckets reports the number of buckets including the overflow bucket.
+func (h *Histogram) NumBuckets() int { return len(h.counts) }
+
+// Quantile reports an upper-bound estimate for quantile q in [0, 1]: the
+// upper bound of the bucket containing the q-th ordered observation.
+// Observations in the overflow bucket report the max observed value.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.sum.Count() == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.sum.Count())))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.sum.Max()
+		}
+	}
+	return h.sum.Max()
+}
+
+// Summary exposes the streaming summary of all observations.
+func (h *Histogram) Summary() *Summary { return &h.sum }
+
+// Gauge tracks a level that changes at known instants (buffer occupancy,
+// queue length) and reports its time-weighted average and maximum. Set must
+// be called with non-decreasing timestamps.
+type Gauge struct {
+	started  bool
+	lastT    time.Duration
+	lastV    float64
+	weighted float64 // integral of value over time
+	elapsed  time.Duration
+	max      float64
+}
+
+// Set records that the level changed to v at virtual time t.
+func (g *Gauge) Set(t time.Duration, v float64) {
+	if !g.started {
+		g.started = true
+		g.lastT, g.lastV = t, v
+		if v > g.max {
+			g.max = v
+		}
+		return
+	}
+	if t < g.lastT {
+		t = g.lastT // clamp: callers must not rewind time
+	}
+	dt := t - g.lastT
+	g.weighted += g.lastV * dt.Seconds()
+	g.elapsed += dt
+	g.lastT, g.lastV = t, v
+	if v > g.max {
+		g.max = v
+	}
+}
+
+// Add records a delta to the current level at virtual time t.
+func (g *Gauge) Add(t time.Duration, delta float64) { g.Set(t, g.lastV+delta) }
+
+// Finish closes the observation window at virtual time t, accounting the
+// final segment at the current level.
+func (g *Gauge) Finish(t time.Duration) { g.Set(t, g.lastV) }
+
+// Value reports the current level.
+func (g *Gauge) Value() float64 { return g.lastV }
+
+// TimeAverage reports the time-weighted average level over the observed
+// window, or 0 if no time has elapsed.
+func (g *Gauge) TimeAverage() float64 {
+	if g.elapsed <= 0 {
+		return 0
+	}
+	return g.weighted / g.elapsed.Seconds()
+}
+
+// Max reports the maximum level ever set.
+func (g *Gauge) Max() float64 { return g.max }
+
+// Counter is a monotonically increasing count with a byte-volume companion,
+// used for message accounting.
+type Counter struct {
+	n     int64
+	bytes int64
+}
+
+// Inc adds one event of the given size in bytes.
+func (c *Counter) Inc(bytes int) {
+	c.n++
+	c.bytes += int64(bytes)
+}
+
+// Count reports the number of events.
+func (c *Counter) Count() int64 { return c.n }
+
+// Bytes reports the cumulative byte volume.
+func (c *Counter) Bytes() int64 { return c.bytes }
+
+// Rate converts a byte volume accumulated over window into megabits per
+// second. A non-positive window reports 0.
+func Rate(bytes int64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(bytes) * 8 / 1e6 / window.Seconds()
+}

@@ -1,0 +1,257 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if got := s.Count(); got != 8 {
+		t.Errorf("Count = %d, want 8", got)
+	}
+	if got := s.Mean(); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %g, want 5", got)
+	}
+	if got := s.StdDev(); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Min() != 0 || s.Max() != 0 || s.Count() != 0 {
+		t.Errorf("empty summary not all-zero: %v", s.String())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Observe(-3.5)
+	if s.Mean() != -3.5 || s.Min() != -3.5 || s.Max() != -3.5 {
+		t.Errorf("single observation: mean=%g min=%g max=%g", s.Mean(), s.Min(), s.Max())
+	}
+	if s.StdDev() != 0 {
+		t.Errorf("StdDev of single observation = %g, want 0", s.StdDev())
+	}
+}
+
+func TestSummaryMergeEqualsSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	prop := func() bool {
+		var whole, a, b Summary
+		n := 1 + r.Intn(50)
+		m := r.Intn(50)
+		for i := 0; i < n; i++ {
+			v := r.NormFloat64() * 10
+			whole.Observe(v)
+			a.Observe(v)
+		}
+		for i := 0; i < m; i++ {
+			v := r.NormFloat64()*3 + 5
+			whole.Observe(v)
+			b.Observe(v)
+		}
+		a.Merge(&b)
+		return a.Count() == whole.Count() &&
+			almostEqual(a.Mean(), whole.Mean(), 1e-9) &&
+			almostEqual(a.Variance(), whole.Variance(), 1e-9) &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummaryMergeEmptyCases(t *testing.T) {
+	var empty, full Summary
+	full.Observe(1)
+	full.Observe(3)
+	got := full
+	got.Merge(&empty)
+	if got.Count() != 2 || got.Mean() != 2 {
+		t.Errorf("merge with empty changed summary: %v", got.String())
+	}
+	var dst Summary
+	dst.Merge(&full)
+	if dst.Count() != 2 || dst.Mean() != 2 {
+		t.Errorf("merge into empty: %v", dst.String())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 5, 10})
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 4, 6, 20} {
+		h.Observe(v)
+	}
+	wantCounts := []int64{1, 2, 2, 1, 1}
+	for i, want := range wantCounts {
+		if got := h.Bucket(i); got != want {
+			t.Errorf("Bucket(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %g, want 5", got)
+	}
+	if got := h.Quantile(1.0); got != 20 {
+		t.Errorf("Quantile(1.0) = %g, want 20 (max)", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("Quantile(0) = %g, want 1", got)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(nil); err == nil {
+		t.Error("NewHistogram(nil) succeeded")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Error("NewHistogram with duplicate bounds succeeded")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Error("NewHistogram with descending bounds succeeded")
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h, err := NewHistogram([]float64{1})
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty = %g, want 0", got)
+	}
+}
+
+func TestGaugeTimeAverage(t *testing.T) {
+	var g Gauge
+	g.Set(0, 10)
+	g.Set(1*time.Second, 20)  // level 10 for 1s
+	g.Set(3*time.Second, 0)   // level 20 for 2s
+	g.Finish(4 * time.Second) // level 0 for 1s
+	want := (10*1 + 20*2 + 0*1) / 4.0
+	if got := g.TimeAverage(); !almostEqual(got, want, 1e-12) {
+		t.Errorf("TimeAverage = %g, want %g", got, want)
+	}
+	if got := g.Max(); got != 20 {
+		t.Errorf("Max = %g, want 20", got)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("Value = %g, want 0", got)
+	}
+}
+
+func TestGaugeAdd(t *testing.T) {
+	var g Gauge
+	g.Add(0, 5)
+	g.Add(time.Second, 5)
+	if got := g.Value(); got != 10 {
+		t.Errorf("Value = %g, want 10", got)
+	}
+	g.Add(2*time.Second, -10)
+	g.Finish(3 * time.Second)
+	want := (5.0 + 10.0 + 0.0) / 3.0
+	if got := g.TimeAverage(); !almostEqual(got, want, 1e-12) {
+		t.Errorf("TimeAverage = %g, want %g", got, want)
+	}
+}
+
+func TestGaugeClampsRewinds(t *testing.T) {
+	var g Gauge
+	g.Set(2*time.Second, 1)
+	g.Set(1*time.Second, 2) // earlier timestamp: clamped, no negative interval
+	g.Finish(3 * time.Second)
+	if got := g.TimeAverage(); got != 2 {
+		t.Errorf("TimeAverage = %g, want 2", got)
+	}
+}
+
+func TestGaugeEmpty(t *testing.T) {
+	var g Gauge
+	if g.TimeAverage() != 0 || g.Max() != 0 {
+		t.Errorf("empty gauge: avg=%g max=%g", g.TimeAverage(), g.Max())
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc(100)
+	c.Inc(50)
+	if c.Count() != 2 || c.Bytes() != 150 {
+		t.Errorf("Counter = %d/%d, want 2/150", c.Count(), c.Bytes())
+	}
+}
+
+func TestRate(t *testing.T) {
+	// 1,250,000 bytes in 1 second = 10 Mbps.
+	if got := Rate(1250000, time.Second); !almostEqual(got, 10, 1e-12) {
+		t.Errorf("Rate = %g, want 10", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Errorf("Rate with zero window = %g, want 0", got)
+	}
+	if got := Rate(100, -time.Second); got != 0 {
+		t.Errorf("Rate with negative window = %g, want 0", got)
+	}
+}
+
+func TestPropertyGaugeAverageWithinBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	prop := func() bool {
+		var g Gauge
+		lo, hi := math.Inf(1), math.Inf(-1)
+		t0 := time.Duration(0)
+		for i := 0; i < 20; i++ {
+			v := r.Float64() * 100
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			g.Set(t0, v)
+			t0 += time.Duration(r.Intn(1000)+1) * time.Millisecond
+		}
+		g.Finish(t0)
+		avg := g.TimeAverage()
+		return avg >= lo-1e-9 && avg <= hi+1e-9 && g.Max() == hi
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySummaryMeanWithinMinMax(t *testing.T) {
+	prop := func(vals []float64) bool {
+		var s Summary
+		for _, v := range vals {
+			if math.IsNaN(v) || math.Abs(v) > 1e100 {
+				continue // Welford intermediates overflow near MaxFloat64
+			}
+			s.Observe(v)
+		}
+		if s.Count() == 0 {
+			return true
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

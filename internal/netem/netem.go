@@ -1,0 +1,163 @@
+// Package netem models network links for the simulated testbed: a Link has
+// finite bandwidth, a propagation delay, and an unbounded FIFO transmission
+// queue, so message delivery time depends on how much traffic is already in
+// flight — exactly the contention that shapes the paper's delay curves when
+// full miss-match packets flood the control path.
+//
+// Taps observe every payload at enqueue time; the capture package uses them
+// as the tcpdump equivalent.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"sdnbuffer/internal/metrics"
+	"sdnbuffer/internal/sim"
+)
+
+// Tap observes a payload as it enters the link.
+type Tap func(now time.Duration, payload []byte)
+
+// Link is a unidirectional bandwidth-limited channel. Use two Links for a
+// full-duplex cable.
+type Link struct {
+	kernel      *sim.Kernel
+	name        string
+	bitsPerSec  float64
+	propagation time.Duration
+	lossRate    float64
+
+	busyUntil  time.Duration
+	taps       []Tap
+	traffic    metrics.Counter
+	dropped    metrics.Counter
+	queueDelay metrics.Summary
+	inFlight   metrics.Gauge
+}
+
+// NewLink creates a link with the given bandwidth in megabits per second
+// and one-way propagation delay.
+func NewLink(k *sim.Kernel, name string, mbps float64, propagation time.Duration) (*Link, error) {
+	if mbps <= 0 {
+		return nil, fmt.Errorf("netem: link %q bandwidth must be positive, got %g Mbps", name, mbps)
+	}
+	if propagation < 0 {
+		return nil, fmt.Errorf("netem: link %q negative propagation %v", name, propagation)
+	}
+	return &Link{
+		kernel:      k,
+		name:        name,
+		bitsPerSec:  mbps * 1e6,
+		propagation: propagation,
+	}, nil
+}
+
+// Name reports the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// BandwidthMbps reports the configured bandwidth.
+func (l *Link) BandwidthMbps() float64 { return l.bitsPerSec / 1e6 }
+
+// AddTap registers an observer for every payload entering the link.
+func (l *Link) AddTap(t Tap) { l.taps = append(l.taps, t) }
+
+// SetLossRate makes the link drop each payload independently with the given
+// probability, drawn from the kernel's deterministic RNG. Dropped payloads
+// are still observed by taps and traffic accounting (they entered the wire)
+// but their deliver callback never runs. Rates outside [0, 1) are an error.
+func (l *Link) SetLossRate(p float64) error {
+	if p < 0 || p >= 1 {
+		return fmt.Errorf("netem: link %q loss rate must be in [0, 1), got %g", l.name, p)
+	}
+	l.lossRate = p
+	return nil
+}
+
+// Dropped reports payloads lost to injected loss.
+func (l *Link) Dropped() (count, bytes int64) {
+	return l.dropped.Count(), l.dropped.Bytes()
+}
+
+// TransmissionTime reports how long serializing size bytes onto the wire
+// takes at the link's bandwidth.
+func (l *Link) TransmissionTime(size int) time.Duration {
+	return time.Duration(float64(size) * 8 / l.bitsPerSec * float64(time.Second))
+}
+
+// Send enqueues a payload. deliver runs when the last bit arrives at the
+// far end: after any queueing behind in-flight payloads, the transmission
+// time, and the propagation delay. deliver may be nil for fire-and-forget
+// accounting. The payload is observed by taps immediately.
+func (l *Link) Send(payload []byte, deliver func()) {
+	now := l.kernel.Now()
+	for _, tap := range l.taps {
+		tap(now, payload)
+	}
+	l.traffic.Inc(len(payload))
+
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	l.queueDelay.Observe((start - now).Seconds())
+	done := start + l.TransmissionTime(len(payload))
+	l.busyUntil = done
+
+	lost := l.lossRate > 0 && l.kernel.Rand().Float64() < l.lossRate
+	if lost {
+		l.dropped.Inc(len(payload))
+	}
+	l.inFlight.Add(now, 1)
+	arrival := done + l.propagation
+	l.kernel.At(arrival, func() {
+		l.inFlight.Add(l.kernel.Now(), -1)
+		if !lost && deliver != nil {
+			deliver()
+		}
+	})
+}
+
+// QueueingDelay reports the distribution of time payloads waited behind
+// earlier traffic before starting transmission (seconds).
+func (l *Link) QueueingDelay() *metrics.Summary { return &l.queueDelay }
+
+// Traffic reports cumulative payload count and bytes offered to the link.
+func (l *Link) Traffic() (count, bytes int64) {
+	return l.traffic.Count(), l.traffic.Bytes()
+}
+
+// UtilizationPercent reports offered load as a percentage of link capacity
+// over the window [0, now].
+func (l *Link) UtilizationPercent(now time.Duration) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return metrics.Rate(l.traffic.Bytes(), now) / l.BandwidthMbps() * 100
+}
+
+// MeanInFlight reports the time-averaged number of payloads queued or in
+// transit.
+func (l *Link) MeanInFlight(now time.Duration) float64 {
+	l.inFlight.Finish(now)
+	return l.inFlight.TimeAverage()
+}
+
+// Duplex bundles the two directions of a cable.
+type Duplex struct {
+	AtoB *Link
+	BtoA *Link
+}
+
+// NewDuplex creates a symmetric full-duplex cable.
+func NewDuplex(k *sim.Kernel, name string, mbps float64, propagation time.Duration) (*Duplex, error) {
+	ab, err := NewLink(k, name+":a->b", mbps, propagation)
+	if err != nil {
+		return nil, err
+	}
+	ba, err := NewLink(k, name+":b->a", mbps, propagation)
+	if err != nil {
+		return nil, err
+	}
+	return &Duplex{AtoB: ab, BtoA: ba}, nil
+}

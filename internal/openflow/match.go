@@ -1,0 +1,260 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"sdnbuffer/internal/packet"
+)
+
+// MatchLen is the wire length of ofp_match in OpenFlow 1.0.
+const MatchLen = 40
+
+// Wildcard bits (OFPFW_*). A set bit means "field is NOT matched".
+const (
+	WildcardInPort  uint32 = 1 << 0
+	WildcardDLVLAN  uint32 = 1 << 1
+	WildcardDLSrc   uint32 = 1 << 2
+	WildcardDLDst   uint32 = 1 << 3
+	WildcardDLType  uint32 = 1 << 4
+	WildcardNWProto uint32 = 1 << 5
+	WildcardTPSrc   uint32 = 1 << 6
+	WildcardTPDst   uint32 = 1 << 7
+	// Bits 8..13 are NW_SRC mask bits, 14..19 NW_DST mask bits; this
+	// implementation supports the all-or-nothing settings only.
+	WildcardNWSrcAll  uint32 = 32 << 8
+	WildcardNWDstAll  uint32 = 32 << 14
+	WildcardDLVLANPCP uint32 = 1 << 20
+	WildcardNWTOS     uint32 = 1 << 21
+
+	// WildcardAll has every supported wildcard bit set.
+	WildcardAll = WildcardInPort | WildcardDLVLAN | WildcardDLSrc |
+		WildcardDLDst | WildcardDLType | WildcardNWProto | WildcardTPSrc |
+		WildcardTPDst | WildcardNWSrcAll | WildcardNWDstAll |
+		WildcardDLVLANPCP | WildcardNWTOS
+)
+
+// Match is the OpenFlow 1.0 ofp_match structure. Wildcards selects which
+// fields participate in matching; a wildcarded field is ignored.
+type Match struct {
+	Wildcards uint32
+	InPort    uint16
+	DLSrc     packet.MAC
+	DLDst     packet.MAC
+	DLVLAN    uint16
+	DLVLANPCP uint8
+	DLType    uint16
+	NWTOS     uint8
+	NWProto   uint8
+	NWSrc     netip.Addr
+	NWDst     netip.Addr
+	TPSrc     uint16
+	TPDst     uint16
+}
+
+// MatchAll returns a match with every field wildcarded.
+func MatchAll() Match { return Match{Wildcards: WildcardAll} }
+
+// ExactMatch builds the match Floodlight's reactive forwarding installs for
+// a miss-match packet: in_port plus the full L2/L3/L4 header fields.
+func ExactMatch(inPort uint16, f *packet.Frame) Match {
+	return Match{
+		Wildcards: WildcardDLVLAN | WildcardDLVLANPCP | WildcardNWTOS,
+		InPort:    inPort,
+		DLSrc:     f.SrcMAC,
+		DLDst:     f.DstMAC,
+		DLType:    f.EtherType,
+		NWProto:   f.Proto,
+		NWSrc:     f.SrcIP,
+		NWDst:     f.DstIP,
+		TPSrc:     f.SrcPort,
+		TPDst:     f.DstPort,
+	}
+}
+
+// FlowMatch builds a match on the 5-tuple only, the granularity the paper's
+// buffer_id map uses.
+func FlowMatch(key packet.FlowKey) Match {
+	return Match{
+		Wildcards: WildcardAll &^ (WildcardDLType | WildcardNWProto |
+			WildcardNWSrcAll | WildcardNWDstAll | WildcardTPSrc | WildcardTPDst),
+		DLType:  packet.EtherTypeIPv4,
+		NWProto: key.Proto,
+		NWSrc:   key.SrcIP,
+		NWDst:   key.DstIP,
+		TPSrc:   key.SrcPort,
+		TPDst:   key.DstPort,
+	}
+}
+
+// Matches reports whether a frame arriving on inPort satisfies the match.
+func (m *Match) Matches(inPort uint16, f *packet.Frame) bool {
+	w := m.Wildcards
+	if w&WildcardInPort == 0 && m.InPort != inPort {
+		return false
+	}
+	if w&WildcardDLSrc == 0 && m.DLSrc != f.SrcMAC {
+		return false
+	}
+	if w&WildcardDLDst == 0 && m.DLDst != f.DstMAC {
+		return false
+	}
+	if w&WildcardDLType == 0 && m.DLType != f.EtherType {
+		return false
+	}
+	if w&WildcardNWTOS == 0 && m.NWTOS != f.TOS {
+		return false
+	}
+	if w&WildcardNWProto == 0 && m.NWProto != f.Proto {
+		return false
+	}
+	if w&WildcardNWSrcAll == 0 && m.NWSrc != f.SrcIP {
+		return false
+	}
+	if w&WildcardNWDstAll == 0 && m.NWDst != f.DstIP {
+		return false
+	}
+	if w&WildcardTPSrc == 0 && m.TPSrc != f.SrcPort {
+		return false
+	}
+	if w&WildcardTPDst == 0 && m.TPDst != f.DstPort {
+		return false
+	}
+	return true
+}
+
+// encode writes the 40-byte wire form into b.
+func (m *Match) encode(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], m.Wildcards)
+	binary.BigEndian.PutUint16(b[4:6], m.InPort)
+	copy(b[6:12], m.DLSrc[:])
+	copy(b[12:18], m.DLDst[:])
+	binary.BigEndian.PutUint16(b[18:20], m.DLVLAN)
+	b[20] = m.DLVLANPCP
+	// b[21] pad
+	binary.BigEndian.PutUint16(b[22:24], m.DLType)
+	b[24] = m.NWTOS
+	b[25] = m.NWProto
+	// b[26:28] pad
+	putAddr(b[28:32], m.NWSrc)
+	putAddr(b[32:36], m.NWDst)
+	binary.BigEndian.PutUint16(b[36:38], m.TPSrc)
+	binary.BigEndian.PutUint16(b[38:40], m.TPDst)
+}
+
+// decodeMatch parses a 40-byte wire-form match.
+func decodeMatch(b []byte) (Match, error) {
+	var m Match
+	if len(b) < MatchLen {
+		return m, fmt.Errorf("%w: match needs %d bytes, have %d", ErrTruncated, MatchLen, len(b))
+	}
+	m.Wildcards = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	copy(m.DLSrc[:], b[6:12])
+	copy(m.DLDst[:], b[12:18])
+	m.DLVLAN = binary.BigEndian.Uint16(b[18:20])
+	m.DLVLANPCP = b[20]
+	m.DLType = binary.BigEndian.Uint16(b[22:24])
+	m.NWTOS = b[24]
+	m.NWProto = b[25]
+	m.NWSrc = netip.AddrFrom4([4]byte(b[28:32]))
+	m.NWDst = netip.AddrFrom4([4]byte(b[32:36]))
+	m.TPSrc = binary.BigEndian.Uint16(b[36:38])
+	m.TPDst = binary.BigEndian.Uint16(b[38:40])
+	return m, nil
+}
+
+func putAddr(b []byte, a netip.Addr) {
+	if a.Is4() {
+		v := a.As4()
+		copy(b, v[:])
+	} else {
+		b[0], b[1], b[2], b[3] = 0, 0, 0, 0
+	}
+}
+
+// String formats the non-wildcarded fields, e.g.
+// "in_port=1,nw_src=10.0.0.1,tp_dst=80".
+func (m *Match) String() string {
+	var parts []string
+	w := m.Wildcards
+	if w&WildcardInPort == 0 {
+		parts = append(parts, fmt.Sprintf("in_port=%d", m.InPort))
+	}
+	if w&WildcardDLSrc == 0 {
+		parts = append(parts, "dl_src="+m.DLSrc.String())
+	}
+	if w&WildcardDLDst == 0 {
+		parts = append(parts, "dl_dst="+m.DLDst.String())
+	}
+	if w&WildcardDLType == 0 {
+		parts = append(parts, fmt.Sprintf("dl_type=0x%04x", m.DLType))
+	}
+	if w&WildcardNWProto == 0 {
+		parts = append(parts, fmt.Sprintf("nw_proto=%d", m.NWProto))
+	}
+	if w&WildcardNWSrcAll == 0 {
+		parts = append(parts, "nw_src="+m.NWSrc.String())
+	}
+	if w&WildcardNWDstAll == 0 {
+		parts = append(parts, "nw_dst="+m.NWDst.String())
+	}
+	if w&WildcardTPSrc == 0 {
+		parts = append(parts, fmt.Sprintf("tp_src=%d", m.TPSrc))
+	}
+	if w&WildcardTPDst == 0 {
+		parts = append(parts, fmt.Sprintf("tp_dst=%d", m.TPDst))
+	}
+	if len(parts) == 0 {
+		return "any"
+	}
+	return strings.Join(parts, ",")
+}
+
+// Equal reports whether two matches are identical in wildcards and in every
+// non-wildcarded field (wildcarded field contents are ignored).
+func (m *Match) Equal(o *Match) bool {
+	if m.Wildcards != o.Wildcards {
+		return false
+	}
+	w := m.Wildcards
+	if w&WildcardInPort == 0 && m.InPort != o.InPort {
+		return false
+	}
+	if w&WildcardDLSrc == 0 && m.DLSrc != o.DLSrc {
+		return false
+	}
+	if w&WildcardDLDst == 0 && m.DLDst != o.DLDst {
+		return false
+	}
+	if w&WildcardDLVLAN == 0 && m.DLVLAN != o.DLVLAN {
+		return false
+	}
+	if w&WildcardDLVLANPCP == 0 && m.DLVLANPCP != o.DLVLANPCP {
+		return false
+	}
+	if w&WildcardDLType == 0 && m.DLType != o.DLType {
+		return false
+	}
+	if w&WildcardNWTOS == 0 && m.NWTOS != o.NWTOS {
+		return false
+	}
+	if w&WildcardNWProto == 0 && m.NWProto != o.NWProto {
+		return false
+	}
+	if w&WildcardNWSrcAll == 0 && m.NWSrc != o.NWSrc {
+		return false
+	}
+	if w&WildcardNWDstAll == 0 && m.NWDst != o.NWDst {
+		return false
+	}
+	if w&WildcardTPSrc == 0 && m.TPSrc != o.TPSrc {
+		return false
+	}
+	if w&WildcardTPDst == 0 && m.TPDst != o.TPDst {
+		return false
+	}
+	return true
+}

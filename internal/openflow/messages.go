@@ -1,0 +1,540 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sdnbuffer/internal/packet"
+)
+
+// Hello is exchanged on connection setup to negotiate the version.
+type Hello struct{}
+
+var _ Message = (*Hello)(nil)
+
+// Type implements Message.
+func (*Hello) Type() MsgType           { return TypeHello }
+func (*Hello) bodyLen() int            { return 0 }
+func (*Hello) encodeBody([]byte)       {}
+func (*Hello) decodeBody([]byte) error { return nil }
+
+// Error type codes (OFPET_*) used by this implementation.
+const (
+	ErrTypeHelloFailed   uint16 = 0
+	ErrTypeBadRequest    uint16 = 1
+	ErrTypeBadAction     uint16 = 2
+	ErrTypeFlowModFailed uint16 = 3
+)
+
+// Flow-mod failure codes (OFPFMFC_*).
+const (
+	ErrCodeAllTablesFull uint16 = 0
+	ErrCodeOverlap       uint16 = 1
+	ErrCodeBadCommand    uint16 = 3
+)
+
+// Bad-request codes (OFPBRC_*).
+const (
+	ErrCodeBadVersion  uint16 = 0
+	ErrCodeBadType     uint16 = 1
+	ErrCodeBufferEmpty uint16 = 6
+	ErrCodeBadBufferID uint16 = 7 // OFPBRC_BUFFER_UNKNOWN
+)
+
+// ErrorMsg reports a protocol error; Data carries at least the first 64
+// bytes of the offending message per the spec.
+type ErrorMsg struct {
+	ErrType uint16
+	Code    uint16
+	Data    []byte
+}
+
+var _ Message = (*ErrorMsg)(nil)
+
+// Type implements Message.
+func (*ErrorMsg) Type() MsgType  { return TypeError }
+func (m *ErrorMsg) bodyLen() int { return 4 + len(m.Data) }
+func (m *ErrorMsg) encodeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], m.ErrType)
+	binary.BigEndian.PutUint16(b[2:4], m.Code)
+	copy(b[4:], m.Data)
+}
+func (m *ErrorMsg) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("%w: error body needs 4 bytes, have %d", ErrTruncated, len(b))
+	}
+	m.ErrType = binary.BigEndian.Uint16(b[0:2])
+	m.Code = binary.BigEndian.Uint16(b[2:4])
+	m.Data = cloneBytes(b[4:])
+	return nil
+}
+
+// Error implements the error interface so an ErrorMsg can be returned up a
+// call chain directly.
+func (m *ErrorMsg) Error() string {
+	return fmt.Sprintf("openflow error: type=%d code=%d", m.ErrType, m.Code)
+}
+
+// EchoRequest is a liveness probe; the peer must answer with EchoReply
+// carrying the same data.
+type EchoRequest struct {
+	Data []byte
+}
+
+var _ Message = (*EchoRequest)(nil)
+
+// Type implements Message.
+func (*EchoRequest) Type() MsgType         { return TypeEchoRequest }
+func (m *EchoRequest) bodyLen() int        { return len(m.Data) }
+func (m *EchoRequest) encodeBody(b []byte) { copy(b, m.Data) }
+func (m *EchoRequest) decodeBody(b []byte) error {
+	m.Data = cloneBytes(b)
+	return nil
+}
+
+// EchoReply answers an EchoRequest.
+type EchoReply struct {
+	Data []byte
+}
+
+var _ Message = (*EchoReply)(nil)
+
+// Type implements Message.
+func (*EchoReply) Type() MsgType         { return TypeEchoReply }
+func (m *EchoReply) bodyLen() int        { return len(m.Data) }
+func (m *EchoReply) encodeBody(b []byte) { copy(b, m.Data) }
+func (m *EchoReply) decodeBody(b []byte) error {
+	m.Data = cloneBytes(b)
+	return nil
+}
+
+// FeaturesRequest asks the switch for its datapath description.
+type FeaturesRequest struct{}
+
+var _ Message = (*FeaturesRequest)(nil)
+
+// Type implements Message.
+func (*FeaturesRequest) Type() MsgType           { return TypeFeaturesRequest }
+func (*FeaturesRequest) bodyLen() int            { return 0 }
+func (*FeaturesRequest) encodeBody([]byte)       {}
+func (*FeaturesRequest) decodeBody([]byte) error { return nil }
+
+// PhyPortLen is the wire length of ofp_phy_port.
+const PhyPortLen = 48
+
+// PhyPort describes one switch port (ofp_phy_port).
+type PhyPort struct {
+	PortNo     uint16
+	HWAddr     packet.MAC
+	Name       string // at most 15 bytes on the wire
+	Config     uint32
+	State      uint32
+	Curr       uint32
+	Advertised uint32
+	Supported  uint32
+	Peer       uint32
+}
+
+func (p *PhyPort) encode(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], p.PortNo)
+	copy(b[2:8], p.HWAddr[:])
+	name := p.Name
+	if len(name) > 15 {
+		name = name[:15]
+	}
+	copy(b[8:24], name) // NUL-padded by the zeroed buffer
+	binary.BigEndian.PutUint32(b[24:28], p.Config)
+	binary.BigEndian.PutUint32(b[28:32], p.State)
+	binary.BigEndian.PutUint32(b[32:36], p.Curr)
+	binary.BigEndian.PutUint32(b[36:40], p.Advertised)
+	binary.BigEndian.PutUint32(b[40:44], p.Supported)
+	binary.BigEndian.PutUint32(b[44:48], p.Peer)
+}
+
+func decodePhyPort(b []byte) PhyPort {
+	var p PhyPort
+	p.PortNo = binary.BigEndian.Uint16(b[0:2])
+	copy(p.HWAddr[:], b[2:8])
+	name := b[8:24]
+	end := 0
+	for end < len(name) && name[end] != 0 {
+		end++
+	}
+	p.Name = string(name[:end])
+	p.Config = binary.BigEndian.Uint32(b[24:28])
+	p.State = binary.BigEndian.Uint32(b[28:32])
+	p.Curr = binary.BigEndian.Uint32(b[32:36])
+	p.Advertised = binary.BigEndian.Uint32(b[36:40])
+	p.Supported = binary.BigEndian.Uint32(b[40:44])
+	p.Peer = binary.BigEndian.Uint32(b[44:48])
+	return p
+}
+
+// Switch capability bits (OFPC_*).
+const (
+	CapFlowStats  uint32 = 1 << 0
+	CapTableStats uint32 = 1 << 1
+	CapPortStats  uint32 = 1 << 2
+	CapQueueStats uint32 = 1 << 6
+)
+
+// FeaturesReply describes the datapath: its id, how many packets its buffer
+// can hold (NBuffers — the quantity the paper sweeps as buffer-16 /
+// buffer-256), table count, and its ports.
+type FeaturesReply struct {
+	DatapathID   uint64
+	NBuffers     uint32
+	NTables      uint8
+	Capabilities uint32
+	Actions      uint32
+	Ports        []PhyPort
+}
+
+var _ Message = (*FeaturesReply)(nil)
+
+// Type implements Message.
+func (*FeaturesReply) Type() MsgType  { return TypeFeaturesReply }
+func (m *FeaturesReply) bodyLen() int { return 24 + PhyPortLen*len(m.Ports) }
+func (m *FeaturesReply) encodeBody(b []byte) {
+	binary.BigEndian.PutUint64(b[0:8], m.DatapathID)
+	binary.BigEndian.PutUint32(b[8:12], m.NBuffers)
+	b[12] = m.NTables
+	binary.BigEndian.PutUint32(b[16:20], m.Capabilities)
+	binary.BigEndian.PutUint32(b[20:24], m.Actions)
+	off := 24
+	for i := range m.Ports {
+		m.Ports[i].encode(b[off : off+PhyPortLen])
+		off += PhyPortLen
+	}
+}
+func (m *FeaturesReply) decodeBody(b []byte) error {
+	if len(b) < 24 || (len(b)-24)%PhyPortLen != 0 {
+		return fmt.Errorf("%w: features reply body %d bytes", ErrBadLength, len(b))
+	}
+	m.DatapathID = binary.BigEndian.Uint64(b[0:8])
+	m.NBuffers = binary.BigEndian.Uint32(b[8:12])
+	m.NTables = b[12]
+	m.Capabilities = binary.BigEndian.Uint32(b[16:20])
+	m.Actions = binary.BigEndian.Uint32(b[20:24])
+	m.Ports = nil
+	for off := 24; off < len(b); off += PhyPortLen {
+		m.Ports = append(m.Ports, decodePhyPort(b[off:off+PhyPortLen]))
+	}
+	return nil
+}
+
+// GetConfigRequest asks for the switch configuration.
+type GetConfigRequest struct{}
+
+var _ Message = (*GetConfigRequest)(nil)
+
+// Type implements Message.
+func (*GetConfigRequest) Type() MsgType           { return TypeGetConfigRequest }
+func (*GetConfigRequest) bodyLen() int            { return 0 }
+func (*GetConfigRequest) encodeBody([]byte)       {}
+func (*GetConfigRequest) decodeBody([]byte) error { return nil }
+
+// SwitchConfig is the shared body of GET_CONFIG_REPLY and SET_CONFIG.
+// MissSendLen is the packet_in payload truncation for buffered packets; 0
+// with buffering disabled means "send the whole packet".
+type SwitchConfig struct {
+	Flags       uint16
+	MissSendLen uint16
+}
+
+func (c *SwitchConfig) encode(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], c.Flags)
+	binary.BigEndian.PutUint16(b[2:4], c.MissSendLen)
+}
+
+func (c *SwitchConfig) decode(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("%w: switch config needs 4 bytes, have %d", ErrTruncated, len(b))
+	}
+	c.Flags = binary.BigEndian.Uint16(b[0:2])
+	c.MissSendLen = binary.BigEndian.Uint16(b[2:4])
+	return nil
+}
+
+// GetConfigReply carries the current switch configuration.
+type GetConfigReply struct {
+	Config SwitchConfig
+}
+
+var _ Message = (*GetConfigReply)(nil)
+
+// Type implements Message.
+func (*GetConfigReply) Type() MsgType               { return TypeGetConfigReply }
+func (*GetConfigReply) bodyLen() int                { return 4 }
+func (m *GetConfigReply) encodeBody(b []byte)       { m.Config.encode(b) }
+func (m *GetConfigReply) decodeBody(b []byte) error { return m.Config.decode(b) }
+
+// SetConfig updates the switch configuration.
+type SetConfig struct {
+	Config SwitchConfig
+}
+
+var _ Message = (*SetConfig)(nil)
+
+// Type implements Message.
+func (*SetConfig) Type() MsgType               { return TypeSetConfig }
+func (*SetConfig) bodyLen() int                { return 4 }
+func (m *SetConfig) encodeBody(b []byte)       { m.Config.encode(b) }
+func (m *SetConfig) decodeBody(b []byte) error { return m.Config.decode(b) }
+
+// PacketIn is the switch-to-controller request for a miss-match packet.
+// With buffering, BufferID identifies the buffered packet and Data carries
+// only the first miss_send_len bytes; without buffering BufferID is NoBuffer
+// and Data carries the whole packet. TotalLen preserves the original frame
+// length either way.
+type PacketIn struct {
+	BufferID uint32
+	TotalLen uint16
+	InPort   uint16
+	Reason   uint8
+	Data     []byte
+}
+
+var _ Message = (*PacketIn)(nil)
+
+// Type implements Message.
+func (*PacketIn) Type() MsgType  { return TypePacketIn }
+func (m *PacketIn) bodyLen() int { return 10 + len(m.Data) }
+func (m *PacketIn) encodeBody(b []byte) {
+	binary.BigEndian.PutUint32(b[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(b[4:6], m.TotalLen)
+	binary.BigEndian.PutUint16(b[6:8], m.InPort)
+	b[8] = m.Reason
+	copy(b[10:], m.Data)
+}
+func (m *PacketIn) decodeBody(b []byte) error {
+	if len(b) < 10 {
+		return fmt.Errorf("%w: packet_in body needs 10 bytes, have %d", ErrTruncated, len(b))
+	}
+	m.BufferID = binary.BigEndian.Uint32(b[0:4])
+	m.TotalLen = binary.BigEndian.Uint16(b[4:6])
+	m.InPort = binary.BigEndian.Uint16(b[6:8])
+	m.Reason = b[8]
+	m.Data = cloneBytes(b[10:])
+	return nil
+}
+
+// FlowRemoved notifies the controller that a rule left the flow table.
+type FlowRemoved struct {
+	Match       Match
+	Cookie      uint64
+	Priority    uint16
+	Reason      uint8
+	DurationSec uint32
+	DurationNs  uint32
+	IdleTimeout uint16
+	PacketCount uint64
+	ByteCount   uint64
+}
+
+var _ Message = (*FlowRemoved)(nil)
+
+// Type implements Message.
+func (*FlowRemoved) Type() MsgType { return TypeFlowRemoved }
+func (*FlowRemoved) bodyLen() int  { return MatchLen + 40 }
+func (m *FlowRemoved) encodeBody(b []byte) {
+	m.Match.encode(b[0:MatchLen])
+	p := b[MatchLen:]
+	binary.BigEndian.PutUint64(p[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(p[8:10], m.Priority)
+	p[10] = m.Reason
+	binary.BigEndian.PutUint32(p[12:16], m.DurationSec)
+	binary.BigEndian.PutUint32(p[16:20], m.DurationNs)
+	binary.BigEndian.PutUint16(p[20:22], m.IdleTimeout)
+	binary.BigEndian.PutUint64(p[24:32], m.PacketCount)
+	binary.BigEndian.PutUint64(p[32:40], m.ByteCount)
+}
+func (m *FlowRemoved) decodeBody(b []byte) error {
+	if len(b) < MatchLen+40 {
+		return fmt.Errorf("%w: flow_removed body %d bytes", ErrTruncated, len(b))
+	}
+	match, err := decodeMatch(b[0:MatchLen])
+	if err != nil {
+		return err
+	}
+	m.Match = match
+	p := b[MatchLen:]
+	m.Cookie = binary.BigEndian.Uint64(p[0:8])
+	m.Priority = binary.BigEndian.Uint16(p[8:10])
+	m.Reason = p[10]
+	m.DurationSec = binary.BigEndian.Uint32(p[12:16])
+	m.DurationNs = binary.BigEndian.Uint32(p[16:20])
+	m.IdleTimeout = binary.BigEndian.Uint16(p[20:22])
+	m.PacketCount = binary.BigEndian.Uint64(p[24:32])
+	m.ByteCount = binary.BigEndian.Uint64(p[32:40])
+	return nil
+}
+
+// Port status change reasons (OFPPR_*).
+const (
+	PortReasonAdd    uint8 = 0
+	PortReasonDelete uint8 = 1
+	PortReasonModify uint8 = 2
+)
+
+// PortStatus announces a port change.
+type PortStatus struct {
+	Reason uint8
+	Desc   PhyPort
+}
+
+var _ Message = (*PortStatus)(nil)
+
+// Type implements Message.
+func (*PortStatus) Type() MsgType { return TypePortStatus }
+func (*PortStatus) bodyLen() int  { return 8 + PhyPortLen }
+func (m *PortStatus) encodeBody(b []byte) {
+	b[0] = m.Reason
+	m.Desc.encode(b[8 : 8+PhyPortLen])
+}
+func (m *PortStatus) decodeBody(b []byte) error {
+	if len(b) < 8+PhyPortLen {
+		return fmt.Errorf("%w: port_status body %d bytes", ErrTruncated, len(b))
+	}
+	m.Reason = b[0]
+	m.Desc = decodePhyPort(b[8 : 8+PhyPortLen])
+	return nil
+}
+
+// PacketOut instructs the switch to emit a packet. With a valid BufferID it
+// releases the buffered packet through the action list and carries no
+// payload; with BufferID == NoBuffer the full packet rides in Data.
+type PacketOut struct {
+	BufferID uint32
+	InPort   uint16
+	Actions  []Action
+	Data     []byte
+}
+
+var _ Message = (*PacketOut)(nil)
+
+// Type implements Message.
+func (*PacketOut) Type() MsgType { return TypePacketOut }
+func (m *PacketOut) bodyLen() int {
+	return 8 + actionsLen(m.Actions) + len(m.Data)
+}
+func (m *PacketOut) encodeBody(b []byte) {
+	al := actionsLen(m.Actions)
+	binary.BigEndian.PutUint32(b[0:4], m.BufferID)
+	binary.BigEndian.PutUint16(b[4:6], m.InPort)
+	binary.BigEndian.PutUint16(b[6:8], uint16(al))
+	encodeActions(b[8:8+al], m.Actions)
+	copy(b[8+al:], m.Data)
+}
+func (m *PacketOut) decodeBody(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("%w: packet_out body needs 8 bytes, have %d", ErrTruncated, len(b))
+	}
+	m.BufferID = binary.BigEndian.Uint32(b[0:4])
+	m.InPort = binary.BigEndian.Uint16(b[4:6])
+	al := int(binary.BigEndian.Uint16(b[6:8]))
+	if 8+al > len(b) {
+		return fmt.Errorf("%w: actions length %d exceeds body %d", ErrBadLength, al, len(b))
+	}
+	actions, err := decodeActions(b[8 : 8+al])
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	m.Data = cloneBytes(b[8+al:])
+	return nil
+}
+
+// FlowMod installs, modifies or deletes flow-table rules. When BufferID is
+// valid the switch also applies the new rule's actions to the buffered
+// packet, combining flow_mod and packet_out in one message.
+type FlowMod struct {
+	Match       Match
+	Cookie      uint64
+	Command     uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Priority    uint16
+	BufferID    uint32
+	OutPort     uint16
+	Flags       uint16
+	Actions     []Action
+}
+
+var _ Message = (*FlowMod)(nil)
+
+// Type implements Message.
+func (*FlowMod) Type() MsgType { return TypeFlowMod }
+func (m *FlowMod) bodyLen() int {
+	return MatchLen + 24 + actionsLen(m.Actions)
+}
+func (m *FlowMod) encodeBody(b []byte) {
+	m.Match.encode(b[0:MatchLen])
+	p := b[MatchLen:]
+	binary.BigEndian.PutUint64(p[0:8], m.Cookie)
+	binary.BigEndian.PutUint16(p[8:10], m.Command)
+	binary.BigEndian.PutUint16(p[10:12], m.IdleTimeout)
+	binary.BigEndian.PutUint16(p[12:14], m.HardTimeout)
+	binary.BigEndian.PutUint16(p[14:16], m.Priority)
+	binary.BigEndian.PutUint32(p[16:20], m.BufferID)
+	binary.BigEndian.PutUint16(p[20:22], m.OutPort)
+	binary.BigEndian.PutUint16(p[22:24], m.Flags)
+	encodeActions(p[24:], m.Actions)
+}
+func (m *FlowMod) decodeBody(b []byte) error {
+	if len(b) < MatchLen+24 {
+		return fmt.Errorf("%w: flow_mod body %d bytes", ErrTruncated, len(b))
+	}
+	match, err := decodeMatch(b[0:MatchLen])
+	if err != nil {
+		return err
+	}
+	m.Match = match
+	p := b[MatchLen:]
+	m.Cookie = binary.BigEndian.Uint64(p[0:8])
+	m.Command = binary.BigEndian.Uint16(p[8:10])
+	m.IdleTimeout = binary.BigEndian.Uint16(p[10:12])
+	m.HardTimeout = binary.BigEndian.Uint16(p[12:14])
+	m.Priority = binary.BigEndian.Uint16(p[14:16])
+	m.BufferID = binary.BigEndian.Uint32(p[16:20])
+	m.OutPort = binary.BigEndian.Uint16(p[20:22])
+	m.Flags = binary.BigEndian.Uint16(p[22:24])
+	actions, err := decodeActions(p[24:])
+	if err != nil {
+		return err
+	}
+	m.Actions = actions
+	return nil
+}
+
+// BarrierRequest asks the switch to finish all preceding messages before
+// answering.
+type BarrierRequest struct{}
+
+var _ Message = (*BarrierRequest)(nil)
+
+// Type implements Message.
+func (*BarrierRequest) Type() MsgType           { return TypeBarrierRequest }
+func (*BarrierRequest) bodyLen() int            { return 0 }
+func (*BarrierRequest) encodeBody([]byte)       {}
+func (*BarrierRequest) decodeBody([]byte) error { return nil }
+
+// BarrierReply acknowledges a BarrierRequest.
+type BarrierReply struct{}
+
+var _ Message = (*BarrierReply)(nil)
+
+// Type implements Message.
+func (*BarrierReply) Type() MsgType           { return TypeBarrierReply }
+func (*BarrierReply) bodyLen() int            { return 0 }
+func (*BarrierReply) encodeBody([]byte)       {}
+func (*BarrierReply) decodeBody([]byte) error { return nil }
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

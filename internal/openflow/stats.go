@@ -1,0 +1,409 @@
+package openflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// OpenFlow 1.0 statistics messages (OFPT_STATS_REQUEST / OFPT_STATS_REPLY).
+// The paper's measurement methodology reads switch-side counters; these
+// messages are how a controller does that over the wire, and they complete
+// the spec subset the testbed exercises (the CapFlowStats/CapTableStats/
+// CapPortStats capability bits the switch advertises).
+
+// Stats message type codes.
+const (
+	TypeStatsRequest MsgType = 16
+	TypeStatsReply   MsgType = 17
+)
+
+// StatsType selects the statistics body (OFPST_*).
+type StatsType uint16
+
+// Statistics kinds.
+const (
+	StatsDesc      StatsType = 0
+	StatsFlow      StatsType = 1
+	StatsAggregate StatsType = 2
+	StatsTable     StatsType = 3
+	StatsPort      StatsType = 4
+)
+
+// String names the stats type.
+func (t StatsType) String() string {
+	switch t {
+	case StatsDesc:
+		return "DESC"
+	case StatsFlow:
+		return "FLOW"
+	case StatsAggregate:
+		return "AGGREGATE"
+	case StatsTable:
+		return "TABLE"
+	case StatsPort:
+		return "PORT"
+	default:
+		return fmt.Sprintf("OFPST_%d", uint16(t))
+	}
+}
+
+// StatsRequest asks the switch for statistics. Match/OutPort scope flow and
+// aggregate requests; PortNo scopes port requests (PortNone = all ports).
+type StatsRequest struct {
+	StatsType StatsType
+	Flags     uint16
+	// Flow / aggregate scope.
+	Match   Match
+	TableID uint8
+	OutPort uint16
+	// Port scope.
+	PortNo uint16
+}
+
+var _ Message = (*StatsRequest)(nil)
+
+// Type implements Message.
+func (*StatsRequest) Type() MsgType { return TypeStatsRequest }
+func (m *StatsRequest) bodyLen() int {
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		return 4 + MatchLen + 4
+	case StatsPort:
+		return 4 + 8
+	default:
+		return 4
+	}
+}
+func (m *StatsRequest) encodeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], uint16(m.StatsType))
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		m.Match.encode(b[4 : 4+MatchLen])
+		b[4+MatchLen] = m.TableID
+		binary.BigEndian.PutUint16(b[4+MatchLen+2:4+MatchLen+4], m.OutPort)
+	case StatsPort:
+		binary.BigEndian.PutUint16(b[4:6], m.PortNo)
+	}
+}
+func (m *StatsRequest) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("%w: stats request needs 4 bytes, have %d", ErrTruncated, len(b))
+	}
+	m.StatsType = StatsType(binary.BigEndian.Uint16(b[0:2]))
+	m.Flags = binary.BigEndian.Uint16(b[2:4])
+	switch m.StatsType {
+	case StatsFlow, StatsAggregate:
+		if len(b) < 4+MatchLen+4 {
+			return fmt.Errorf("%w: flow stats request body %d bytes", ErrTruncated, len(b))
+		}
+		match, err := decodeMatch(b[4 : 4+MatchLen])
+		if err != nil {
+			return err
+		}
+		m.Match = match
+		m.TableID = b[4+MatchLen]
+		m.OutPort = binary.BigEndian.Uint16(b[4+MatchLen+2 : 4+MatchLen+4])
+	case StatsPort:
+		if len(b) < 4+8 {
+			return fmt.Errorf("%w: port stats request body %d bytes", ErrTruncated, len(b))
+		}
+		m.PortNo = binary.BigEndian.Uint16(b[4:6])
+	}
+	return nil
+}
+
+// DescStats describes the switch implementation (OFPST_DESC reply).
+type DescStats struct {
+	Manufacturer string
+	Hardware     string
+	Software     string
+	SerialNum    string
+	Datapath     string
+}
+
+// FlowStatsEntry is one rule's statistics (OFPST_FLOW reply element).
+type FlowStatsEntry struct {
+	TableID     uint8
+	Match       Match
+	DurationSec uint32
+	DurationNs  uint32
+	Priority    uint16
+	IdleTimeout uint16
+	HardTimeout uint16
+	Cookie      uint64
+	PacketCount uint64
+	ByteCount   uint64
+	Actions     []Action
+}
+
+// AggregateStats summarizes the rules a scope matched (OFPST_AGGREGATE
+// reply).
+type AggregateStats struct {
+	PacketCount uint64
+	ByteCount   uint64
+	FlowCount   uint32
+}
+
+// TableStatsEntry is one table's statistics (OFPST_TABLE reply element).
+type TableStatsEntry struct {
+	TableID      uint8
+	Name         string
+	Wildcards    uint32
+	MaxEntries   uint32
+	ActiveCount  uint32
+	LookupCount  uint64
+	MatchedCount uint64
+}
+
+// PortStatsEntry is one port's counters (OFPST_PORT reply element).
+type PortStatsEntry struct {
+	PortNo    uint16
+	RxPackets uint64
+	TxPackets uint64
+	RxBytes   uint64
+	TxBytes   uint64
+	RxDropped uint64
+	TxDropped uint64
+	RxErrors  uint64
+	TxErrors  uint64
+}
+
+// StatsReply answers a StatsRequest: exactly one of the payload fields
+// matching StatsType is populated.
+type StatsReply struct {
+	StatsType StatsType
+	Flags     uint16
+	Desc      *DescStats
+	Flows     []FlowStatsEntry
+	Aggregate *AggregateStats
+	Tables    []TableStatsEntry
+	Ports     []PortStatsEntry
+}
+
+var _ Message = (*StatsReply)(nil)
+
+const (
+	descStrLen       = 256
+	descSerialLen    = 32
+	descStatsLen     = descStrLen*3 + descSerialLen + descStrLen
+	flowStatsFixed   = 4 + MatchLen + 44 // length/table/pad + match + counters, before actions
+	tableStatsLen    = 64
+	portStatsLen     = 104
+	aggregateBodyLen = 24
+)
+
+// Type implements Message.
+func (*StatsReply) Type() MsgType { return TypeStatsReply }
+
+func (m *StatsReply) bodyLen() int {
+	n := 4
+	switch m.StatsType {
+	case StatsDesc:
+		n += descStatsLen
+	case StatsFlow:
+		for i := range m.Flows {
+			n += flowStatsFixed + actionsLen(m.Flows[i].Actions)
+		}
+	case StatsAggregate:
+		n += aggregateBodyLen
+	case StatsTable:
+		n += tableStatsLen * len(m.Tables)
+	case StatsPort:
+		n += portStatsLen * len(m.Ports)
+	}
+	return n
+}
+
+func putPadded(b []byte, s string) {
+	if len(s) >= len(b) {
+		s = s[:len(b)-1] // keep a NUL terminator
+	}
+	copy(b, s)
+}
+
+func getPadded(b []byte) string {
+	end := 0
+	for end < len(b) && b[end] != 0 {
+		end++
+	}
+	return string(b[:end])
+}
+
+func (m *StatsReply) encodeBody(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], uint16(m.StatsType))
+	binary.BigEndian.PutUint16(b[2:4], m.Flags)
+	p := b[4:]
+	switch m.StatsType {
+	case StatsDesc:
+		d := m.Desc
+		if d == nil {
+			d = &DescStats{}
+		}
+		putPadded(p[0:descStrLen], d.Manufacturer)
+		putPadded(p[descStrLen:2*descStrLen], d.Hardware)
+		putPadded(p[2*descStrLen:3*descStrLen], d.Software)
+		putPadded(p[3*descStrLen:3*descStrLen+descSerialLen], d.SerialNum)
+		putPadded(p[3*descStrLen+descSerialLen:], d.Datapath)
+	case StatsFlow:
+		off := 0
+		for i := range m.Flows {
+			e := &m.Flows[i]
+			entryLen := flowStatsFixed + actionsLen(e.Actions)
+			binary.BigEndian.PutUint16(p[off:off+2], uint16(entryLen))
+			p[off+2] = e.TableID
+			e.Match.encode(p[off+4 : off+4+MatchLen])
+			q := p[off+4+MatchLen:]
+			binary.BigEndian.PutUint32(q[0:4], e.DurationSec)
+			binary.BigEndian.PutUint32(q[4:8], e.DurationNs)
+			binary.BigEndian.PutUint16(q[8:10], e.Priority)
+			binary.BigEndian.PutUint16(q[10:12], e.IdleTimeout)
+			binary.BigEndian.PutUint16(q[12:14], e.HardTimeout)
+			binary.BigEndian.PutUint64(q[20:28], e.Cookie)
+			binary.BigEndian.PutUint64(q[28:36], e.PacketCount)
+			binary.BigEndian.PutUint64(q[36:44], e.ByteCount)
+			encodeActions(q[44:44+actionsLen(e.Actions)], e.Actions)
+			off += entryLen
+		}
+	case StatsAggregate:
+		a := m.Aggregate
+		if a == nil {
+			a = &AggregateStats{}
+		}
+		binary.BigEndian.PutUint64(p[0:8], a.PacketCount)
+		binary.BigEndian.PutUint64(p[8:16], a.ByteCount)
+		binary.BigEndian.PutUint32(p[16:20], a.FlowCount)
+	case StatsTable:
+		off := 0
+		for i := range m.Tables {
+			e := &m.Tables[i]
+			p[off] = e.TableID
+			putPadded(p[off+4:off+36], e.Name)
+			binary.BigEndian.PutUint32(p[off+36:off+40], e.Wildcards)
+			binary.BigEndian.PutUint32(p[off+40:off+44], e.MaxEntries)
+			binary.BigEndian.PutUint32(p[off+44:off+48], e.ActiveCount)
+			binary.BigEndian.PutUint64(p[off+48:off+56], e.LookupCount)
+			binary.BigEndian.PutUint64(p[off+56:off+64], e.MatchedCount)
+			off += tableStatsLen
+		}
+	case StatsPort:
+		off := 0
+		for i := range m.Ports {
+			e := &m.Ports[i]
+			binary.BigEndian.PutUint16(p[off:off+2], e.PortNo)
+			q := p[off+8:]
+			binary.BigEndian.PutUint64(q[0:8], e.RxPackets)
+			binary.BigEndian.PutUint64(q[8:16], e.TxPackets)
+			binary.BigEndian.PutUint64(q[16:24], e.RxBytes)
+			binary.BigEndian.PutUint64(q[24:32], e.TxBytes)
+			binary.BigEndian.PutUint64(q[32:40], e.RxDropped)
+			binary.BigEndian.PutUint64(q[40:48], e.TxDropped)
+			binary.BigEndian.PutUint64(q[48:56], e.RxErrors)
+			binary.BigEndian.PutUint64(q[56:64], e.TxErrors)
+			off += portStatsLen
+		}
+	}
+}
+
+func (m *StatsReply) decodeBody(b []byte) error {
+	if len(b) < 4 {
+		return fmt.Errorf("%w: stats reply needs 4 bytes, have %d", ErrTruncated, len(b))
+	}
+	m.StatsType = StatsType(binary.BigEndian.Uint16(b[0:2]))
+	m.Flags = binary.BigEndian.Uint16(b[2:4])
+	p := b[4:]
+	switch m.StatsType {
+	case StatsDesc:
+		if len(p) < descStatsLen {
+			return fmt.Errorf("%w: desc stats body %d bytes", ErrTruncated, len(p))
+		}
+		m.Desc = &DescStats{
+			Manufacturer: getPadded(p[0:descStrLen]),
+			Hardware:     getPadded(p[descStrLen : 2*descStrLen]),
+			Software:     getPadded(p[2*descStrLen : 3*descStrLen]),
+			SerialNum:    getPadded(p[3*descStrLen : 3*descStrLen+descSerialLen]),
+			Datapath:     getPadded(p[3*descStrLen+descSerialLen:]),
+		}
+	case StatsFlow:
+		m.Flows = nil
+		for len(p) > 0 {
+			if len(p) < flowStatsFixed {
+				return fmt.Errorf("%w: flow stats entry %d bytes", ErrTruncated, len(p))
+			}
+			entryLen := int(binary.BigEndian.Uint16(p[0:2]))
+			if entryLen < flowStatsFixed || entryLen > len(p) {
+				return fmt.Errorf("%w: flow stats entry length %d", ErrBadLength, entryLen)
+			}
+			var e FlowStatsEntry
+			e.TableID = p[2]
+			match, err := decodeMatch(p[4 : 4+MatchLen])
+			if err != nil {
+				return err
+			}
+			e.Match = match
+			q := p[4+MatchLen : entryLen]
+			e.DurationSec = binary.BigEndian.Uint32(q[0:4])
+			e.DurationNs = binary.BigEndian.Uint32(q[4:8])
+			e.Priority = binary.BigEndian.Uint16(q[8:10])
+			e.IdleTimeout = binary.BigEndian.Uint16(q[10:12])
+			e.HardTimeout = binary.BigEndian.Uint16(q[12:14])
+			e.Cookie = binary.BigEndian.Uint64(q[20:28])
+			e.PacketCount = binary.BigEndian.Uint64(q[28:36])
+			e.ByteCount = binary.BigEndian.Uint64(q[36:44])
+			actions, err := decodeActions(q[44:])
+			if err != nil {
+				return err
+			}
+			e.Actions = actions
+			m.Flows = append(m.Flows, e)
+			p = p[entryLen:]
+		}
+	case StatsAggregate:
+		if len(p) < aggregateBodyLen {
+			return fmt.Errorf("%w: aggregate stats body %d bytes", ErrTruncated, len(p))
+		}
+		m.Aggregate = &AggregateStats{
+			PacketCount: binary.BigEndian.Uint64(p[0:8]),
+			ByteCount:   binary.BigEndian.Uint64(p[8:16]),
+			FlowCount:   binary.BigEndian.Uint32(p[16:20]),
+		}
+	case StatsTable:
+		if len(p)%tableStatsLen != 0 {
+			return fmt.Errorf("%w: table stats body %d bytes", ErrBadLength, len(p))
+		}
+		m.Tables = nil
+		for off := 0; off < len(p); off += tableStatsLen {
+			m.Tables = append(m.Tables, TableStatsEntry{
+				TableID:      p[off],
+				Name:         getPadded(p[off+4 : off+36]),
+				Wildcards:    binary.BigEndian.Uint32(p[off+36 : off+40]),
+				MaxEntries:   binary.BigEndian.Uint32(p[off+40 : off+44]),
+				ActiveCount:  binary.BigEndian.Uint32(p[off+44 : off+48]),
+				LookupCount:  binary.BigEndian.Uint64(p[off+48 : off+56]),
+				MatchedCount: binary.BigEndian.Uint64(p[off+56 : off+64]),
+			})
+		}
+	case StatsPort:
+		if len(p)%portStatsLen != 0 {
+			return fmt.Errorf("%w: port stats body %d bytes", ErrBadLength, len(p))
+		}
+		m.Ports = nil
+		for off := 0; off < len(p); off += portStatsLen {
+			q := p[off+8:]
+			m.Ports = append(m.Ports, PortStatsEntry{
+				PortNo:    binary.BigEndian.Uint16(p[off : off+2]),
+				RxPackets: binary.BigEndian.Uint64(q[0:8]),
+				TxPackets: binary.BigEndian.Uint64(q[8:16]),
+				RxBytes:   binary.BigEndian.Uint64(q[16:24]),
+				TxBytes:   binary.BigEndian.Uint64(q[24:32]),
+				RxDropped: binary.BigEndian.Uint64(q[32:40]),
+				TxDropped: binary.BigEndian.Uint64(q[40:48]),
+				RxErrors:  binary.BigEndian.Uint64(q[48:56]),
+				TxErrors:  binary.BigEndian.Uint64(q[56:64]),
+			})
+		}
+	default:
+		return fmt.Errorf("openflow: unsupported stats type %d", uint16(m.StatsType))
+	}
+	return nil
+}

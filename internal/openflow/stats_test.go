@@ -1,0 +1,226 @@
+package openflow
+
+import (
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sdnbuffer/internal/packet"
+)
+
+func TestStatsRequestRoundTrips(t *testing.T) {
+	tests := []*StatsRequest{
+		{StatsType: StatsDesc},
+		{StatsType: StatsFlow, Match: ExactMatchForTest(), TableID: 0, OutPort: PortNone},
+		{StatsType: StatsAggregate, Match: MatchAll(), OutPort: PortNone},
+		{StatsType: StatsTable},
+		{StatsType: StatsPort, PortNo: 2},
+	}
+	for _, m := range tests {
+		t.Run(m.StatsType.String(), func(t *testing.T) {
+			got := roundTrip(t, m, 9).(*StatsRequest)
+			if got.StatsType != m.StatsType {
+				t.Errorf("type = %v, want %v", got.StatsType, m.StatsType)
+			}
+			switch m.StatsType {
+			case StatsFlow, StatsAggregate:
+				if !got.Match.Equal(&m.Match) || got.OutPort != m.OutPort {
+					t.Errorf("scope mismatch: %+v", got)
+				}
+			case StatsPort:
+				if got.PortNo != m.PortNo {
+					t.Errorf("port = %d, want %d", got.PortNo, m.PortNo)
+				}
+			}
+		})
+	}
+}
+
+func TestStatsReplyDescRoundTrip(t *testing.T) {
+	m := &StatsReply{
+		StatsType: StatsDesc,
+		Desc: &DescStats{
+			Manufacturer: "sdnbuffer project",
+			Hardware:     "emulated",
+			Software:     "v1",
+			SerialNum:    "007",
+			Datapath:     "dp",
+		},
+	}
+	got := roundTrip(t, m, 10).(*StatsReply)
+	if !reflect.DeepEqual(got.Desc, m.Desc) {
+		t.Errorf("desc = %+v, want %+v", got.Desc, m.Desc)
+	}
+}
+
+func TestStatsReplyFlowRoundTrip(t *testing.T) {
+	m := &StatsReply{
+		StatsType: StatsFlow,
+		Flows: []FlowStatsEntry{
+			{
+				Match:       ExactMatchForTest(),
+				DurationSec: 12, DurationNs: 500, Priority: 100,
+				IdleTimeout: 5, HardTimeout: 60, Cookie: 7,
+				PacketCount: 1000, ByteCount: 1_000_000,
+				Actions: []Action{&ActionOutput{Port: 2, MaxLen: 0xffff}},
+			},
+			{
+				Match:    MatchAll(),
+				Priority: 1,
+				Actions:  []Action{&ActionSetNWTOS{TOS: 0x2e}, &ActionOutput{Port: 1}},
+			},
+		},
+	}
+	got := roundTrip(t, m, 11).(*StatsReply)
+	if len(got.Flows) != 2 {
+		t.Fatalf("flows = %d, want 2", len(got.Flows))
+	}
+	for i := range m.Flows {
+		w, g := m.Flows[i], got.Flows[i]
+		if !g.Match.Equal(&w.Match) || g.PacketCount != w.PacketCount ||
+			g.ByteCount != w.ByteCount || g.Priority != w.Priority ||
+			g.Cookie != w.Cookie || g.IdleTimeout != w.IdleTimeout {
+			t.Errorf("flow %d mismatch: got %+v want %+v", i, g, w)
+		}
+		if !reflect.DeepEqual(g.Actions, w.Actions) {
+			t.Errorf("flow %d actions mismatch", i)
+		}
+	}
+}
+
+func TestStatsReplyAggregateTablePortRoundTrips(t *testing.T) {
+	agg := &StatsReply{
+		StatsType: StatsAggregate,
+		Aggregate: &AggregateStats{PacketCount: 5, ByteCount: 5000, FlowCount: 2},
+	}
+	got := roundTrip(t, agg, 12).(*StatsReply)
+	if !reflect.DeepEqual(got.Aggregate, agg.Aggregate) {
+		t.Errorf("aggregate = %+v", got.Aggregate)
+	}
+
+	tbl := &StatsReply{
+		StatsType: StatsTable,
+		Tables: []TableStatsEntry{{
+			TableID: 0, Name: "main", Wildcards: WildcardAll,
+			MaxEntries: 1000, ActiveCount: 12, LookupCount: 99, MatchedCount: 88,
+		}},
+	}
+	gotT := roundTrip(t, tbl, 13).(*StatsReply)
+	if !reflect.DeepEqual(gotT.Tables, tbl.Tables) {
+		t.Errorf("tables = %+v", gotT.Tables)
+	}
+
+	prt := &StatsReply{
+		StatsType: StatsPort,
+		Ports: []PortStatsEntry{
+			{PortNo: 1, RxPackets: 10, TxPackets: 20, RxBytes: 100, TxBytes: 200},
+			{PortNo: 2, RxErrors: 1, TxDropped: 2},
+		},
+	}
+	gotP := roundTrip(t, prt, 14).(*StatsReply)
+	if !reflect.DeepEqual(gotP.Ports, prt.Ports) {
+		t.Errorf("ports = %+v", gotP.Ports)
+	}
+}
+
+func TestStatsReplyEmptyLists(t *testing.T) {
+	for _, st := range []StatsType{StatsFlow, StatsTable, StatsPort} {
+		m := &StatsReply{StatsType: st}
+		got := roundTrip(t, m, 15).(*StatsReply)
+		if len(got.Flows)+len(got.Tables)+len(got.Ports) != 0 {
+			t.Errorf("%v: nonempty decode of empty reply", st)
+		}
+	}
+}
+
+func TestStatsReplyRejectsUnknownType(t *testing.T) {
+	b := MustEncode(&StatsReply{StatsType: StatsDesc}, 1)
+	b[HeaderLen+1] = 99 // corrupt the stats type (low byte)
+	// Length no longer matches a known body; must error, not panic.
+	if _, _, err := Decode(b); err == nil {
+		t.Error("accepted unknown stats type")
+	}
+}
+
+func TestStatsDescTruncatesLongStrings(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	m := &StatsReply{StatsType: StatsDesc, Desc: &DescStats{Manufacturer: string(long)}}
+	got := roundTrip(t, m, 16).(*StatsReply)
+	if len(got.Desc.Manufacturer) >= 256 {
+		t.Errorf("manufacturer not truncated: %d bytes", len(got.Desc.Manufacturer))
+	}
+}
+
+func TestPropertyStatsReplyRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	prop := func() bool {
+		var m *StatsReply
+		switch r.Intn(4) {
+		case 0:
+			m = &StatsReply{StatsType: StatsAggregate, Aggregate: &AggregateStats{
+				PacketCount: r.Uint64(), ByteCount: r.Uint64(), FlowCount: r.Uint32(),
+			}}
+		case 1:
+			var flows []FlowStatsEntry
+			for i := 0; i < r.Intn(5); i++ {
+				flows = append(flows, FlowStatsEntry{
+					Match:    FlowMatch(randomKeyForStats(r)),
+					Priority: uint16(r.Uint32()), Cookie: r.Uint64(),
+					PacketCount: r.Uint64(), ByteCount: r.Uint64(),
+					Actions: []Action{&ActionOutput{Port: uint16(r.Uint32())}},
+				})
+			}
+			m = &StatsReply{StatsType: StatsFlow, Flows: flows}
+		case 2:
+			var tables []TableStatsEntry
+			for i := 0; i < r.Intn(4); i++ {
+				tables = append(tables, TableStatsEntry{
+					TableID: uint8(i), Name: "t", LookupCount: r.Uint64(), MatchedCount: r.Uint64(),
+				})
+			}
+			m = &StatsReply{StatsType: StatsTable, Tables: tables}
+		default:
+			var ports []PortStatsEntry
+			for i := 0; i < r.Intn(6); i++ {
+				ports = append(ports, PortStatsEntry{
+					PortNo: uint16(i + 1), RxPackets: r.Uint64(), TxBytes: r.Uint64(),
+				})
+			}
+			m = &StatsReply{StatsType: StatsPort, Ports: ports}
+		}
+		b, err := Encode(m, 1)
+		if err != nil {
+			return false
+		}
+		got, _, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		// Re-encode: byte-identical round trip.
+		b2, err := Encode(got, 1)
+		if err != nil {
+			return false
+		}
+		return string(b) == string(b2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomKeyForStats(r *rand.Rand) (k packet.FlowKey) {
+	var a, b [4]byte
+	r.Read(a[:])
+	r.Read(b[:])
+	k.SrcIP = netip.AddrFrom4(a)
+	k.DstIP = netip.AddrFrom4(b)
+	k.SrcPort = uint16(r.Uint32())
+	k.DstPort = uint16(r.Uint32())
+	k.Proto = 17
+	return k
+}

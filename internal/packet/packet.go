@@ -1,0 +1,501 @@
+// Package packet builds and parses the data-plane frames the testbed
+// exchanges: Ethernet II frames carrying IPv4 datagrams with UDP or TCP
+// payloads. It exists so the switch operates on real bytes — flow-table
+// matching, buffer accounting and packet_in truncation all work on the wire
+// representation, exactly as a hardware or OVS datapath would.
+//
+// The package also defines FlowKey, the (src IP, dst IP, src port, dst port,
+// protocol) 5-tuple used by the paper's flow-granularity buffer mechanism to
+// assign one buffer_id per flow.
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Protocol numbers for the IPv4 protocol field.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+)
+
+// EtherType values used by the testbed.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// Header lengths in bytes.
+const (
+	EthernetHeaderLen = 14
+	IPv4HeaderLen     = 20 // without options
+	UDPHeaderLen      = 8
+	TCPHeaderLen      = 20 // without options
+)
+
+// MinFrameLen is the minimum Ethernet frame length (without FCS) that
+// Serialize will pad to.
+const MinFrameLen = 60
+
+// Common parse errors.
+var (
+	ErrTruncated        = errors.New("packet: truncated")
+	ErrBadVersion       = errors.New("packet: not IPv4")
+	ErrBadHeaderLength  = errors.New("packet: bad IPv4 header length")
+	ErrUnknownEtherType = errors.New("packet: unsupported ethertype")
+	ErrUnknownProtocol  = errors.New("packet: unsupported transport protocol")
+)
+
+// MAC is a 48-bit Ethernet address.
+type MAC [6]byte
+
+// String formats the address in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IsBroadcast reports whether the address is ff:ff:ff:ff:ff:ff.
+func (m MAC) IsBroadcast() bool {
+	return m == MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+}
+
+// Broadcast is the Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// FlowKey identifies a transport flow by its 5-tuple. It is comparable and
+// therefore usable as a map key, which is how the flow-granularity buffer
+// mechanism indexes its buffer_id map (Algorithm 1 of the paper).
+type FlowKey struct {
+	SrcIP   netip.Addr
+	DstIP   netip.Addr
+	SrcPort uint16
+	DstPort uint16
+	Proto   uint8
+}
+
+// String formats the key as "proto src:port->dst:port".
+func (k FlowKey) String() string {
+	var proto string
+	switch k.Proto {
+	case ProtoTCP:
+		proto = "tcp"
+	case ProtoUDP:
+		proto = "udp"
+	case ProtoICMP:
+		proto = "icmp"
+	default:
+		proto = fmt.Sprintf("proto%d", k.Proto)
+	}
+	return fmt.Sprintf("%s %s:%d->%s:%d", proto, k.SrcIP, k.SrcPort, k.DstIP, k.DstPort)
+}
+
+// Frame is a parsed (or to-be-serialized) Ethernet II frame with an IPv4
+// payload. Fields mirror the wire layout; Payload is the transport payload
+// (after the UDP/TCP header).
+type Frame struct {
+	SrcMAC    MAC
+	DstMAC    MAC
+	EtherType uint16
+
+	// IPv4 fields; valid when EtherType == EtherTypeIPv4.
+	TTL      uint8
+	Proto    uint8
+	SrcIP    netip.Addr
+	DstIP    netip.Addr
+	IPID     uint16
+	TOS      uint8
+	DontFrag bool
+
+	// Transport fields; valid when Proto is UDP or TCP.
+	SrcPort uint16
+	DstPort uint16
+
+	// TCP-only fields.
+	Seq    uint32
+	Ack    uint32
+	Flags  TCPFlags
+	Window uint16
+
+	Payload []byte
+}
+
+// TCPFlags is the TCP flag byte.
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// String formats the set flags in the tcpdump style, e.g. "SA" for SYN|ACK.
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit TCPFlags
+		ch  byte
+	}{
+		{FlagSYN, 'S'}, {FlagACK, 'A'}, {FlagFIN, 'F'},
+		{FlagRST, 'R'}, {FlagPSH, 'P'}, {FlagURG, 'U'},
+	}
+	out := make([]byte, 0, 6)
+	for _, n := range names {
+		if f&n.bit != 0 {
+			out = append(out, n.ch)
+		}
+	}
+	if len(out) == 0 {
+		return "."
+	}
+	return string(out)
+}
+
+// Key extracts the 5-tuple flow key of the frame.
+func (f *Frame) Key() FlowKey {
+	return FlowKey{
+		SrcIP:   f.SrcIP,
+		DstIP:   f.DstIP,
+		SrcPort: f.SrcPort,
+		DstPort: f.DstPort,
+		Proto:   f.Proto,
+	}
+}
+
+// transportLen reports the length of the transport header for the frame's
+// protocol, or 0 for protocols without one in this model.
+func (f *Frame) transportLen() int {
+	switch f.Proto {
+	case ProtoUDP:
+		return UDPHeaderLen
+	case ProtoTCP:
+		return TCPHeaderLen
+	default:
+		return 0
+	}
+}
+
+// WireLen reports the serialized frame length in bytes, including minimum
+// frame padding.
+func (f *Frame) WireLen() int {
+	n := EthernetHeaderLen + IPv4HeaderLen + f.transportLen() + len(f.Payload)
+	if n < MinFrameLen {
+		n = MinFrameLen
+	}
+	return n
+}
+
+// Serialize encodes the frame into wire format, computing the IPv4 header
+// checksum and the UDP/TCP checksum, and padding to the Ethernet minimum.
+func (f *Frame) Serialize() ([]byte, error) {
+	if f.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("%w: 0x%04x", ErrUnknownEtherType, f.EtherType)
+	}
+	if !f.SrcIP.Is4() || !f.DstIP.Is4() {
+		return nil, fmt.Errorf("packet: source and destination must be IPv4 addresses")
+	}
+	tl := f.transportLen()
+	if f.Proto != ProtoUDP && f.Proto != ProtoTCP {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, f.Proto)
+	}
+	ipLen := IPv4HeaderLen + tl + len(f.Payload)
+	buf := make([]byte, f.WireLen())
+
+	// Ethernet header.
+	copy(buf[0:6], f.DstMAC[:])
+	copy(buf[6:12], f.SrcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], f.EtherType)
+
+	// IPv4 header.
+	ip := buf[EthernetHeaderLen:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = f.TOS
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	binary.BigEndian.PutUint16(ip[4:6], f.IPID)
+	if f.DontFrag {
+		binary.BigEndian.PutUint16(ip[6:8], 0x4000)
+	}
+	ip[8] = f.TTL
+	ip[9] = f.Proto
+	src := f.SrcIP.As4()
+	dst := f.DstIP.As4()
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4HeaderLen]))
+
+	// Transport header.
+	tp := ip[IPv4HeaderLen:]
+	switch f.Proto {
+	case ProtoUDP:
+		binary.BigEndian.PutUint16(tp[0:2], f.SrcPort)
+		binary.BigEndian.PutUint16(tp[2:4], f.DstPort)
+		binary.BigEndian.PutUint16(tp[4:6], uint16(UDPHeaderLen+len(f.Payload)))
+		copy(tp[UDPHeaderLen:], f.Payload)
+		sum := pseudoHeaderChecksum(src, dst, ProtoUDP, tp[:UDPHeaderLen+len(f.Payload)])
+		if sum == 0 {
+			sum = 0xffff // UDP: zero checksum means "not computed"
+		}
+		binary.BigEndian.PutUint16(tp[6:8], sum)
+	case ProtoTCP:
+		binary.BigEndian.PutUint32(tp[4:8], f.Seq)
+		binary.BigEndian.PutUint32(tp[8:12], f.Ack)
+		binary.BigEndian.PutUint16(tp[0:2], f.SrcPort)
+		binary.BigEndian.PutUint16(tp[2:4], f.DstPort)
+		tp[12] = 5 << 4 // data offset 5 words
+		tp[13] = byte(f.Flags)
+		binary.BigEndian.PutUint16(tp[14:16], f.Window)
+		copy(tp[TCPHeaderLen:], f.Payload)
+		sum := pseudoHeaderChecksum(src, dst, ProtoTCP, tp[:TCPHeaderLen+len(f.Payload)])
+		binary.BigEndian.PutUint16(tp[16:18], sum)
+	}
+	return buf, nil
+}
+
+// Parse decodes a wire-format Ethernet II frame produced by Serialize (or by
+// any conforming sender). It validates structural lengths but does not
+// verify checksums; use VerifyChecksums for that.
+func Parse(b []byte) (*Frame, error) {
+	if len(b) < EthernetHeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, need Ethernet header", ErrTruncated, len(b))
+	}
+	f := &Frame{}
+	copy(f.DstMAC[:], b[0:6])
+	copy(f.SrcMAC[:], b[6:12])
+	f.EtherType = binary.BigEndian.Uint16(b[12:14])
+	if f.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("%w: 0x%04x", ErrUnknownEtherType, f.EtherType)
+	}
+	ip := b[EthernetHeaderLen:]
+	if len(ip) < IPv4HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, need IPv4 header", ErrTruncated, len(ip))
+	}
+	if ip[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || ihl > len(ip) {
+		return nil, fmt.Errorf("%w: ihl=%d", ErrBadHeaderLength, ihl)
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if totalLen < ihl || totalLen > len(ip) {
+		return nil, fmt.Errorf("%w: total length %d exceeds capture %d", ErrTruncated, totalLen, len(ip))
+	}
+	f.TOS = ip[1]
+	f.IPID = binary.BigEndian.Uint16(ip[4:6])
+	f.DontFrag = binary.BigEndian.Uint16(ip[6:8])&0x4000 != 0
+	f.TTL = ip[8]
+	f.Proto = ip[9]
+	f.SrcIP = netip.AddrFrom4([4]byte(ip[12:16]))
+	f.DstIP = netip.AddrFrom4([4]byte(ip[16:20]))
+
+	tp := ip[ihl:totalLen]
+	switch f.Proto {
+	case ProtoUDP:
+		if len(tp) < UDPHeaderLen {
+			return nil, fmt.Errorf("%w: %d bytes, need UDP header", ErrTruncated, len(tp))
+		}
+		f.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		f.DstPort = binary.BigEndian.Uint16(tp[2:4])
+		udpLen := int(binary.BigEndian.Uint16(tp[4:6]))
+		if udpLen < UDPHeaderLen || udpLen > len(tp) {
+			return nil, fmt.Errorf("%w: udp length %d exceeds capture %d", ErrTruncated, udpLen, len(tp))
+		}
+		f.Payload = cloneBytes(tp[UDPHeaderLen:udpLen])
+	case ProtoTCP:
+		if len(tp) < TCPHeaderLen {
+			return nil, fmt.Errorf("%w: %d bytes, need TCP header", ErrTruncated, len(tp))
+		}
+		f.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		f.DstPort = binary.BigEndian.Uint16(tp[2:4])
+		f.Seq = binary.BigEndian.Uint32(tp[4:8])
+		f.Ack = binary.BigEndian.Uint32(tp[8:12])
+		off := int(tp[12]>>4) * 4
+		if off < TCPHeaderLen || off > len(tp) {
+			return nil, fmt.Errorf("%w: tcp data offset %d", ErrBadHeaderLength, off)
+		}
+		f.Flags = TCPFlags(tp[13])
+		f.Window = binary.BigEndian.Uint16(tp[14:16])
+		f.Payload = cloneBytes(tp[off:])
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, f.Proto)
+	}
+	return f, nil
+}
+
+// ParseKey extracts the 5-tuple flow key from a wire-format frame without
+// materializing the payload. This is the hot path the switch datapath uses
+// on every miss-match packet.
+func ParseKey(b []byte) (FlowKey, error) {
+	var k FlowKey
+	if len(b) < EthernetHeaderLen+IPv4HeaderLen {
+		return k, fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if binary.BigEndian.Uint16(b[12:14]) != EtherTypeIPv4 {
+		return k, ErrUnknownEtherType
+	}
+	ip := b[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return k, ErrBadVersion
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || EthernetHeaderLen+ihl+4 > len(b) {
+		return k, fmt.Errorf("%w: ihl=%d", ErrBadHeaderLength, ihl)
+	}
+	k.Proto = ip[9]
+	k.SrcIP = netip.AddrFrom4([4]byte(ip[12:16]))
+	k.DstIP = netip.AddrFrom4([4]byte(ip[16:20]))
+	if k.Proto == ProtoUDP || k.Proto == ProtoTCP {
+		tp := ip[ihl:]
+		k.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		k.DstPort = binary.BigEndian.Uint16(tp[2:4])
+	}
+	return k, nil
+}
+
+// ParseHeaders decodes only the Ethernet/IPv4/transport headers of a
+// possibly truncated frame, tolerating a missing or cut-off payload. This is
+// what a controller must do with a packet_in whose payload was truncated to
+// miss_send_len bytes: the headers are intact, the body is not. The returned
+// frame's Payload is whatever bytes were captured past the transport header.
+func ParseHeaders(b []byte) (*Frame, error) {
+	if len(b) < EthernetHeaderLen+IPv4HeaderLen {
+		return nil, fmt.Errorf("%w: %d bytes, need L2+L3 headers", ErrTruncated, len(b))
+	}
+	f := &Frame{}
+	copy(f.DstMAC[:], b[0:6])
+	copy(f.SrcMAC[:], b[6:12])
+	f.EtherType = binary.BigEndian.Uint16(b[12:14])
+	if f.EtherType != EtherTypeIPv4 {
+		return nil, fmt.Errorf("%w: 0x%04x", ErrUnknownEtherType, f.EtherType)
+	}
+	ip := b[EthernetHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || ihl > len(ip) {
+		return nil, fmt.Errorf("%w: ihl=%d", ErrBadHeaderLength, ihl)
+	}
+	f.TOS = ip[1]
+	f.IPID = binary.BigEndian.Uint16(ip[4:6])
+	f.DontFrag = binary.BigEndian.Uint16(ip[6:8])&0x4000 != 0
+	f.TTL = ip[8]
+	f.Proto = ip[9]
+	f.SrcIP = netip.AddrFrom4([4]byte(ip[12:16]))
+	f.DstIP = netip.AddrFrom4([4]byte(ip[16:20]))
+	tp := ip[ihl:]
+	switch f.Proto {
+	case ProtoUDP:
+		if len(tp) < UDPHeaderLen {
+			return nil, fmt.Errorf("%w: UDP header cut off", ErrTruncated)
+		}
+		f.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		f.DstPort = binary.BigEndian.Uint16(tp[2:4])
+		f.Payload = cloneBytes(tp[UDPHeaderLen:])
+	case ProtoTCP:
+		if len(tp) < TCPHeaderLen {
+			return nil, fmt.Errorf("%w: TCP header cut off", ErrTruncated)
+		}
+		f.SrcPort = binary.BigEndian.Uint16(tp[0:2])
+		f.DstPort = binary.BigEndian.Uint16(tp[2:4])
+		f.Seq = binary.BigEndian.Uint32(tp[4:8])
+		f.Ack = binary.BigEndian.Uint32(tp[8:12])
+		f.Flags = TCPFlags(tp[13])
+		f.Window = binary.BigEndian.Uint16(tp[14:16])
+		off := int(tp[12]>>4) * 4
+		if off >= TCPHeaderLen && off <= len(tp) {
+			f.Payload = cloneBytes(tp[off:])
+		}
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, f.Proto)
+	}
+	return f, nil
+}
+
+// VerifyChecksums re-computes the IPv4 and transport checksums of a
+// wire-format frame and reports the first mismatch found.
+func VerifyChecksums(b []byte) error {
+	f, err := Parse(b)
+	if err != nil {
+		return err
+	}
+	ip := b[EthernetHeaderLen:]
+	ihl := int(ip[0]&0x0f) * 4
+	if Checksum(ip[:ihl]) != 0 {
+		return fmt.Errorf("packet: bad IPv4 header checksum")
+	}
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	tp := ip[ihl:totalLen]
+	src, dst := f.SrcIP.As4(), f.DstIP.As4()
+	switch f.Proto {
+	case ProtoUDP:
+		if binary.BigEndian.Uint16(tp[6:8]) == 0 {
+			return nil // checksum not computed: legal for UDP over IPv4
+		}
+		udpLen := int(binary.BigEndian.Uint16(tp[4:6]))
+		if s := pseudoHeaderChecksum(src, dst, ProtoUDP, tp[:udpLen]); s != 0 && s != 0xffff {
+			return fmt.Errorf("packet: bad UDP checksum (residual 0x%04x)", s)
+		}
+	case ProtoTCP:
+		if s := pseudoHeaderChecksum(src, dst, ProtoTCP, tp); s != 0 && s != 0xffff {
+			return fmt.Errorf("packet: bad TCP checksum (residual 0x%04x)", s)
+		}
+	}
+	return nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum over b. Computing it over
+// data that already includes a correct checksum field yields 0.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderChecksum computes the transport checksum including the IPv4
+// pseudo header.
+func pseudoHeaderChecksum(src, dst [4]byte, proto uint8, segment []byte) uint16 {
+	var ph [12]byte
+	copy(ph[0:4], src[:])
+	copy(ph[4:8], dst[:])
+	ph[9] = proto
+	binary.BigEndian.PutUint16(ph[10:12], uint16(len(segment)))
+	var sum uint32
+	add := func(b []byte) {
+		for i := 0; i+1 < len(b); i += 2 {
+			sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+		}
+		if len(b)%2 == 1 {
+			sum += uint32(b[len(b)-1]) << 8
+		}
+	}
+	add(ph[:])
+	add(segment)
+	for sum > 0xffff {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+func cloneBytes(b []byte) []byte {
+	if len(b) == 0 {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

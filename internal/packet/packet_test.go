@@ -1,0 +1,435 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mustAddr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatalf("ParseAddr(%q): %v", s, err)
+	}
+	return a
+}
+
+func sampleUDP(t *testing.T, payload int) *Frame {
+	t.Helper()
+	return &Frame{
+		SrcMAC:    MAC{0x02, 0, 0, 0, 0, 0x01},
+		DstMAC:    MAC{0x02, 0, 0, 0, 0, 0x02},
+		EtherType: EtherTypeIPv4,
+		TTL:       64,
+		Proto:     ProtoUDP,
+		SrcIP:     mustAddr(t, "10.0.0.1"),
+		DstIP:     mustAddr(t, "10.0.0.2"),
+		IPID:      7,
+		SrcPort:   9,
+		DstPort:   9,
+		Payload:   bytes.Repeat([]byte{0xab}, payload),
+	}
+}
+
+func TestSerializeParseUDPRoundTrip(t *testing.T) {
+	f := sampleUDP(t, 958) // 1000-byte frame, the paper's size
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	if got, want := len(wire), 1000; got != want {
+		t.Fatalf("wire length = %d, want %d", got, want)
+	}
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.SrcMAC != f.SrcMAC || got.DstMAC != f.DstMAC {
+		t.Errorf("MACs = %v->%v, want %v->%v", got.SrcMAC, got.DstMAC, f.SrcMAC, f.DstMAC)
+	}
+	if got.SrcIP != f.SrcIP || got.DstIP != f.DstIP {
+		t.Errorf("IPs = %v->%v, want %v->%v", got.SrcIP, got.DstIP, f.SrcIP, f.DstIP)
+	}
+	if got.SrcPort != f.SrcPort || got.DstPort != f.DstPort {
+		t.Errorf("ports = %d->%d, want %d->%d", got.SrcPort, got.DstPort, f.SrcPort, f.DstPort)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("payload mismatch: %d bytes vs %d", len(got.Payload), len(f.Payload))
+	}
+	if err := VerifyChecksums(wire); err != nil {
+		t.Errorf("VerifyChecksums: %v", err)
+	}
+}
+
+func TestSerializeParseTCPRoundTrip(t *testing.T) {
+	f := &Frame{
+		SrcMAC:    MAC{0x02, 0, 0, 0, 0, 0x01},
+		DstMAC:    MAC{0x02, 0, 0, 0, 0, 0x02},
+		EtherType: EtherTypeIPv4,
+		TTL:       64,
+		Proto:     ProtoTCP,
+		SrcIP:     mustAddr(t, "192.168.1.1"),
+		DstIP:     mustAddr(t, "192.168.1.2"),
+		SrcPort:   43211,
+		DstPort:   80,
+		Seq:       0xdeadbeef,
+		Ack:       0x01020304,
+		Flags:     FlagSYN | FlagACK,
+		Window:    65535,
+		Payload:   []byte("hello"),
+	}
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	got, err := Parse(wire)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got.Seq != f.Seq || got.Ack != f.Ack {
+		t.Errorf("seq/ack = %x/%x, want %x/%x", got.Seq, got.Ack, f.Seq, f.Ack)
+	}
+	if got.Flags != f.Flags {
+		t.Errorf("flags = %v, want %v", got.Flags, f.Flags)
+	}
+	if got.Window != f.Window {
+		t.Errorf("window = %d, want %d", got.Window, f.Window)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("payload = %q, want %q", got.Payload, f.Payload)
+	}
+	if err := VerifyChecksums(wire); err != nil {
+		t.Errorf("VerifyChecksums: %v", err)
+	}
+}
+
+func TestSerializePadsToMinimum(t *testing.T) {
+	f := sampleUDP(t, 0)
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	if len(wire) != MinFrameLen {
+		t.Fatalf("wire length = %d, want minimum %d", len(wire), MinFrameLen)
+	}
+	if _, err := Parse(wire); err != nil {
+		t.Fatalf("Parse padded frame: %v", err)
+	}
+}
+
+func TestWireLenMatchesSerialize(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 100, 958, 1400} {
+		f := sampleUDP(t, n)
+		wire, err := f.Serialize()
+		if err != nil {
+			t.Fatalf("Serialize(payload=%d): %v", n, err)
+		}
+		if len(wire) != f.WireLen() {
+			t.Errorf("payload=%d: len=%d, WireLen=%d", n, len(wire), f.WireLen())
+		}
+	}
+}
+
+func TestParseKeyMatchesParse(t *testing.T) {
+	f := sampleUDP(t, 100)
+	f.SrcPort, f.DstPort = 5353, 8080
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	k, err := ParseKey(wire)
+	if err != nil {
+		t.Fatalf("ParseKey: %v", err)
+	}
+	if k != f.Key() {
+		t.Errorf("ParseKey = %v, want %v", k, f.Key())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	valid, err := sampleUDP(t, 100).Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	tests := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"short ethernet", valid[:10]},
+		{"short ip", valid[:EthernetHeaderLen+4]},
+		{"short udp", valid[:EthernetHeaderLen+IPv4HeaderLen+2]},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Parse(tt.b); err == nil {
+				t.Errorf("Parse(%d bytes) succeeded, want error", len(tt.b))
+			}
+		})
+	}
+}
+
+func TestParseRejectsNonIPv4(t *testing.T) {
+	f := sampleUDP(t, 10)
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	wire[12], wire[13] = 0x08, 0x06 // ARP ethertype
+	if _, err := Parse(wire); err == nil {
+		t.Error("Parse accepted ARP ethertype")
+	}
+	wire[12], wire[13] = 0x08, 0x00
+	wire[EthernetHeaderLen] = 0x65 // version 6
+	if _, err := Parse(wire); err == nil {
+		t.Error("Parse accepted IP version 6")
+	}
+}
+
+func TestVerifyChecksumsDetectsCorruption(t *testing.T) {
+	wire, err := sampleUDP(t, 64).Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	// Flip a payload byte: UDP checksum must fail.
+	wire[len(wire)-1] ^= 0xff
+	if err := VerifyChecksums(wire); err == nil {
+		t.Error("VerifyChecksums accepted corrupted payload")
+	}
+	wire[len(wire)-1] ^= 0xff
+	// Flip the IPv4 TTL: header checksum must fail.
+	wire[EthernetHeaderLen+8] ^= 0x01
+	if err := VerifyChecksums(wire); err == nil {
+		t.Error("VerifyChecksums accepted corrupted IPv4 header")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 -> sum 0xddf2, checksum 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got, want := Checksum(b), uint16(0x220d); got != want {
+		t.Errorf("Checksum = 0x%04x, want 0x%04x", got, want)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x00, 0x1b, 0x21, 0x3c, 0x4d, 0x5e}
+	if got, want := m.String(), "00:1b:21:3c:4d:5e"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if !Broadcast.IsBroadcast() {
+		t.Error("Broadcast.IsBroadcast() = false")
+	}
+	if m.IsBroadcast() {
+		t.Error("unicast IsBroadcast() = true")
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	tests := []struct {
+		f    TCPFlags
+		want string
+	}{
+		{0, "."},
+		{FlagSYN, "S"},
+		{FlagSYN | FlagACK, "SA"},
+		{FlagFIN | FlagACK, "AF"},
+		{FlagRST, "R"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Errorf("TCPFlags(%08b).String() = %q, want %q", tt.f, got, tt.want)
+		}
+	}
+}
+
+func TestFlowKeyString(t *testing.T) {
+	k := FlowKey{
+		SrcIP: netip.MustParseAddr("10.0.0.1"), DstIP: netip.MustParseAddr("10.0.0.2"),
+		SrcPort: 123, DstPort: 456, Proto: ProtoUDP,
+	}
+	if got, want := k.String(), "udp 10.0.0.1:123->10.0.0.2:456"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// randomFrame generates a structurally valid random frame for property tests.
+func randomFrame(r *rand.Rand) *Frame {
+	f := &Frame{EtherType: EtherTypeIPv4, TTL: uint8(1 + r.Intn(255))}
+	r.Read(f.SrcMAC[:])
+	r.Read(f.DstMAC[:])
+	var a, b [4]byte
+	r.Read(a[:])
+	r.Read(b[:])
+	f.SrcIP = netip.AddrFrom4(a)
+	f.DstIP = netip.AddrFrom4(b)
+	f.IPID = uint16(r.Uint32())
+	f.TOS = uint8(r.Uint32())
+	f.SrcPort = uint16(r.Uint32())
+	f.DstPort = uint16(r.Uint32())
+	if r.Intn(2) == 0 {
+		f.Proto = ProtoUDP
+	} else {
+		f.Proto = ProtoTCP
+		f.Seq = r.Uint32()
+		f.Ack = r.Uint32()
+		f.Flags = TCPFlags(r.Intn(64))
+		f.Window = uint16(r.Uint32())
+	}
+	payload := make([]byte, r.Intn(1200))
+	r.Read(payload)
+	f.Payload = payload
+	return f
+}
+
+func TestPropertySerializeParseIdentity(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	prop := func() bool {
+		f := randomFrame(r)
+		wire, err := f.Serialize()
+		if err != nil {
+			t.Logf("Serialize: %v", err)
+			return false
+		}
+		got, err := Parse(wire)
+		if err != nil {
+			t.Logf("Parse: %v", err)
+			return false
+		}
+		if len(got.Payload) == 0 {
+			got.Payload = nil
+		}
+		want := *f
+		if len(want.Payload) == 0 {
+			want.Payload = nil
+		}
+		return reflect.DeepEqual(got, &want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyChecksumsAlwaysVerify(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	prop := func() bool {
+		wire, err := randomFrame(r).Serialize()
+		if err != nil {
+			return false
+		}
+		return VerifyChecksums(wire) == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyParseNeverPanicsOnRandomBytes(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	prop := func() bool {
+		b := make([]byte, r.Intn(200))
+		r.Read(b)
+		_, _ = Parse(b)    // must not panic
+		_, _ = ParseKey(b) // must not panic
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyParseKeyAgreesWithParse(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	prop := func() bool {
+		f := randomFrame(r)
+		wire, err := f.Serialize()
+		if err != nil {
+			return false
+		}
+		k, err := ParseKey(wire)
+		if err != nil {
+			return false
+		}
+		return k == f.Key()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseHeadersOnTruncatedFrame(t *testing.T) {
+	full, err := sampleUDP(t, 800).Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate to 128 bytes, the spec's default miss_send_len.
+	trunc := full[:128]
+	if _, err := Parse(trunc); err == nil {
+		t.Fatal("strict Parse accepted truncated frame")
+	}
+	f, err := ParseHeaders(trunc)
+	if err != nil {
+		t.Fatalf("ParseHeaders: %v", err)
+	}
+	want, err := Parse(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Key() != want.Key() {
+		t.Errorf("key = %v, want %v", f.Key(), want.Key())
+	}
+	if f.SrcMAC != want.SrcMAC || f.DstMAC != want.DstMAC {
+		t.Errorf("MACs differ")
+	}
+}
+
+func TestParseHeadersTCP(t *testing.T) {
+	f := &Frame{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		EtherType: EtherTypeIPv4, TTL: 64, Proto: ProtoTCP,
+		SrcIP: mustAddr(t, "10.0.0.1"), DstIP: mustAddr(t, "10.0.0.2"),
+		SrcPort: 1, DstPort: 2, Seq: 99, Flags: FlagSYN,
+		Payload: bytes.Repeat([]byte{1}, 500),
+	}
+	full, err := f.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseHeaders(full[:64])
+	if err != nil {
+		t.Fatalf("ParseHeaders: %v", err)
+	}
+	if got.Seq != 99 || got.Flags != FlagSYN {
+		t.Errorf("seq/flags = %d/%v", got.Seq, got.Flags)
+	}
+}
+
+func TestParseHeadersErrors(t *testing.T) {
+	if _, err := ParseHeaders(make([]byte, 10)); err == nil {
+		t.Error("accepted tiny input")
+	}
+	full, err := sampleUDP(t, 100).Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseHeaders(full[:EthernetHeaderLen+IPv4HeaderLen+2]); err == nil {
+		t.Error("accepted cut-off UDP header")
+	}
+}
+
+func TestPropertyParseHeadersNeverPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	prop := func() bool {
+		b := make([]byte, r.Intn(200))
+		r.Read(b)
+		_, _ = ParseHeaders(b)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

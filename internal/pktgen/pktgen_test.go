@@ -1,0 +1,385 @@
+package pktgen
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"sdnbuffer/internal/packet"
+)
+
+func testConfig(rate float64) Config {
+	return Config{
+		FrameSize: 1000,
+		RateMbps:  rate,
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+	}
+}
+
+func TestSinglePacketFlowsShape(t *testing.T) {
+	s, err := SinglePacketFlows(testConfig(100), 1000)
+	if err != nil {
+		t.Fatalf("SinglePacketFlows: %v", err)
+	}
+	if len(s) != 1000 {
+		t.Fatalf("emissions = %d, want 1000", len(s))
+	}
+	if got := s.Flows(); got != 1000 {
+		t.Errorf("flows = %d, want 1000 (each packet a new flow)", got)
+	}
+	// Every frame is 1000 bytes and parses as valid UDP.
+	keys := make(map[packet.FlowKey]bool)
+	for i, e := range s {
+		if len(e.Frame) != 1000 {
+			t.Fatalf("frame %d is %d bytes", i, len(e.Frame))
+		}
+		f, err := packet.Parse(e.Frame)
+		if err != nil {
+			t.Fatalf("frame %d unparseable: %v", i, err)
+		}
+		if f.Proto != packet.ProtoUDP {
+			t.Fatalf("frame %d proto %d", i, f.Proto)
+		}
+		if f.Key() != e.Key {
+			t.Fatalf("frame %d key mismatch", i)
+		}
+		if keys[e.Key] {
+			t.Fatalf("duplicate flow key at %d: forged IPs must differ", i)
+		}
+		keys[e.Key] = true
+	}
+}
+
+func TestSinglePacketFlowsPacing(t *testing.T) {
+	// 1000-byte frames at 100 Mbps: one frame every 80µs.
+	s, err := SinglePacketFlows(testConfig(100), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, e := range s {
+		want := time.Duration(i) * 80 * time.Microsecond
+		if e.At != want {
+			t.Errorf("emission %d at %v, want %v", i, e.At, want)
+		}
+	}
+	// Halving the rate doubles the gap.
+	s50, err := SinglePacketFlows(testConfig(50), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s50[1].At; got != 160*time.Microsecond {
+		t.Errorf("50 Mbps gap = %v, want 160µs", got)
+	}
+}
+
+func TestSinglePacketFlowsAchievedRate(t *testing.T) {
+	for _, rate := range []float64{5, 35, 100} {
+		s, err := SinglePacketFlows(testConfig(rate), 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Offered bytes over the schedule span approximate the target rate.
+		span := s.Duration() + time.Duration(float64(8000)/(rate*1e6)*1e9)
+		got := float64(s.TotalBytes()) * 8 / 1e6 / span.Seconds()
+		if got < rate*0.99 || got > rate*1.01 {
+			t.Errorf("rate %g: achieved %g Mbps", rate, got)
+		}
+	}
+}
+
+func TestInterleavedBurstsCrossSequence(t *testing.T) {
+	s, err := InterleavedBursts(testConfig(100), 50, 20, 5)
+	if err != nil {
+		t.Fatalf("InterleavedBursts: %v", err)
+	}
+	if len(s) != 1000 {
+		t.Fatalf("emissions = %d, want 50*20", len(s))
+	}
+	if got := s.Flows(); got != 50 {
+		t.Errorf("flows = %d, want 50", got)
+	}
+	// First ten emissions: flows 0,1,2,3,4 seq 0 then flows 0..4 seq 1.
+	wantFlow := []int{0, 1, 2, 3, 4, 0, 1, 2, 3, 4}
+	wantSeq := []int{0, 0, 0, 0, 0, 1, 1, 1, 1, 1}
+	for i := 0; i < 10; i++ {
+		if s[i].FlowID != wantFlow[i] || s[i].Seq != wantSeq[i] {
+			t.Errorf("emission %d = flow %d seq %d, want %d/%d",
+				i, s[i].FlowID, s[i].Seq, wantFlow[i], wantSeq[i])
+		}
+	}
+	// Second group starts at flow 5 after 100 packets.
+	if s[100].FlowID != 5 || s[100].Seq != 0 {
+		t.Errorf("emission 100 = flow %d seq %d, want 5/0", s[100].FlowID, s[100].Seq)
+	}
+	// Times strictly increase by the pacing gap.
+	for i := 1; i < len(s); i++ {
+		if s[i].At <= s[i-1].At {
+			t.Fatalf("schedule not strictly increasing at %d", i)
+		}
+	}
+	// Within a flow, sequence numbers are in arrival order.
+	lastSeq := make(map[int]int)
+	for _, e := range s {
+		if prev, ok := lastSeq[e.FlowID]; ok && e.Seq != prev+1 {
+			t.Fatalf("flow %d: seq %d after %d", e.FlowID, e.Seq, prev)
+		}
+		lastSeq[e.FlowID] = e.Seq
+	}
+}
+
+func TestInterleavedBurstsValidation(t *testing.T) {
+	if _, err := InterleavedBursts(testConfig(100), 50, 20, 7); err == nil {
+		t.Error("accepted indivisible group size")
+	}
+	if _, err := InterleavedBursts(testConfig(100), 0, 20, 5); err == nil {
+		t.Error("accepted zero flows")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero rate", func(c *Config) { c.RateMbps = 0 }},
+		{"negative rate", func(c *Config) { c.RateMbps = -1 }},
+		{"tiny frame", func(c *Config) { c.FrameSize = 10 }},
+		{"oversized frame", func(c *Config) { c.FrameSize = 9000 }},
+		{"no dst ip", func(c *Config) { c.DstIP = netip.Addr{} }},
+		{"v6 dst", func(c *Config) { c.DstIP = netip.MustParseAddr("::1") }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := testConfig(100)
+			tt.mut(&c)
+			if _, err := SinglePacketFlows(c, 10); err == nil {
+				t.Errorf("%s accepted", tt.name)
+			}
+		})
+	}
+	if _, err := SinglePacketFlows(testConfig(100), 0); err == nil {
+		t.Error("accepted zero flow count")
+	}
+}
+
+func TestPoissonFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := PoissonFlows(testConfig(50), rng, 20, 5)
+	if err != nil {
+		t.Fatalf("PoissonFlows: %v", err)
+	}
+	if got := s.Flows(); got != 20 {
+		t.Errorf("flows = %d, want 20", got)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].At < s[i-1].At {
+			t.Fatalf("schedule decreasing at %d", i)
+		}
+	}
+	if _, err := PoissonFlows(testConfig(50), nil, 5, 5); err == nil {
+		t.Error("accepted nil rng")
+	}
+	if _, err := PoissonFlows(testConfig(50), rng, 0, 5); err == nil {
+		t.Error("accepted zero flows")
+	}
+}
+
+func TestPoissonFlowsDeterministicPerSeed(t *testing.T) {
+	mk := func() Schedule {
+		s, err := PoissonFlows(testConfig(50), rand.New(rand.NewSource(7)), 10, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].FlowID != b[i].FlowID {
+			t.Fatalf("emission %d differs", i)
+		}
+	}
+}
+
+func TestTCPEvictionFlow(t *testing.T) {
+	cfg := TCPFlowConfig{
+		Config:      testConfig(50),
+		SrcIP:       netip.MustParseAddr("10.1.0.1"),
+		SrcPort:     40000,
+		BurstPkts:   5,
+		PauseLen:    2 * time.Second,
+		SecondBurst: 8,
+	}
+	s, err := TCPEvictionFlow(cfg)
+	if err != nil {
+		t.Fatalf("TCPEvictionFlow: %v", err)
+	}
+	// SYN + ACK + 5 + 8 = 15 segments.
+	if len(s) != 15 {
+		t.Fatalf("segments = %d, want 15", len(s))
+	}
+	f0, err := packet.Parse(s[0].Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f0.Flags&packet.FlagSYN == 0 {
+		t.Error("first segment is not SYN")
+	}
+	// One 5-tuple throughout.
+	for i, e := range s {
+		if e.Key != s[0].Key {
+			t.Fatalf("segment %d has different key", i)
+		}
+	}
+	// The pause separates burst 1 from burst 2.
+	gapAt := 2 + cfg.BurstPkts // index of first second-burst segment
+	gap := s[gapAt].At - s[gapAt-1].At
+	if gap < cfg.PauseLen {
+		t.Errorf("pause = %v, want >= %v", gap, cfg.PauseLen)
+	}
+	// TCP sequence numbers advance across data segments.
+	var lastSeq uint32
+	for i, e := range s {
+		f, err := packet.Parse(e.Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && len(f.Payload) > 0 && f.Seq <= lastSeq {
+			t.Errorf("segment %d seq %d did not advance past %d", i, f.Seq, lastSeq)
+		}
+		if len(f.Payload) > 0 {
+			lastSeq = f.Seq
+		}
+	}
+}
+
+func TestTCPEvictionFlowValidation(t *testing.T) {
+	base := TCPFlowConfig{
+		Config:      testConfig(50),
+		SrcIP:       netip.MustParseAddr("10.1.0.1"),
+		SrcPort:     40000,
+		BurstPkts:   5,
+		PauseLen:    time.Second,
+		SecondBurst: 5,
+	}
+	bad := base
+	bad.BurstPkts = 0
+	if _, err := TCPEvictionFlow(bad); err == nil {
+		t.Error("accepted zero burst")
+	}
+	bad = base
+	bad.PauseLen = 0
+	if _, err := TCPEvictionFlow(bad); err == nil {
+		t.Error("accepted zero pause")
+	}
+	bad = base
+	bad.SrcIP = netip.Addr{}
+	if _, err := TCPEvictionFlow(bad); err == nil {
+		t.Error("accepted missing src ip")
+	}
+}
+
+func TestPropertySchedulesSortedAndParseable(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	prop := func() bool {
+		rate := 5 + r.Float64()*95
+		c := testConfig(rate)
+		c.FrameSize = 100 + r.Intn(1400)
+		var s Schedule
+		var err error
+		if r.Intn(2) == 0 {
+			s, err = SinglePacketFlows(c, 1+r.Intn(100))
+		} else {
+			g := 1 + r.Intn(5)
+			s, err = InterleavedBursts(c, g*(1+r.Intn(5)), 1+r.Intn(10), g)
+		}
+		if err != nil {
+			return false
+		}
+		for i, e := range s {
+			if i > 0 && e.At < s[i-1].At {
+				return false
+			}
+			if _, err := packet.Parse(e.Frame); err != nil {
+				return false
+			}
+			if packet.VerifyChecksums(e.Frame) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScheduleHelpersEdgeCases(t *testing.T) {
+	var empty Schedule
+	if empty.Duration() != 0 || empty.TotalBytes() != 0 || empty.Flows() != 0 {
+		t.Error("empty schedule helpers not zero")
+	}
+	s, err := SinglePacketFlows(testConfig(50), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Duration() != s[2].At {
+		t.Errorf("Duration = %v, want %v", s.Duration(), s[2].At)
+	}
+	if s.TotalBytes() != 3000 {
+		t.Errorf("TotalBytes = %d, want 3000", s.TotalBytes())
+	}
+}
+
+func TestCustomDstPort(t *testing.T) {
+	c := testConfig(50)
+	c.DstPort = 4242
+	s, err := SinglePacketFlows(c, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := packet.Parse(s[0].Frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.DstPort != 4242 {
+		t.Errorf("dst port = %d, want 4242", f.DstPort)
+	}
+}
+
+func TestJitterPreservesMeanRateAndOrdering(t *testing.T) {
+	c := testConfig(50)
+	c.Jitter = 0.5
+	c.Seed = 9
+	s, err := SinglePacketFlows(c, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].At < s[i-1].At {
+			t.Fatal("jittered schedule not sorted")
+		}
+	}
+	// Mean achieved rate within 10% of the target.
+	span := s.Duration()
+	rate := float64(s.TotalBytes()-int64(len(s[0].Frame))) * 8 / 1e6 / span.Seconds()
+	if rate < 45 || rate > 55 {
+		t.Errorf("jittered rate = %g, want ~50", rate)
+	}
+	// Jitter validation.
+	bad := testConfig(50)
+	bad.Jitter = 1.5
+	if _, err := SinglePacketFlows(bad, 5); err == nil {
+		t.Error("accepted jitter > 1")
+	}
+	bad.Jitter = -0.1
+	if _, err := SinglePacketFlows(bad, 5); err == nil {
+		t.Error("accepted negative jitter")
+	}
+}

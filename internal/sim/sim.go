@@ -1,0 +1,156 @@
+// Package sim is a deterministic discrete-event simulation kernel. It drives
+// the emulated testbed in virtual time: every component (links, switch CPU,
+// controller CPU, traffic sources) schedules closures on a shared Kernel,
+// and the Kernel executes them in timestamp order with FIFO tie-breaking, so
+// a given seed always replays the exact same execution.
+//
+// The kernel is single-threaded by design: determinism is what lets the
+// benchmark harness regenerate the paper's figures reproducibly. Components
+// must not retain goroutines; all concurrency is simulated.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Event is a scheduled closure. It is returned by At/After so callers can
+// cancel pending work (for example the flow-granularity re-request timer).
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once popped or cancelled
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() time.Duration { return e.at }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is the event loop. Create one with New; the zero value is not
+// usable because it lacks a seeded RNG.
+type Kernel struct {
+	now      time.Duration
+	events   eventHeap
+	seq      uint64
+	rng      *rand.Rand
+	executed uint64
+}
+
+// New creates a kernel whose random source is seeded deterministically.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Rand exposes the kernel's deterministic random source. All simulated
+// randomness (jitter, service-time noise) must come from here so runs are
+// replayable from the seed.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Executed reports how many events have run, a cheap progress/debug signal.
+func (k *Kernel) Executed() uint64 { return k.executed }
+
+// Pending reports how many events are scheduled but not yet executed.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past is a
+// programming error and panics: silently reordering time would corrupt every
+// downstream measurement.
+func (k *Kernel) At(t time.Duration, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	k.seq++
+	e := &Event{at: t, seq: k.seq, fn: fn}
+	heap.Push(&k.events, e)
+	return e
+}
+
+// After schedules fn d after the current virtual time. Negative d means now.
+func (k *Kernel) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op and reports false.
+func (k *Kernel) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 {
+		return false
+	}
+	heap.Remove(&k.events, e.index)
+	e.index = -1
+	e.fn = nil
+	return true
+}
+
+// Step executes the single earliest pending event and reports whether one
+// existed.
+func (k *Kernel) Step() bool {
+	if len(k.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.events).(*Event)
+	k.now = e.at
+	fn := e.fn
+	e.fn = nil
+	k.executed++
+	fn()
+	return true
+}
+
+// Run executes events until none remain.
+func (k *Kernel) Run() {
+	for k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled after the deadline stay pending.
+func (k *Kernel) RunUntil(deadline time.Duration) {
+	for len(k.events) > 0 && k.events[0].at <= deadline {
+		k.Step()
+	}
+	if k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (k *Kernel) RunFor(d time.Duration) { k.RunUntil(k.now + d) }

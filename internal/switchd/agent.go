@@ -1,0 +1,462 @@
+package switchd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"sdnbuffer/internal/core"
+	"sdnbuffer/internal/openflow"
+)
+
+// AgentConfig configures the live-mode switch.
+type AgentConfig struct {
+	Datapath Config
+	// Logger receives lifecycle messages; nil silences them.
+	Logger *log.Logger
+	// EchoInterval enables a keepalive loop: the agent probes the
+	// controller with ECHO_REQUEST at this interval and reports a dead
+	// control channel through OnDisconnect when a probe goes unanswered
+	// for two intervals. 0 disables keepalive.
+	EchoInterval time.Duration
+	// OnDisconnect is called (once per connection) when the control
+	// channel dies — read failure or missed keepalive. It runs on an agent
+	// goroutine and must not block; typical use is scheduling a reconnect.
+	OnDisconnect func(err error)
+}
+
+// Agent is the live-mode switch: a Datapath driven by a real OpenFlow TCP
+// connection to a controller, with frames injected by in-process hosts.
+// It is the Open vSwitch role in the paper's Fig. 1, runnable over loopback
+// or a real network.
+type Agent struct {
+	logger       *log.Logger
+	echoInterval time.Duration
+	onDisconnect func(err error)
+
+	mu       sync.Mutex
+	dp       *Datapath
+	conn     net.Conn
+	writeMu  sync.Mutex
+	start    time.Time
+	nextXid  uint32
+	tickT    *time.Timer
+	echoT    *time.Timer
+	lastEcho time.Time
+	disc     bool // OnDisconnect already fired for this connection
+
+	transmit func(port uint16, frame []byte)
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// NewAgent builds the live switch.
+func NewAgent(cfg AgentConfig) (*Agent, error) {
+	dp, err := NewDatapath(cfg.Datapath)
+	if err != nil {
+		return nil, err
+	}
+	return &Agent{
+		dp:           dp,
+		logger:       cfg.Logger,
+		echoInterval: cfg.EchoInterval,
+		onDisconnect: cfg.OnDisconnect,
+		start:        time.Now(),
+	}, nil
+}
+
+// SetTransmit wires the data-plane egress callback. Must be set before
+// frames flow; the callback runs on agent goroutines and must not block.
+func (a *Agent) SetTransmit(fn func(port uint16, frame []byte)) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.transmit = fn
+}
+
+// Datapath exposes the protocol core. The datapath is guarded by the
+// agent's lock while the agent is connected; for concurrent inspection use
+// the locked accessors (BufferGranularity, TableLen, Stats) instead.
+func (a *Agent) Datapath() *Datapath { return a.dp }
+
+// BufferGranularity reports the active buffer mechanism, safely.
+func (a *Agent) BufferGranularity() openflow.BufferGranularity {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dp.Mechanism().Granularity()
+}
+
+// TableLen reports the number of installed rules, safely.
+func (a *Agent) TableLen() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dp.Table().Len()
+}
+
+// Stats reports the datapath traffic counters, safely.
+func (a *Agent) Stats() (rxFrames, rxBytes, txFrames, txBytes, misses uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dp.Stats()
+}
+
+func (a *Agent) logf(format string, args ...any) {
+	if a.logger != nil {
+		a.logger.Printf(format, args...)
+	}
+}
+
+// now reports the agent-relative clock the datapath runs on.
+func (a *Agent) now() time.Duration { return time.Since(a.start) }
+
+// Connect dials the controller and starts the message loop. It performs the
+// OpenFlow handshake inline and returns once the connection is serving.
+func (a *Agent) Connect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("switchd: dialing controller %s: %w", addr, err)
+	}
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		_ = conn.Close()
+		return fmt.Errorf("switchd: agent closed")
+	}
+	a.conn = conn
+	a.mu.Unlock()
+
+	if err := a.send(&openflow.Hello{}, a.xid()); err != nil {
+		return err
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		a.readLoop(conn)
+	}()
+	if a.echoInterval > 0 {
+		a.mu.Lock()
+		a.lastEcho = time.Now()
+		a.disc = false
+		a.armEchoLocked()
+		a.mu.Unlock()
+	}
+	return nil
+}
+
+// armEchoLocked schedules the next keepalive probe. Callers hold a.mu.
+func (a *Agent) armEchoLocked() {
+	if a.closed || a.echoInterval <= 0 {
+		return
+	}
+	if a.echoT != nil {
+		a.echoT.Stop()
+	}
+	a.echoT = time.AfterFunc(a.echoInterval, a.echoProbe)
+}
+
+func (a *Agent) echoProbe() {
+	a.mu.Lock()
+	dead := time.Since(a.lastEcho) > 2*a.echoInterval
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return
+	}
+	if dead {
+		a.reportDisconnect(fmt.Errorf("switchd: controller unresponsive for %v", 2*a.echoInterval))
+		return
+	}
+	if err := a.send(&openflow.EchoRequest{Data: []byte("keepalive")}, a.xid()); err != nil {
+		a.reportDisconnect(fmt.Errorf("switchd: keepalive send: %w", err))
+		return
+	}
+	a.mu.Lock()
+	a.armEchoLocked()
+	a.mu.Unlock()
+}
+
+// reportDisconnect fires OnDisconnect once per connection.
+func (a *Agent) reportDisconnect(err error) {
+	a.mu.Lock()
+	fire := !a.disc && !a.closed
+	a.disc = true
+	cb := a.onDisconnect
+	a.mu.Unlock()
+	a.logf("switch: control channel down: %v", err)
+	if fire && cb != nil {
+		cb(err)
+	}
+}
+
+func (a *Agent) xid() uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nextXid++
+	return a.nextXid
+}
+
+func (a *Agent) send(m openflow.Message, xid uint32) error {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("switchd: not connected")
+	}
+	a.writeMu.Lock()
+	defer a.writeMu.Unlock()
+	return openflow.WriteMessage(conn, m, xid)
+}
+
+func (a *Agent) readLoop(conn net.Conn) {
+	r := openflow.NewReader(conn)
+	for {
+		m, xid, err := r.ReadMessage()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				a.logf("switch: read: %v", err)
+			}
+			a.reportDisconnect(fmt.Errorf("switchd: control read: %w", err))
+			return
+		}
+		a.mu.Lock()
+		a.lastEcho = time.Now() // any inbound traffic proves liveness
+		a.mu.Unlock()
+		if err := a.dispatch(m, xid); err != nil {
+			a.logf("switch: handling %v: %v", m.Type(), err)
+		}
+	}
+}
+
+func (a *Agent) dispatch(m openflow.Message, xid uint32) error {
+	switch t := m.(type) {
+	case *openflow.Hello:
+		return nil
+	case *openflow.EchoRequest:
+		return a.send(&openflow.EchoReply{Data: t.Data}, xid)
+	case *openflow.FeaturesRequest:
+		a.mu.Lock()
+		fr := a.dp.Features()
+		a.mu.Unlock()
+		return a.send(fr, xid)
+	case *openflow.GetConfigRequest:
+		a.mu.Lock()
+		msl := uint16(a.dp.cfg.MissSendLen)
+		a.mu.Unlock()
+		return a.send(&openflow.GetConfigReply{Config: openflow.SwitchConfig{MissSendLen: msl}}, xid)
+	case *openflow.SetConfig:
+		a.mu.Lock()
+		if t.Config.MissSendLen > 0 {
+			a.dp.cfg.MissSendLen = int(t.Config.MissSendLen)
+		}
+		a.mu.Unlock()
+		return nil
+	case *openflow.BarrierRequest:
+		return a.send(&openflow.BarrierReply{}, xid)
+	case *openflow.StatsRequest:
+		a.mu.Lock()
+		sr := a.dp.HandleStatsRequest(a.now(), t)
+		a.mu.Unlock()
+		if sr == nil {
+			return a.send(&openflow.ErrorMsg{
+				ErrType: openflow.ErrTypeBadRequest,
+				Code:    openflow.ErrCodeBadType,
+			}, xid)
+		}
+		return a.send(sr, xid)
+	case *openflow.FlowMod:
+		return a.control(xid, func(now time.Duration) (*ControlResult, error) {
+			return a.dp.HandleFlowMod(now, t)
+		})
+	case *openflow.PacketOut:
+		return a.control(xid, func(now time.Duration) (*ControlResult, error) {
+			return a.dp.HandlePacketOut(now, t)
+		})
+	case *openflow.Vendor:
+		return a.handleVendor(t, xid)
+	default:
+		a.logf("switch: ignoring %v", m.Type())
+		return nil
+	}
+}
+
+// control runs a datapath mutation under the lock and emits its effects.
+func (a *Agent) control(xid uint32, f func(now time.Duration) (*ControlResult, error)) error {
+	a.mu.Lock()
+	res, err := f(a.now())
+	var outs []Output
+	var removed []*openflow.FlowRemoved
+	var reply openflow.Message
+	if err == nil && res != nil {
+		outs = res.Outputs
+		reply = res.Reply
+		for _, r := range res.Removed {
+			if fr := a.dp.FlowRemovedFor(r); fr != nil {
+				removed = append(removed, fr)
+			}
+		}
+	}
+	tx := a.transmit
+	a.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, o := range outs {
+		if tx != nil {
+			tx(o.Port, o.Frame)
+		}
+	}
+	for _, fr := range removed {
+		if err := a.send(fr, xid); err != nil {
+			return err
+		}
+	}
+	if reply != nil {
+		if err := a.send(reply, xid); err != nil {
+			return err
+		}
+	}
+	a.rearmTick()
+	return nil
+}
+
+func (a *Agent) handleVendor(v *openflow.Vendor, xid uint32) error {
+	payload, err := openflow.ParseVendor(v)
+	if err != nil {
+		return err
+	}
+	switch {
+	case payload.Config != nil:
+		return a.reconfigureBuffer(*payload.Config)
+	case payload.StatsRequest:
+		a.mu.Lock()
+		stats := a.dp.Mechanism().Stats(a.now())
+		a.mu.Unlock()
+		return a.send(openflow.EncodeFlowBufferStats(stats), xid)
+	default:
+		return nil
+	}
+}
+
+// reconfigureBuffer swaps the buffer mechanism at runtime. It refuses while
+// packets are buffered: dropping them silently would lose traffic.
+func (a *Agent) reconfigureBuffer(cfg openflow.FlowBufferConfig) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if st := a.dp.Mechanism().Stats(a.now()); st.UnitsInUse > 0 {
+		return fmt.Errorf("switchd: cannot reconfigure buffer with %d units in use", st.UnitsInUse)
+	}
+	mech, err := core.NewMechanism(cfg, a.dp.cfg.BufferCapacity, a.dp.cfg.MissSendLen, a.dp.cfg.BufferExpiry)
+	if err != nil {
+		return err
+	}
+	a.dp.mech = mech
+	a.dp.cfg.Buffer = cfg
+	a.logf("switch: buffer reconfigured to %v", cfg.Granularity)
+	return nil
+}
+
+// InjectFrame delivers one data-plane frame to a switch port, as a host NIC
+// would. Table hits are forwarded synchronously via the transmit callback;
+// misses go to the buffer mechanism and the controller.
+func (a *Agent) InjectFrame(inPort uint16, frame []byte) error {
+	a.mu.Lock()
+	res, err := a.dp.HandleFrame(a.now(), inPort, frame)
+	tx := a.transmit
+	a.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, o := range res.Outputs {
+		if tx != nil {
+			tx(o.Port, o.Frame)
+		}
+	}
+	if res.Miss != nil && res.Miss.PacketIn != nil {
+		if err := a.send(res.Miss.PacketIn, a.xid()); err != nil {
+			return err
+		}
+	}
+	a.rearmTick()
+	return nil
+}
+
+// rearmTick schedules the next mechanism/table timer against the wall
+// clock. Callers must NOT hold a.mu.
+func (a *Agent) rearmTick() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rearmTickLocked()
+}
+
+func (a *Agent) rearmTickLocked() {
+	if a.closed {
+		return
+	}
+	next, ok := a.dp.Mechanism().NextDeadline()
+	if exp, expOK := a.dp.Table().NextExpiry(); expOK && (!ok || exp < next) {
+		next, ok = exp, true
+	}
+	if a.tickT != nil {
+		a.tickT.Stop()
+		a.tickT = nil
+	}
+	if !ok {
+		return
+	}
+	delay := next - a.now()
+	if delay < 0 {
+		delay = 0
+	}
+	a.tickT = time.AfterFunc(delay, a.tick)
+}
+
+func (a *Agent) tick() {
+	a.mu.Lock()
+	now := a.now()
+	resend := a.dp.Mechanism().Tick(now)
+	var removed []*openflow.FlowRemoved
+	for _, r := range a.dp.ExpireRules(now) {
+		if fr := a.dp.FlowRemovedFor(r); fr != nil {
+			removed = append(removed, fr)
+		}
+	}
+	a.rearmTickLocked()
+	a.mu.Unlock()
+	for _, pi := range resend {
+		if err := a.send(pi, a.xid()); err != nil {
+			a.logf("switch: re-request: %v", err)
+		}
+	}
+	for _, fr := range removed {
+		if err := a.send(fr, 0); err != nil {
+			a.logf("switch: flow_removed: %v", err)
+		}
+	}
+}
+
+// Close tears the control connection down and stops timers.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	a.closed = true
+	conn := a.conn
+	a.conn = nil
+	if a.tickT != nil {
+		a.tickT.Stop()
+		a.tickT = nil
+	}
+	if a.echoT != nil {
+		a.echoT.Stop()
+		a.echoT = nil
+	}
+	a.mu.Unlock()
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
+	a.wg.Wait()
+	return err
+}

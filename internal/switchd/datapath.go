@@ -1,0 +1,444 @@
+// Package switchd is the software OpenFlow switch — the testbed's stand-in
+// for Open vSwitch. The protocol logic (flow-table matching, buffer
+// mechanism, flow_mod/packet_out handling, action application) lives in
+// Datapath, which is driven either by the deterministic simulator
+// (SimSwitch) or by the live TCP agent (Agent), so both modes exercise the
+// same code.
+package switchd
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sdnbuffer/internal/core"
+	"sdnbuffer/internal/flowtable"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// Config describes a datapath.
+type Config struct {
+	// DatapathID is the switch's OpenFlow identity.
+	DatapathID uint64
+	// NumPorts is the number of physical ports, numbered 1..NumPorts.
+	NumPorts int
+	// TableCapacity bounds the flow table (flowtable.Unlimited = none).
+	TableCapacity int
+	// EvictionPolicy applies when the table is bounded (default EvictLRU).
+	EvictionPolicy flowtable.EvictionPolicy
+	// Buffer selects the buffer mechanism and its parameters.
+	Buffer openflow.FlowBufferConfig
+	// BufferCapacity is the number of buffer units (ignored with
+	// GranularityNone).
+	BufferCapacity int
+	// MissSendLen truncates buffered packet_in payloads (default
+	// openflow.DefaultMissSendLen).
+	MissSendLen int
+	// BufferExpiry bounds buffered-packet lifetime (0 = none).
+	BufferExpiry time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.NumPorts == 0 {
+		out.NumPorts = 2
+	}
+	if out.EvictionPolicy == 0 {
+		out.EvictionPolicy = flowtable.EvictLRU
+	}
+	if out.MissSendLen == 0 {
+		out.MissSendLen = openflow.DefaultMissSendLen
+	}
+	if out.Buffer.Granularity == 0 {
+		out.Buffer.Granularity = openflow.GranularityNone
+	}
+	if out.BufferCapacity == 0 {
+		out.BufferCapacity = 256
+	}
+	if out.Buffer.Granularity == openflow.GranularityFlow && out.Buffer.RerequestTimeoutMs == 0 {
+		out.Buffer.RerequestTimeoutMs = 50
+	}
+	return out
+}
+
+// Output is one frame to emit on a port. Queue selects the egress QoS
+// queue when the rule used an ENQUEUE action (0 = the port's default
+// queue).
+type Output struct {
+	Port  uint16
+	Frame []byte
+	Queue uint32
+}
+
+// FrameResult is the datapath's decision for one ingress frame.
+type FrameResult struct {
+	// Outputs are the frames to transmit (table hit, possibly rewritten).
+	Outputs []Output
+	// Miss is set when the frame missed the table; it carries the buffer
+	// mechanism's decision.
+	Miss *core.MissResult
+	// Matched is the rule that matched, nil on a miss.
+	Matched *flowtable.Entry
+}
+
+// ErrBadPort reports an out-of-range port number.
+var ErrBadPort = errors.New("switchd: bad port")
+
+// Datapath is the protocol core of the switch.
+type Datapath struct {
+	cfg   Config
+	table *flowtable.Table
+	mech  core.Mechanism
+
+	rxFrames uint64
+	rxBytes  uint64
+	txFrames uint64
+	txBytes  uint64
+	misses   uint64
+
+	// Per-port counters, indexed by port number (slot 0 unused).
+	portRxFrames []uint64
+	portRxBytes  []uint64
+	portTxFrames []uint64
+	portTxBytes  []uint64
+}
+
+// NewDatapath builds a datapath from the configuration.
+func NewDatapath(cfg Config) (*Datapath, error) {
+	cfg = cfg.withDefaults()
+	if cfg.NumPorts < 1 {
+		return nil, fmt.Errorf("switchd: need at least one port, got %d", cfg.NumPorts)
+	}
+	table, err := flowtable.New(cfg.TableCapacity, cfg.EvictionPolicy)
+	if err != nil {
+		return nil, fmt.Errorf("switchd: building flow table: %w", err)
+	}
+	mech, err := core.NewMechanism(cfg.Buffer, cfg.BufferCapacity, cfg.MissSendLen, cfg.BufferExpiry)
+	if err != nil {
+		return nil, fmt.Errorf("switchd: building buffer mechanism: %w", err)
+	}
+	return &Datapath{
+		cfg:          cfg,
+		table:        table,
+		mech:         mech,
+		portRxFrames: make([]uint64, cfg.NumPorts+1),
+		portRxBytes:  make([]uint64, cfg.NumPorts+1),
+		portTxFrames: make([]uint64, cfg.NumPorts+1),
+		portTxBytes:  make([]uint64, cfg.NumPorts+1),
+	}, nil
+}
+
+// Config reports the effective (defaulted) configuration.
+func (d *Datapath) Config() Config { return d.cfg }
+
+// Table exposes the flow table.
+func (d *Datapath) Table() *flowtable.Table { return d.table }
+
+// Mechanism exposes the buffer mechanism.
+func (d *Datapath) Mechanism() core.Mechanism { return d.mech }
+
+// Features builds the switch's FEATURES_REPLY.
+func (d *Datapath) Features() *openflow.FeaturesReply {
+	ports := make([]openflow.PhyPort, d.cfg.NumPorts)
+	for i := range ports {
+		no := uint16(i + 1)
+		ports[i] = openflow.PhyPort{
+			PortNo: no,
+			HWAddr: packet.MAC{0x02, 0, 0, 0, 0, byte(no)},
+			Name:   fmt.Sprintf("eth%d", no),
+		}
+	}
+	nbuf := uint32(0)
+	if d.cfg.Buffer.Granularity != openflow.GranularityNone {
+		nbuf = uint32(d.cfg.BufferCapacity)
+	}
+	return &openflow.FeaturesReply{
+		DatapathID:   d.cfg.DatapathID,
+		NBuffers:     nbuf,
+		NTables:      1,
+		Capabilities: openflow.CapFlowStats | openflow.CapTableStats | openflow.CapPortStats,
+		Actions:      1<<uint(openflow.ActionTypeOutput) | 1<<uint(openflow.ActionTypeSetDLSrc) | 1<<uint(openflow.ActionTypeSetDLDst),
+		Ports:        ports,
+	}
+}
+
+// HandleFrame processes one ingress frame: flow-table lookup, then either
+// action application (hit) or the buffer mechanism (miss).
+func (d *Datapath) HandleFrame(now time.Duration, inPort uint16, frame []byte) (*FrameResult, error) {
+	if inPort < 1 || int(inPort) > d.cfg.NumPorts {
+		return nil, fmt.Errorf("%w: in_port %d of %d", ErrBadPort, inPort, d.cfg.NumPorts)
+	}
+	d.rxFrames++
+	d.rxBytes += uint64(len(frame))
+	d.portRxFrames[inPort]++
+	d.portRxBytes[inPort] += uint64(len(frame))
+	parsed, err := packet.ParseHeaders(frame)
+	if err != nil {
+		return nil, fmt.Errorf("switchd: unparseable frame on port %d: %w", inPort, err)
+	}
+	if e := d.table.Lookup(now, inPort, parsed, len(frame)); e != nil {
+		outs, err := d.applyActions(now, inPort, frame, e.Actions)
+		if err != nil {
+			return nil, err
+		}
+		d.countTx(outs)
+		return &FrameResult{Outputs: outs, Matched: e}, nil
+	}
+	d.misses++
+	miss := d.mech.HandleMiss(now, inPort, frame, parsed.Key())
+	return &FrameResult{Miss: &miss}, nil
+}
+
+// ControlResult is the effect of one controller-to-switch message.
+type ControlResult struct {
+	// Outputs are frames to transmit (released buffered packets or
+	// packet_out data, after action application).
+	Outputs []Output
+	// Removed are rules that left the table (replacement eviction or
+	// explicit delete) for which flow_removed may be due.
+	Removed []flowtable.Removed
+	// Reply is a message to send back to the controller (error, barrier
+	// reply, config reply, stats), nil if none.
+	Reply openflow.Message
+}
+
+// HandleFlowMod installs, modifies or deletes rules. A valid BufferID also
+// releases the buffered packet(s) through the new rule's actions, per the
+// spec's combined flow_mod semantics.
+func (d *Datapath) HandleFlowMod(now time.Duration, fm *openflow.FlowMod) (*ControlResult, error) {
+	res := &ControlResult{}
+	switch fm.Command {
+	case openflow.FlowModAdd, openflow.FlowModModify, openflow.FlowModModifyStrict:
+		entry := &flowtable.Entry{
+			Match:       fm.Match,
+			Priority:    fm.Priority,
+			Actions:     fm.Actions,
+			Cookie:      fm.Cookie,
+			IdleTimeout: time.Duration(fm.IdleTimeout) * time.Second,
+			HardTimeout: time.Duration(fm.HardTimeout) * time.Second,
+			Flags:       fm.Flags,
+		}
+		victim, err := d.table.Insert(now, entry)
+		if err != nil {
+			if errors.Is(err, flowtable.ErrTableFull) {
+				res.Reply = &openflow.ErrorMsg{
+					ErrType: openflow.ErrTypeFlowModFailed,
+					Code:    openflow.ErrCodeAllTablesFull,
+				}
+				return res, nil
+			}
+			return nil, fmt.Errorf("switchd: flow_mod insert: %w", err)
+		}
+		if victim != nil {
+			res.Removed = append(res.Removed, *victim)
+		}
+	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
+		strict := fm.Command == openflow.FlowModDeleteStrict
+		res.Removed = append(res.Removed, d.table.Delete(now, &fm.Match, fm.Priority, strict)...)
+		return res, nil
+	default:
+		res.Reply = &openflow.ErrorMsg{
+			ErrType: openflow.ErrTypeFlowModFailed,
+			Code:    openflow.ErrCodeBadCommand,
+		}
+		return res, nil
+	}
+
+	if fm.BufferID != openflow.NoBuffer {
+		outs, err := d.releaseThrough(now, fm.BufferID, fm.Actions)
+		if err != nil {
+			if errors.Is(err, core.ErrUnknownBufferID) {
+				res.Reply = bufferUnknownError()
+				return res, nil
+			}
+			return nil, err
+		}
+		res.Outputs = outs
+	}
+	return res, nil
+}
+
+// HandlePacketOut emits a packet: a buffered one (valid BufferID) or the
+// message's own payload.
+func (d *Datapath) HandlePacketOut(now time.Duration, po *openflow.PacketOut) (*ControlResult, error) {
+	res := &ControlResult{}
+	if po.BufferID != openflow.NoBuffer {
+		if len(po.Actions) == 0 {
+			// Empty action list: drop the buffered packet(s).
+			if err := d.mech.Drop(now, po.BufferID); err != nil {
+				if errors.Is(err, core.ErrUnknownBufferID) {
+					res.Reply = bufferUnknownError()
+					return res, nil
+				}
+				return nil, err
+			}
+			return res, nil
+		}
+		outs, err := d.releaseThrough(now, po.BufferID, po.Actions)
+		if err != nil {
+			if errors.Is(err, core.ErrUnknownBufferID) {
+				res.Reply = bufferUnknownError()
+				return res, nil
+			}
+			return nil, err
+		}
+		res.Outputs = outs
+		return res, nil
+	}
+	if len(po.Data) == 0 {
+		return res, nil
+	}
+	outs, err := d.applyActions(now, po.InPort, po.Data, po.Actions)
+	if err != nil {
+		return nil, err
+	}
+	d.countTx(outs)
+	res.Outputs = outs
+	return res, nil
+}
+
+// releaseThrough drains the buffer unit and applies the action list to each
+// released packet in arrival order.
+func (d *Datapath) releaseThrough(now time.Duration, bufferID uint32, actions []openflow.Action) ([]Output, error) {
+	released, err := d.mech.Release(now, bufferID)
+	if err != nil {
+		return nil, err
+	}
+	var outs []Output
+	for _, r := range released {
+		o, err := d.applyActions(now, r.InPort, r.Data, actions)
+		if err != nil {
+			return nil, err
+		}
+		outs = append(outs, o...)
+	}
+	d.countTx(outs)
+	return outs, nil
+}
+
+func bufferUnknownError() openflow.Message {
+	return &openflow.ErrorMsg{
+		ErrType: openflow.ErrTypeBadRequest,
+		Code:    openflow.ErrCodeBadBufferID,
+	}
+}
+
+// applyActions runs an OpenFlow 1.0 action list over a frame: header
+// rewrites mutate a copy, output actions emit the current frame state.
+func (d *Datapath) applyActions(_ time.Duration, inPort uint16, frame []byte, actions []openflow.Action) ([]Output, error) {
+	cur := frame
+	modified := false
+	ensureCopy := func() {
+		if !modified {
+			c := make([]byte, len(cur))
+			copy(c, cur)
+			cur = c
+			modified = true
+		}
+	}
+	var outs []Output
+	emit := func(port uint16, queue uint32) error {
+		switch port {
+		case openflow.PortInPort:
+			outs = append(outs, Output{Port: inPort, Frame: cur, Queue: queue})
+		case openflow.PortFlood, openflow.PortAll:
+			for p := 1; p <= d.cfg.NumPorts; p++ {
+				if uint16(p) == inPort && port == openflow.PortFlood {
+					continue
+				}
+				outs = append(outs, Output{Port: uint16(p), Frame: cur, Queue: queue})
+			}
+		case openflow.PortController, openflow.PortLocal, openflow.PortNone, openflow.PortTable, openflow.PortNormal:
+			// Not meaningful as a datapath output in this testbed; ignore.
+		default:
+			if port < 1 || int(port) > d.cfg.NumPorts {
+				return fmt.Errorf("%w: output port %d", ErrBadPort, port)
+			}
+			outs = append(outs, Output{Port: port, Frame: cur, Queue: queue})
+		}
+		return nil
+	}
+	for _, a := range actions {
+		switch act := a.(type) {
+		case *openflow.ActionOutput:
+			if err := emit(act.Port, 0); err != nil {
+				return nil, err
+			}
+		case *openflow.ActionEnqueue:
+			if err := emit(act.Port, act.QueueID); err != nil {
+				return nil, err
+			}
+		case *openflow.ActionSetDLSrc:
+			ensureCopy()
+			copy(cur[6:12], act.Addr[:])
+		case *openflow.ActionSetDLDst:
+			ensureCopy()
+			copy(cur[0:6], act.Addr[:])
+		case *openflow.ActionSetNWTOS:
+			ensureCopy()
+			if len(cur) >= packet.EthernetHeaderLen+packet.IPv4HeaderLen {
+				rewriteTOS(cur, act.TOS)
+			}
+		default:
+			return nil, fmt.Errorf("switchd: unsupported action %v", a.ActionType())
+		}
+	}
+	return outs, nil
+}
+
+// rewriteTOS updates the IPv4 TOS byte and fixes the header checksum.
+func rewriteTOS(frame []byte, tos uint8) {
+	ip := frame[packet.EthernetHeaderLen:]
+	ip[1] = tos
+	ip[10], ip[11] = 0, 0
+	ihl := int(ip[0]&0x0f) * 4
+	if ihl < packet.IPv4HeaderLen || ihl > len(ip) {
+		return
+	}
+	sum := packet.Checksum(ip[:ihl])
+	ip[10] = byte(sum >> 8)
+	ip[11] = byte(sum)
+}
+
+func (d *Datapath) countTx(outs []Output) {
+	for _, o := range outs {
+		d.txFrames++
+		d.txBytes += uint64(len(o.Frame))
+		if int(o.Port) < len(d.portTxFrames) {
+			d.portTxFrames[o.Port]++
+			d.portTxBytes[o.Port] += uint64(len(o.Frame))
+		}
+	}
+}
+
+// ExpireRules removes timed-out rules, returning them for flow_removed
+// notifications.
+func (d *Datapath) ExpireRules(now time.Duration) []flowtable.Removed {
+	return d.table.Expire(now)
+}
+
+// FlowRemovedFor builds the flow_removed notification for a removed rule if
+// the rule asked for one (OFPFF_SEND_FLOW_REM), else nil.
+func (d *Datapath) FlowRemovedFor(r flowtable.Removed) *openflow.FlowRemoved {
+	if r.Entry.Flags&openflow.FlowModFlagSendFlowRem == 0 {
+		return nil
+	}
+	pkts, bytes, age := r.Entry.Stats(r.At)
+	return &openflow.FlowRemoved{
+		Match:       r.Entry.Match,
+		Cookie:      r.Entry.Cookie,
+		Priority:    r.Entry.Priority,
+		Reason:      r.Reason,
+		DurationSec: uint32(age / time.Second),
+		DurationNs:  uint32(age % time.Second),
+		IdleTimeout: uint16(r.Entry.IdleTimeout / time.Second),
+		PacketCount: pkts,
+		ByteCount:   bytes,
+	}
+}
+
+// Stats reports datapath traffic counters.
+func (d *Datapath) Stats() (rxFrames, rxBytes, txFrames, txBytes, misses uint64) {
+	return d.rxFrames, d.rxBytes, d.txFrames, d.txBytes, d.misses
+}

@@ -1,0 +1,183 @@
+package switchd
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdnbuffer/internal/metrics"
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/sim"
+)
+
+// The paper's future work (§VII) proposes combining the ingress buffer
+// mechanism with egress scheduling for QoS guarantees. EgressScheduler
+// implements that extension for the simulated switch: per-port priority
+// queues in front of the egress link, fed by the OpenFlow ENQUEUE action,
+// so released buffered packets and fast-path packets share a policy-driven
+// egress instead of a single FIFO.
+
+// QueueConfig describes one egress queue.
+type QueueConfig struct {
+	// ID is the queue id the ENQUEUE action references.
+	ID uint32
+	// Priority orders strict-priority service: higher is served first.
+	Priority int
+	// MaxDepth bounds the queue in packets (0 = unbounded). Arrivals to a
+	// full queue are dropped — tail drop, accounted per queue.
+	MaxDepth int
+}
+
+// QoSConfig is the per-port egress queue set.
+type QoSConfig struct {
+	Queues []QueueConfig
+}
+
+// Validate checks the queue set for duplicates and bounds.
+func (c QoSConfig) Validate() error {
+	if len(c.Queues) == 0 {
+		return fmt.Errorf("switchd: qos config needs at least one queue")
+	}
+	seen := make(map[uint32]bool, len(c.Queues))
+	for _, q := range c.Queues {
+		if seen[q.ID] {
+			return fmt.Errorf("switchd: duplicate queue id %d", q.ID)
+		}
+		seen[q.ID] = true
+		if q.MaxDepth < 0 {
+			return fmt.Errorf("switchd: queue %d negative max depth", q.ID)
+		}
+	}
+	return nil
+}
+
+// egressQueue is one queue's runtime state.
+type egressQueue struct {
+	cfg     QueueConfig
+	entries []egressEntry
+	sent    uint64
+	drops   uint64
+	wait    metrics.Summary
+	depth   metrics.Gauge
+}
+
+type egressEntry struct {
+	frame    []byte
+	deliver  func()
+	enqueued time.Duration
+}
+
+// EgressScheduler serializes frames of multiple queues onto one egress link
+// in strict priority order. It assumes it is the link's only sender.
+type EgressScheduler struct {
+	kernel  *sim.Kernel
+	link    *netem.Link
+	queues  []*egressQueue // sorted by priority, highest first
+	byID    map[uint32]*egressQueue
+	defQ    *egressQueue
+	sending bool
+}
+
+// NewEgressScheduler builds a scheduler over the given link. The first
+// queue in priority order is also the default for frames without an
+// ENQUEUE action (queue id 0 if present, else the lowest-priority queue).
+func NewEgressScheduler(k *sim.Kernel, link *netem.Link, cfg QoSConfig) (*EgressScheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &EgressScheduler{
+		kernel: k,
+		link:   link,
+		byID:   make(map[uint32]*egressQueue, len(cfg.Queues)),
+	}
+	for _, qc := range cfg.Queues {
+		q := &egressQueue{cfg: qc}
+		s.queues = append(s.queues, q)
+		s.byID[qc.ID] = q
+	}
+	sort.SliceStable(s.queues, func(i, j int) bool {
+		return s.queues[i].cfg.Priority > s.queues[j].cfg.Priority
+	})
+	if q, ok := s.byID[0]; ok {
+		s.defQ = q
+	} else {
+		s.defQ = s.queues[len(s.queues)-1]
+	}
+	return s, nil
+}
+
+// Enqueue submits a frame to queue id (the ENQUEUE action's target).
+// Unknown ids fall back to the default queue, mirroring how a switch treats
+// a mis-targeted enqueue rather than dropping silently with no accounting.
+func (s *EgressScheduler) Enqueue(queueID uint32, frame []byte, deliver func()) {
+	q, ok := s.byID[queueID]
+	if !ok {
+		q = s.defQ
+	}
+	now := s.kernel.Now()
+	if q.cfg.MaxDepth > 0 && len(q.entries) >= q.cfg.MaxDepth {
+		q.drops++
+		return
+	}
+	q.entries = append(q.entries, egressEntry{frame: frame, deliver: deliver, enqueued: now})
+	q.depth.Set(now, float64(len(q.entries)))
+	s.serve()
+}
+
+// EnqueueDefault submits a frame to the default queue.
+func (s *EgressScheduler) EnqueueDefault(frame []byte, deliver func()) {
+	s.Enqueue(s.defQ.cfg.ID, frame, deliver)
+}
+
+// serve starts the next transmission if the link is free: strict priority,
+// FIFO within a queue.
+func (s *EgressScheduler) serve() {
+	if s.sending {
+		return
+	}
+	var q *egressQueue
+	for _, cand := range s.queues {
+		if len(cand.entries) > 0 {
+			q = cand
+			break
+		}
+	}
+	if q == nil {
+		return
+	}
+	now := s.kernel.Now()
+	e := q.entries[0]
+	copy(q.entries, q.entries[1:])
+	q.entries[len(q.entries)-1] = egressEntry{}
+	q.entries = q.entries[:len(q.entries)-1]
+	q.depth.Set(now, float64(len(q.entries)))
+	q.sent++
+	q.wait.Observe((now - e.enqueued).Seconds())
+
+	s.sending = true
+	s.link.Send(e.frame, e.deliver)
+	s.kernel.After(s.link.TransmissionTime(len(e.frame)), func() {
+		s.sending = false
+		s.serve()
+	})
+}
+
+// QueueStats reports one queue's counters: frames sent, tail drops, mean
+// scheduling wait in seconds, and time-averaged depth.
+func (s *EgressScheduler) QueueStats(queueID uint32) (sent, drops uint64, meanWait, meanDepth float64, err error) {
+	q, ok := s.byID[queueID]
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("switchd: unknown queue %d", queueID)
+	}
+	q.depth.Finish(s.kernel.Now())
+	return q.sent, q.drops, q.wait.Mean(), q.depth.TimeAverage(), nil
+}
+
+// Pending reports the total frames waiting across queues.
+func (s *EgressScheduler) Pending() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q.entries)
+	}
+	return n
+}

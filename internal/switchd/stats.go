@@ -1,0 +1,128 @@
+package switchd
+
+import (
+	"time"
+
+	"sdnbuffer/internal/openflow"
+)
+
+// HandleStatsRequest answers the OpenFlow statistics request kinds the
+// switch advertises (DESC, FLOW, AGGREGATE, TABLE, PORT).
+//
+// Flow/aggregate scoping: a request whose match is wildcard-all covers
+// every rule; otherwise a rule is covered when the request's
+// non-wildcarded fields equal the rule's (the useful subset of the spec's
+// "more specific than" relation for this testbed).
+func (d *Datapath) HandleStatsRequest(now time.Duration, req *openflow.StatsRequest) *openflow.StatsReply {
+	reply := &openflow.StatsReply{StatsType: req.StatsType}
+	switch req.StatsType {
+	case openflow.StatsDesc:
+		reply.Desc = &openflow.DescStats{
+			Manufacturer: "sdnbuffer project",
+			Hardware:     "emulated datapath",
+			Software:     "sdnbuffer switchd",
+			SerialNum:    "0",
+			Datapath:     "SDN switch buffer reproduction (ICDCS 2017)",
+		}
+	case openflow.StatsFlow:
+		for _, e := range d.table.Entries() {
+			if !statsScopeCovers(&req.Match, &e.Match) {
+				continue
+			}
+			pkts, bytes, age := e.Stats(now)
+			reply.Flows = append(reply.Flows, openflow.FlowStatsEntry{
+				TableID:     0,
+				Match:       e.Match,
+				DurationSec: uint32(age / time.Second),
+				DurationNs:  uint32(age % time.Second),
+				Priority:    e.Priority,
+				IdleTimeout: uint16(e.IdleTimeout / time.Second),
+				HardTimeout: uint16(e.HardTimeout / time.Second),
+				Cookie:      e.Cookie,
+				PacketCount: pkts,
+				ByteCount:   bytes,
+				Actions:     e.Actions,
+			})
+		}
+	case openflow.StatsAggregate:
+		agg := &openflow.AggregateStats{}
+		for _, e := range d.table.Entries() {
+			if !statsScopeCovers(&req.Match, &e.Match) {
+				continue
+			}
+			pkts, bytes, _ := e.Stats(now)
+			agg.PacketCount += pkts
+			agg.ByteCount += bytes
+			agg.FlowCount++
+		}
+		reply.Aggregate = agg
+	case openflow.StatsTable:
+		lookups, hits, _, _ := d.table.LookupStats()
+		maxEntries := uint32(0xffffffff)
+		if d.cfg.TableCapacity > 0 {
+			maxEntries = uint32(d.cfg.TableCapacity)
+		}
+		reply.Tables = []openflow.TableStatsEntry{{
+			TableID:      0,
+			Name:         "main",
+			Wildcards:    openflow.WildcardAll,
+			MaxEntries:   maxEntries,
+			ActiveCount:  uint32(d.table.Len()),
+			LookupCount:  lookups,
+			MatchedCount: hits,
+		}}
+	case openflow.StatsPort:
+		for p := 1; p <= d.cfg.NumPorts; p++ {
+			if req.PortNo != openflow.PortNone && req.PortNo != 0 && req.PortNo != uint16(p) {
+				continue
+			}
+			reply.Ports = append(reply.Ports, openflow.PortStatsEntry{
+				PortNo:    uint16(p),
+				RxPackets: d.portRxFrames[p],
+				TxPackets: d.portTxFrames[p],
+				RxBytes:   d.portRxBytes[p],
+				TxBytes:   d.portTxBytes[p],
+			})
+		}
+	default:
+		return nil
+	}
+	return reply
+}
+
+// statsScopeCovers reports whether a rule falls inside a stats request's
+// match scope: every field the scope pins must equal the rule's value.
+func statsScopeCovers(scope, rule *openflow.Match) bool {
+	w := scope.Wildcards
+	if w == openflow.WildcardAll {
+		return true
+	}
+	if w&openflow.WildcardInPort == 0 && scope.InPort != rule.InPort {
+		return false
+	}
+	if w&openflow.WildcardDLSrc == 0 && scope.DLSrc != rule.DLSrc {
+		return false
+	}
+	if w&openflow.WildcardDLDst == 0 && scope.DLDst != rule.DLDst {
+		return false
+	}
+	if w&openflow.WildcardDLType == 0 && scope.DLType != rule.DLType {
+		return false
+	}
+	if w&openflow.WildcardNWProto == 0 && scope.NWProto != rule.NWProto {
+		return false
+	}
+	if w&openflow.WildcardNWSrcAll == 0 && scope.NWSrc != rule.NWSrc {
+		return false
+	}
+	if w&openflow.WildcardNWDstAll == 0 && scope.NWDst != rule.NWDst {
+		return false
+	}
+	if w&openflow.WildcardTPSrc == 0 && scope.TPSrc != rule.TPSrc {
+		return false
+	}
+	if w&openflow.WildcardTPDst == 0 && scope.TPDst != rule.TPDst {
+		return false
+	}
+	return true
+}

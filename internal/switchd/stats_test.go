@@ -1,0 +1,187 @@
+package switchd
+
+import (
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/sim"
+)
+
+func statsDP(t *testing.T) *Datapath {
+	t.Helper()
+	dp := newDP(t, openflow.GranularityPacket, 64)
+	// Install two rules and push traffic through one of them.
+	for i, srcPort := range []uint16{1000, 2000} {
+		frame := testFrame(t, "10.1.0.1", srcPort, 400)
+		parsed, err := packet.ParseHeaders(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fm := &openflow.FlowMod{
+			Match: openflow.ExactMatch(1, parsed), Command: openflow.FlowModAdd,
+			Priority: uint16(10 + i), BufferID: openflow.NoBuffer,
+			IdleTimeout: 5, Cookie: uint64(i),
+			Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}},
+		}
+		if _, err := dp.HandleFlowMod(0, fm); err != nil {
+			t.Fatal(err)
+		}
+	}
+	frame := testFrame(t, "10.1.0.1", 1000, 400)
+	for i := 0; i < 3; i++ {
+		if _, err := dp.HandleFrame(time.Duration(i)*time.Millisecond, 1, frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dp
+}
+
+func TestStatsDesc(t *testing.T) {
+	dp := statsDP(t)
+	reply := dp.HandleStatsRequest(time.Second, &openflow.StatsRequest{StatsType: openflow.StatsDesc})
+	if reply == nil || reply.Desc == nil {
+		t.Fatal("no desc reply")
+	}
+	if reply.Desc.Manufacturer == "" || reply.Desc.Software == "" {
+		t.Errorf("desc = %+v", reply.Desc)
+	}
+}
+
+func TestStatsFlowAndAggregate(t *testing.T) {
+	dp := statsDP(t)
+	reply := dp.HandleStatsRequest(time.Second, &openflow.StatsRequest{
+		StatsType: openflow.StatsFlow,
+		Match:     openflow.MatchAll(),
+		OutPort:   openflow.PortNone,
+	})
+	if reply == nil || len(reply.Flows) != 2 {
+		t.Fatalf("flow stats entries = %d, want 2", len(reply.Flows))
+	}
+	var total uint64
+	for _, f := range reply.Flows {
+		total += f.PacketCount
+	}
+	if total != 3 {
+		t.Errorf("total packet count = %d, want 3", total)
+	}
+
+	agg := dp.HandleStatsRequest(time.Second, &openflow.StatsRequest{
+		StatsType: openflow.StatsAggregate,
+		Match:     openflow.MatchAll(),
+		OutPort:   openflow.PortNone,
+	})
+	if agg == nil || agg.Aggregate == nil {
+		t.Fatal("no aggregate reply")
+	}
+	if agg.Aggregate.FlowCount != 2 || agg.Aggregate.PacketCount != 3 || agg.Aggregate.ByteCount != 1326 {
+		t.Errorf("aggregate = %+v", agg.Aggregate)
+	}
+}
+
+func TestStatsFlowScoped(t *testing.T) {
+	dp := statsDP(t)
+	frame := testFrame(t, "10.1.0.1", 1000, 400)
+	parsed, err := packet.ParseHeaders(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply := dp.HandleStatsRequest(time.Second, &openflow.StatsRequest{
+		StatsType: openflow.StatsFlow,
+		Match:     openflow.ExactMatch(1, parsed),
+		OutPort:   openflow.PortNone,
+	})
+	if reply == nil || len(reply.Flows) != 1 {
+		t.Fatalf("scoped flow stats = %d entries, want 1", len(reply.Flows))
+	}
+	if reply.Flows[0].PacketCount != 3 {
+		t.Errorf("scoped packet count = %d, want 3", reply.Flows[0].PacketCount)
+	}
+	// A 5-tuple scope also covers the exact-match rule.
+	reply = dp.HandleStatsRequest(time.Second, &openflow.StatsRequest{
+		StatsType: openflow.StatsFlow,
+		Match:     openflow.FlowMatch(parsed.Key()),
+		OutPort:   openflow.PortNone,
+	})
+	if reply == nil || len(reply.Flows) != 1 {
+		t.Fatalf("tuple-scoped flow stats = %d entries, want 1", len(reply.Flows))
+	}
+}
+
+func TestStatsTable(t *testing.T) {
+	dp := statsDP(t)
+	reply := dp.HandleStatsRequest(time.Second, &openflow.StatsRequest{StatsType: openflow.StatsTable})
+	if reply == nil || len(reply.Tables) != 1 {
+		t.Fatal("no table stats")
+	}
+	e := reply.Tables[0]
+	if e.ActiveCount != 2 || e.LookupCount != 3 || e.MatchedCount != 3 {
+		t.Errorf("table stats = %+v", e)
+	}
+}
+
+func TestStatsPort(t *testing.T) {
+	dp := statsDP(t)
+	reply := dp.HandleStatsRequest(time.Second, &openflow.StatsRequest{
+		StatsType: openflow.StatsPort, PortNo: openflow.PortNone,
+	})
+	if reply == nil || len(reply.Ports) != 2 {
+		t.Fatalf("port stats = %d entries, want 2", len(reply.Ports))
+	}
+	if reply.Ports[0].RxPackets != 3 || reply.Ports[0].RxBytes != 1326 {
+		t.Errorf("port 1 rx = %d/%d, want 3/1326", reply.Ports[0].RxPackets, reply.Ports[0].RxBytes)
+	}
+	if reply.Ports[1].TxPackets != 3 {
+		t.Errorf("port 2 tx = %d, want 3", reply.Ports[1].TxPackets)
+	}
+	one := dp.HandleStatsRequest(time.Second, &openflow.StatsRequest{
+		StatsType: openflow.StatsPort, PortNo: 2,
+	})
+	if len(one.Ports) != 1 || one.Ports[0].PortNo != 2 {
+		t.Errorf("single-port stats = %+v", one.Ports)
+	}
+}
+
+func TestStatsUnknownKind(t *testing.T) {
+	dp := statsDP(t)
+	if reply := dp.HandleStatsRequest(0, &openflow.StatsRequest{StatsType: 42}); reply != nil {
+		t.Errorf("unknown stats kind answered: %+v", reply)
+	}
+}
+
+func TestSimSwitchAnswersStats(t *testing.T) {
+	k := sim.New(1)
+	cfg := DefaultSimConfig()
+	cfg.Datapath = Config{DatapathID: 1, NumPorts: 2}
+	sw, err := NewSimSwitch(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replies []openflow.Message
+	sw.SetControlSender(func(msg []byte) {
+		m, _, err := openflow.Decode(msg)
+		if err != nil {
+			t.Fatalf("bad reply: %v", err)
+		}
+		replies = append(replies, m)
+	})
+	sw.DeliverControl(openflow.MustEncode(&openflow.StatsRequest{StatsType: openflow.StatsTable}, 3))
+	sw.DeliverControl(openflow.MustEncode(&openflow.StatsRequest{StatsType: 42}, 4))
+	k.Run()
+	if len(replies) != 2 {
+		t.Fatalf("replies = %d, want 2", len(replies))
+	}
+	foundTable, foundError := false, false
+	for _, m := range replies {
+		switch r := m.(type) {
+		case *openflow.StatsReply:
+			foundTable = r.StatsType == openflow.StatsTable && len(r.Tables) == 1
+		case *openflow.ErrorMsg:
+			foundError = r.ErrType == openflow.ErrTypeBadRequest
+		}
+	}
+	if !foundTable || !foundError {
+		t.Errorf("replies = %#v", replies)
+	}
+}

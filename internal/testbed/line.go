@@ -1,0 +1,298 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdnbuffer/internal/capture"
+	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/sim"
+	"sdnbuffer/internal/switchd"
+)
+
+// LineTestbed generalizes the Fig. 1 platform to a line of switches:
+//
+//	Host1 — SW1 — SW2 — … — SWn — Host2
+//
+// with one controller connected to every switch (sharing one controller
+// CPU, like a single Floodlight process). Every switch misses independently
+// for a new flow, so each flow costs n request round trips — the multi-hop
+// amplification that makes the buffer mechanisms matter more, not less, in
+// real topologies.
+//
+// Each switch uses port 1 for its left neighbour (or Host1) and port 2 for
+// its right neighbour (or Host2).
+type LineTestbed struct {
+	cfg      Config
+	switches int
+	kernel   *sim.Kernel
+	sws      []*switchd.SimSwitch
+	ctl      *controller.SimController
+	chans    []*capture.ControlChannel
+
+	hostIn  *netem.Link // Host1 -> SW1
+	hostOut *netem.Link // SWn -> Host2
+
+	index     map[frameIdent]int
+	flows     map[int]*flowTrack
+	delivered int64
+}
+
+// NewLine assembles a line of the given number of switches using the same
+// per-switch configuration as New.
+func NewLine(cfg Config, switches int) (*LineTestbed, error) {
+	if switches < 1 {
+		return nil, fmt.Errorf("testbed: need at least one switch, got %d", switches)
+	}
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	k := sim.New(cfg.Seed)
+	if cfg.Switch.CPUCores == 0 {
+		dp := cfg.Switch.Datapath
+		cfg.Switch = switchd.DefaultSimConfig()
+		cfg.Switch.Datapath = dp
+	}
+	if cfg.Controller.CPUCores == 0 {
+		cfg.Controller = controller.DefaultSimConfig()
+	}
+
+	fwd, err := controller.NewReactiveForwarder(cfg.Forwarder)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: building forwarder: %w", err)
+	}
+	ctl, err := controller.NewSimController(k, cfg.Controller, fwd)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: building controller: %w", err)
+	}
+
+	lt := &LineTestbed{
+		cfg:      cfg,
+		switches: switches,
+		kernel:   k,
+		ctl:      ctl,
+		index:    make(map[frameIdent]int),
+		flows:    make(map[int]*flowTrack),
+	}
+
+	mkLink := func(name string, mbps float64, prop time.Duration) (*netem.Link, error) {
+		l, err := netem.NewLink(k, name, mbps, prop)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: link %s: %w", name, err)
+		}
+		return l, nil
+	}
+
+	// Build switches, each with its own control channel to the shared
+	// controller.
+	for i := 0; i < switches; i++ {
+		swCfg := cfg.Switch
+		swCfg.Datapath.DatapathID = uint64(i + 1)
+		swCfg.Datapath.NumPorts = 2
+		sw, err := switchd.NewSimSwitch(k, swCfg)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: building switch %d: %w", i+1, err)
+		}
+		up, err := mkLink(fmt.Sprintf("sw%d->ctl", i+1), cfg.ControlLinkMbps, cfg.ControlLinkPropagation)
+		if err != nil {
+			return nil, err
+		}
+		down, err := mkLink(fmt.Sprintf("ctl->sw%d", i+1), cfg.ControlLinkMbps, cfg.ControlLinkPropagation)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ControlLossRate > 0 {
+			if err := up.SetLossRate(cfg.ControlLossRate); err != nil {
+				return nil, err
+			}
+			if err := down.SetLossRate(cfg.ControlLossRate); err != nil {
+				return nil, err
+			}
+		}
+		lt.chans = append(lt.chans, capture.NewControlChannel(up, down))
+
+		swi, upLink, downLink := sw, up, down
+		deliver := ctl.Attach(func(msg []byte) {
+			downLink.Send(msg, func() { swi.DeliverControl(msg) })
+		})
+		swi.SetControlSender(func(msg []byte) {
+			upLink.Send(msg, func() { deliver(msg) })
+		})
+		lt.sws = append(lt.sws, sw)
+	}
+
+	// Data plane: Host1 -> SW1, inter-switch links, SWn -> Host2, plus the
+	// reverse direction for flood/backward traffic.
+	if lt.hostIn, err = mkLink("h1->sw1", cfg.HostLinkMbps, cfg.HostLinkPropagation); err != nil {
+		return nil, err
+	}
+	if lt.hostOut, err = mkLink(fmt.Sprintf("sw%d->h2", switches), cfg.HostLinkMbps, cfg.HostLinkPropagation); err != nil {
+		return nil, err
+	}
+	// rights[i]: SWi -> SWi+1; lefts[i]: SWi+1 -> SWi.
+	rights := make([]*netem.Link, switches-1)
+	lefts := make([]*netem.Link, switches-1)
+	for i := 0; i < switches-1; i++ {
+		if rights[i], err = mkLink(fmt.Sprintf("sw%d->sw%d", i+1, i+2), cfg.HostLinkMbps, cfg.HostLinkPropagation); err != nil {
+			return nil, err
+		}
+		if lefts[i], err = mkLink(fmt.Sprintf("sw%d->sw%d", i+2, i+1), cfg.HostLinkMbps, cfg.HostLinkPropagation); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < switches; i++ {
+		i := i
+		lt.sws[i].SetTransmit(func(port uint16, frame []byte) {
+			switch {
+			case port == PortHost2 && i == switches-1:
+				// Rightmost switch: the frame leaves toward Host2.
+				lt.observeExit(frame)
+				lt.hostOut.Send(frame, func() { lt.delivered++ })
+			case port == PortHost2:
+				next := lt.sws[i+1]
+				rights[i].Send(frame, func() { next.Ingest(PortHost1, frame) })
+			case port == PortHost1 && i == 0:
+				// Leftmost switch: back toward Host1 (flood or reverse
+				// traffic); counted but not tracked per flow.
+			case port == PortHost1:
+				prev := lt.sws[i-1]
+				lefts[i-1].Send(frame, func() { prev.Ingest(PortHost2, frame) })
+			}
+		})
+	}
+	return lt, nil
+}
+
+// observeExit records per-flow first/last egress at the final switch.
+func (lt *LineTestbed) observeExit(frame []byte) {
+	now := lt.kernel.Now()
+	f, err := packet.ParseHeaders(frame)
+	if err != nil {
+		return
+	}
+	id, ok := lt.index[frameIdent{key: f.Key(), ipid: f.IPID}]
+	if !ok {
+		return
+	}
+	tr := lt.flows[id]
+	if tr == nil || !tr.haveEnter {
+		return
+	}
+	if !tr.haveLeave {
+		tr.leaveFirst = now
+		tr.haveLeave = true
+	}
+	if now > tr.leaveLast {
+		tr.leaveLast = now
+	}
+	tr.leaves++
+}
+
+// Switches exposes the simulated switches, leftmost first.
+func (lt *LineTestbed) Switches() []*switchd.SimSwitch { return lt.sws }
+
+// Controller exposes the shared controller.
+func (lt *LineTestbed) Controller() *controller.SimController { return lt.ctl }
+
+// Capture exposes the per-switch control channels, leftmost first.
+func (lt *LineTestbed) Capture() []*capture.ControlChannel { return lt.chans }
+
+// Run replays a schedule from Host1 through the line and reports end-to-end
+// metrics. Delay metrics are measured Host1-ingress to Host2-side egress,
+// i.e. across all hops.
+func (lt *LineTestbed) Run(sched pktgen.Schedule) (*Result, error) {
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("testbed: empty schedule")
+	}
+	for _, e := range sched {
+		f, err := packet.ParseHeaders(e.Frame)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: schedule frame unparseable: %w", err)
+		}
+		lt.index[frameIdent{key: f.Key(), ipid: f.IPID}] = e.FlowID
+		if _, ok := lt.flows[e.FlowID]; !ok {
+			lt.flows[e.FlowID] = &flowTrack{}
+		}
+	}
+	first := lt.sws[0]
+	for _, e := range sched {
+		e := e
+		lt.kernel.At(e.At, func() {
+			lt.hostIn.Send(e.Frame, func() {
+				now := lt.kernel.Now()
+				if f, err := packet.ParseHeaders(e.Frame); err == nil {
+					if id, ok := lt.index[frameIdent{key: f.Key(), ipid: f.IPID}]; ok {
+						tr := lt.flows[id]
+						if !tr.haveEnter {
+							tr.enterFirst = now
+							tr.haveEnter = true
+						}
+					}
+				}
+				first.Ingest(PortHost1, e.Frame)
+			})
+		})
+	}
+	deadline := sched.Duration() + lt.cfg.Drain
+	for lt.kernel.Pending() > 0 && lt.kernel.Now() < deadline {
+		lt.kernel.Step()
+	}
+	return lt.collect(sched), nil
+}
+
+func (lt *LineTestbed) collect(sched pktgen.Schedule) *Result {
+	now := lt.kernel.Now()
+	res := &Result{
+		Elapsed:       now,
+		SendingWindow: sched.Duration(),
+		FramesSent:    len(sched),
+	}
+	for _, ch := range lt.chans {
+		res.CtrlLoadToControllerMbps += ch.ToController.LoadMbps(now)
+		res.CtrlLoadToSwitchMbps += ch.ToSwitch.LoadMbps(now)
+		pi, _ := ch.ToController.ByType(openflow.TypePacketIn)
+		res.PacketIns += pi
+	}
+	res.ControllerUsagePercent = lt.ctl.CPUUtilizationPercent()
+	for _, sw := range lt.sws {
+		res.SwitchUsagePercent += sw.CPUUtilizationPercent()
+		st := sw.Datapath().Mechanism().Stats(now)
+		res.Rerequests += st.Rerequests
+		res.BufferFallbacks += st.DroppedNoBuffer
+		res.BufferOccupancyMean += sw.Datapath().Mechanism().OccupancyMean(now)
+		if m := sw.Datapath().Mechanism().OccupancyMax(); m > res.BufferOccupancyMax {
+			res.BufferOccupancyMax = m
+		}
+		res.ControllerDelay.Merge(sw.ControllerDelay())
+	}
+	res.SwitchUsagePercent /= float64(len(lt.sws))
+
+	ids := make([]int, 0, len(lt.flows))
+	for id := range lt.flows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tr := lt.flows[id]
+		if !tr.haveEnter {
+			continue
+		}
+		res.FlowsObserved++
+		if tr.haveLeave {
+			res.FlowSetupDelay.Observe((tr.leaveFirst - tr.enterFirst).Seconds())
+			res.FlowForwardingDelay.Observe((tr.leaveLast - tr.enterFirst).Seconds())
+		}
+	}
+	res.SwitchDelayMean = res.FlowSetupDelay.Mean() - res.ControllerDelay.Mean()
+	if res.SwitchDelayMean < 0 {
+		res.SwitchDelayMean = 0
+	}
+	res.FramesDelivered = lt.delivered
+	return res
+}

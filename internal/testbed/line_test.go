@@ -1,0 +1,122 @@
+package testbed
+
+import (
+	"testing"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/pktgen"
+)
+
+func runLine(t *testing.T, g openflow.BufferGranularity, switches int, rate float64, flows int) *Result {
+	t.Helper()
+	buf := openflow.FlowBufferConfig{Granularity: g, RerequestTimeoutMs: 50}
+	lt, err := NewLine(DefaultConfig(buf, 256), switches)
+	if err != nil {
+		t.Fatalf("NewLine: %v", err)
+	}
+	sched, err := pktgen.SinglePacketFlows(pktgenConfig(rate), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lt.Run(sched)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestLineDeliversEndToEnd(t *testing.T) {
+	for _, switches := range []int{1, 2, 3} {
+		res := runLine(t, openflow.GranularityPacket, switches, 40, 100)
+		if res.FramesDelivered != 100 {
+			t.Errorf("%d switches: delivered %d of 100", switches, res.FramesDelivered)
+		}
+		if res.FlowSetupDelay.Count() != 100 {
+			t.Errorf("%d switches: setup samples = %d", switches, res.FlowSetupDelay.Count())
+		}
+	}
+}
+
+func TestLineRequestAmplification(t *testing.T) {
+	// Every hop misses independently: n switches cost n packet_ins per
+	// flow.
+	one := runLine(t, openflow.GranularityPacket, 1, 30, 100)
+	three := runLine(t, openflow.GranularityPacket, 3, 30, 100)
+	if one.PacketIns != 100 {
+		t.Errorf("1 switch: packet_ins = %d, want 100", one.PacketIns)
+	}
+	if three.PacketIns != 300 {
+		t.Errorf("3 switches: packet_ins = %d, want 300", three.PacketIns)
+	}
+	// And the end-to-end setup delay grows with hops.
+	if three.FlowSetupDelay.Mean() <= one.FlowSetupDelay.Mean() {
+		t.Errorf("3-hop setup %g not above 1-hop %g",
+			three.FlowSetupDelay.Mean(), one.FlowSetupDelay.Mean())
+	}
+}
+
+func TestLineBufferBenefitCompounds(t *testing.T) {
+	noBuf := runLine(t, openflow.GranularityNone, 3, 40, 200)
+	buf := runLine(t, openflow.GranularityPacket, 3, 40, 200)
+	if buf.CtrlLoadToControllerMbps > 0.3*noBuf.CtrlLoadToControllerMbps {
+		t.Errorf("3-hop buffered load %g not well below no-buffer %g",
+			buf.CtrlLoadToControllerMbps, noBuf.CtrlLoadToControllerMbps)
+	}
+	if buf.FramesDelivered != noBuf.FramesDelivered {
+		t.Errorf("delivery mismatch: %d vs %d", buf.FramesDelivered, noBuf.FramesDelivered)
+	}
+}
+
+func TestLineFlowGranularityAcrossHops(t *testing.T) {
+	// Flow granularity still sends exactly one request per flow per hop on
+	// the multi-packet workload.
+	buf := openflow.FlowBufferConfig{Granularity: openflow.GranularityFlow, RerequestTimeoutMs: 50}
+	lt, err := NewLine(DefaultConfig(buf, 256), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := pktgen.InterleavedBursts(pktgenConfig(60), 20, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := lt.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FramesDelivered != int64(len(sched)) {
+		t.Fatalf("delivered %d of %d", res.FramesDelivered, len(sched))
+	}
+	if res.PacketIns != 40 { // 20 flows × 2 hops
+		t.Errorf("packet_ins = %d, want 40", res.PacketIns)
+	}
+}
+
+func TestLineSingleSwitchMatchesPacketCounts(t *testing.T) {
+	// A 1-switch line is the Fig. 1 topology; its protocol behaviour must
+	// match the single-switch testbed.
+	line := runLine(t, openflow.GranularityPacket, 1, 40, 150)
+	single := runStudyA(t, openflow.GranularityPacket, 256, 40, 150)
+	if line.PacketIns != single.PacketIns {
+		t.Errorf("packet_ins: line %d vs single %d", line.PacketIns, single.PacketIns)
+	}
+	if line.FramesDelivered != single.FramesDelivered {
+		t.Errorf("delivered: line %d vs single %d", line.FramesDelivered, single.FramesDelivered)
+	}
+}
+
+func TestLineValidation(t *testing.T) {
+	buf := openflow.FlowBufferConfig{Granularity: openflow.GranularityNone}
+	if _, err := NewLine(DefaultConfig(buf, 16), 0); err == nil {
+		t.Error("NewLine(0) succeeded")
+	}
+	lt, err := NewLine(DefaultConfig(buf, 16), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lt.Run(nil); err == nil {
+		t.Error("Run(nil) succeeded")
+	}
+	if len(lt.Switches()) != 2 || lt.Controller() == nil || len(lt.Capture()) != 2 {
+		t.Error("accessors inconsistent")
+	}
+}
