@@ -14,6 +14,7 @@ package sdnbuffer
 // exercised with -benchmem for allocation accounting.
 
 import (
+	"fmt"
 	"net/netip"
 	"testing"
 	"time"
@@ -131,6 +132,30 @@ func BenchmarkFig13aBufferUtilizationMean(b *testing.B) {
 
 func BenchmarkFig13bBufferUtilizationMax(b *testing.B) {
 	runFigure(b, "fig13b", "packet-granularity", "flow-granularity")
+}
+
+// BenchmarkParallelScalingFig2a measures the wall-clock scaling of the
+// parallel sweep runner on the fig2a grid (3 series × 3 rates × 2 repeats =
+// 18 independent cells). The fold order is fixed, so every sub-benchmark
+// computes bit-identical results; only the wall clock should move.
+func BenchmarkParallelScalingFig2a(b *testing.B) {
+	exp, err := experiments.ByID("fig2a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel%d", par), func(b *testing.B) {
+			opts := benchOpts()
+			opts.Repeats = 2
+			opts.Parallelism = par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Run(exp, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablation benches (DESIGN.md §5) ---

@@ -10,12 +10,15 @@
 //	benchrunner -quick                  # reduced sweep for a fast look
 //	benchrunner -csv results.csv        # also write CSV rows
 //	benchrunner -repeats 20             # the paper's repetition count
+//	benchrunner -parallel 1             # serial sweep (same output bytes)
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -24,27 +27,33 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchrunner", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expList = flag.String("experiments", "", "comma-separated figure ids (default: all)")
-		repeats = flag.Int("repeats", 5, "seeds per sweep point (paper: 20)")
-		rates   = flag.String("rates", "", "comma-separated sending rates in Mbps (default: 5..100 step 5)")
-		flowsA  = flag.Int("flows", 1000, "§IV workload flow count")
-		quick   = flag.Bool("quick", false, "reduced sweep: rates 20/50/80, 1 repeat, 300 flows")
-		csvPath = flag.String("csv", "", "write CSV rows to this file")
-		plot    = flag.Bool("plot", false, "render an ASCII chart per figure")
+		expList  = fs.String("experiments", "", "comma-separated figure ids (default: all)")
+		repeats  = fs.Int("repeats", 5, "seeds per sweep point (paper: 20)")
+		rates    = fs.String("rates", "", "comma-separated sending rates in Mbps (default: 5..100 step 5)")
+		flowsA   = fs.Int("flows", 1000, "§IV workload flow count")
+		quick    = fs.Bool("quick", false, "reduced sweep: rates 20/50/80, 1 repeat, 300 flows")
+		csvPath  = fs.String("csv", "", "write CSV rows to this file")
+		plot     = fs.Bool("plot", false, "render an ASCII chart per figure")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
+			"sweep worker goroutines; results are identical at any setting (1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	opts := experiments.Options{Repeats: *repeats, FlowsA: *flowsA}
+	opts := experiments.Options{Repeats: *repeats, FlowsA: *flowsA, Parallelism: *parallel}
 	if *rates != "" {
 		for _, tok := range strings.Split(*rates, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchrunner: bad rate %q: %v\n", tok, err)
+				fmt.Fprintf(stderr, "benchrunner: bad rate %q: %v\n", tok, err)
 				return 2
 			}
 			opts.Rates = append(opts.Rates, v)
@@ -64,7 +73,7 @@ func run() int {
 		for _, id := range strings.Split(*expList, ",") {
 			exp, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+				fmt.Fprintf(stderr, "benchrunner: %v\n", err)
 				return 2
 			}
 			selected = append(selected, exp)
@@ -75,12 +84,12 @@ func run() int {
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			fmt.Fprintf(stderr, "benchrunner: %v\n", err)
 			return 1
 		}
 		defer func() {
 			if err := f.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "benchrunner: closing csv: %v\n", err)
+				fmt.Fprintf(stderr, "benchrunner: closing csv: %v\n", err)
 			}
 		}()
 		csv = f
@@ -91,34 +100,34 @@ func run() int {
 		start := time.Now()
 		res, err := experiments.Run(exp, opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", exp.ID, err)
+			fmt.Fprintf(stderr, "benchrunner: %s: %v\n", exp.ID, err)
 			return 1
 		}
-		if err := res.WriteTable(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "benchrunner: writing table: %v\n", err)
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing table: %v\n", err)
 			return 1
 		}
 		if *plot {
-			if err := res.WritePlot(os.Stdout); err != nil {
-				fmt.Fprintf(os.Stderr, "benchrunner: writing plot: %v\n", err)
+			if err := res.WritePlot(stdout); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing plot: %v\n", err)
 				return 1
 			}
 		}
-		fmt.Printf("paper claim: %s\n", exp.PaperClaim)
+		fmt.Fprintf(stdout, "paper claim: %s\n", exp.PaperClaim)
 		claims = append(claims, res.Claims()...)
 		if csv != nil {
 			if err := res.WriteCSV(csv, i == 0); err != nil {
-				fmt.Fprintf(os.Stderr, "benchrunner: writing csv: %v\n", err)
+				fmt.Fprintf(stderr, "benchrunner: writing csv: %v\n", err)
 				return 1
 			}
 		}
-		fmt.Printf("(%s in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "(%s in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}
 
 	if len(claims) > 0 {
-		fmt.Println("==== measured headline comparisons ====")
+		fmt.Fprintln(stdout, "==== measured headline comparisons ====")
 		for _, c := range claims {
-			fmt.Println(c)
+			fmt.Fprintln(stdout, c)
 		}
 	}
 	return 0

@@ -3,11 +3,21 @@
 // them: for each sending rate and each series (buffer configuration), it
 // assembles a fresh testbed, replays the workload with several seeds, and
 // aggregates the figure's metric.
+//
+// Run fans the sweep's (series, rate, repeat) cell grid out across
+// Options.Parallelism worker goroutines. Every cell is a self-contained
+// simulation — its own event kernel, testbed and seeded RNGs — and the
+// per-cell metrics are folded into the aggregates in a fixed order, so a
+// given seed yields identical results (and identical CSV bytes) whether the
+// sweep ran serially or on every core.
 package experiments
 
 import (
 	"fmt"
 	"net/netip"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"sdnbuffer/internal/metrics"
 	"sdnbuffer/internal/openflow"
@@ -112,8 +122,17 @@ type Options struct {
 	// Jitter is the pktgen pacing jitter (default 0.5).
 	Jitter float64
 	// Testbed overrides the platform configuration builder; nil uses
-	// testbed.DefaultConfig.
+	// testbed.DefaultConfig. A non-nil builder must be safe for concurrent
+	// calls when Parallelism > 1 (it is invoked once per sweep cell, from
+	// worker goroutines).
 	Testbed func(s Series) testbed.Config
+	// Parallelism is the number of worker goroutines the (series, rate,
+	// repeat) sweep grid is fanned out across (default
+	// runtime.GOMAXPROCS(0); 1 executes the cells serially). Every cell is
+	// an independent simulation seeded from its repeat index, and results
+	// are folded in a fixed order, so the output is identical — bit for
+	// bit — at any setting.
+	Parallelism int
 }
 
 func (o Options) withDefaults() Options {
@@ -148,6 +167,9 @@ func (o Options) withDefaults() Options {
 			return testbed.DefaultConfig(s.Buffer, s.BufferCapacity)
 		}
 	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
 	return o
 }
 
@@ -177,8 +199,122 @@ type Result struct {
 	Series     []SeriesResult
 }
 
-// Run executes the experiment's full sweep.
+// cell is one (series, rate, repeat) unit of an experiment's sweep grid,
+// identified by its indexes into exp.Series, opts.Rates and the repeat
+// count. Cells are enumerated in series → rate → repeat order, which is both
+// the order workers claim them in and the order the fold consumes them in.
+type cell struct {
+	series, rate, rep int
+}
+
+// cellGrid indexes the full sweep up front.
+func cellGrid(exp Experiment, opts Options) []cell {
+	cells := make([]cell, 0, len(exp.Series)*len(opts.Rates)*opts.Repeats)
+	for si := range exp.Series {
+		for ri := range opts.Rates {
+			for rep := 0; rep < opts.Repeats; rep++ {
+				cells = append(cells, cell{series: si, rate: ri, rep: rep})
+			}
+		}
+	}
+	return cells
+}
+
+// fold assembles the per-cell metric values — laid out in cellGrid order —
+// into the aggregated result, observing repeats in repeat order regardless
+// of which worker produced them when. Welford summaries are order-sensitive
+// in the last bits, so folding in a fixed order is what makes the output
+// independent of Parallelism.
+func fold(exp Experiment, opts Options, vals []float64) *Result {
+	out := &Result{Experiment: exp, Options: opts}
+	i := 0
+	for _, s := range exp.Series {
+		sr := SeriesResult{Series: s}
+		for _, rate := range opts.Rates {
+			var agg metrics.Summary
+			for rep := 0; rep < opts.Repeats; rep++ {
+				v := vals[i]
+				i++
+				agg.Observe(v)
+				sr.Overall.Observe(v)
+			}
+			sr.Points = append(sr.Points, Point{
+				RateMbps: rate,
+				Mean:     agg.Mean(),
+				StdDev:   agg.StdDev(),
+				Min:      agg.Min(),
+				Max:      agg.Max(),
+			})
+		}
+		out.Series = append(out.Series, sr)
+	}
+	return out
+}
+
+// Run executes the experiment's full sweep, fanning the (series, rate,
+// repeat) cell grid out across opts.Parallelism worker goroutines. Each cell
+// is an independent simulation (its own kernel, testbed and RNGs, seeded
+// from the repeat index), so cells never share mutable state; the aggregates
+// are folded in a deterministic order afterwards, making the result
+// identical to RunSerial's for the same options and seeds.
 func Run(exp Experiment, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if exp.Extract == nil {
+		return nil, fmt.Errorf("experiments: %s has no metric extractor", exp.ID)
+	}
+	cells := cellGrid(exp, opts)
+	vals := make([]float64, len(cells))
+	errs := make([]error, len(cells))
+	workers := opts.Parallelism
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				if failed.Load() {
+					continue // a cell failed: drain the rest without running them
+				}
+				c := cells[i]
+				v, err := runOne(exp, exp.Series[c.series], opts, opts.Rates[c.rate], int64(c.rep)+1)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				vals[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	// Cells are claimed in index order, so the earliest failing cell always
+	// executes before the failure flag can skip it: the reported error is
+	// the same one the serial loop would have hit first.
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("experiments: %s %s at %g Mbps rep %d: %w",
+				exp.ID, exp.Series[c.series].Name, opts.Rates[c.rate], c.rep, err)
+		}
+	}
+	return fold(exp, opts, vals), nil
+}
+
+// RunSerial executes the sweep on the calling goroutine, one cell at a time
+// in series → rate → repeat order. It is the reference implementation the
+// parallel runner is tested for equivalence against.
+func RunSerial(exp Experiment, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if exp.Extract == nil {
 		return nil, fmt.Errorf("experiments: %s has no metric extractor", exp.ID)

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"reflect"
 	"strings"
 	"testing"
+
+	"sdnbuffer/internal/testbed"
 )
 
 // quickOpts keeps experiment tests fast: three rates, one seed, small
@@ -231,6 +234,81 @@ func TestWritePlotEmpty(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "no data") {
 		t.Errorf("empty plot output: %q", sb.String())
+	}
+}
+
+func TestRunMatchesRunSerial(t *testing.T) {
+	// One §IV figure and one §V figure: the parallel runner must reproduce
+	// the reference serial fold bit for bit, including the order-sensitive
+	// Welford tails, at any worker count.
+	for _, id := range []string{"fig2a", "fig13a"} {
+		t.Run(id, func(t *testing.T) {
+			exp, err := ByID(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := Options{
+				Rates:   []float64{20, 60},
+				Repeats: 3,
+				FlowsA:  60,
+				FlowsB:  10, PktsPerFlowB: 4, GroupB: 5,
+			}
+			serial, err := RunSerial(exp, opts)
+			if err != nil {
+				t.Fatalf("RunSerial: %v", err)
+			}
+			for _, par := range []int{1, 4} {
+				popts := opts
+				popts.Parallelism = par
+				got, err := Run(exp, popts)
+				if err != nil {
+					t.Fatalf("Run(parallel=%d): %v", par, err)
+				}
+				if !reflect.DeepEqual(serial.Series, got.Series) {
+					t.Errorf("parallel=%d results differ from serial:\nserial: %+v\nparallel: %+v",
+						par, serial.Series, got.Series)
+				}
+				var want, have strings.Builder
+				if err := serial.WriteCSV(&want, true); err != nil {
+					t.Fatal(err)
+				}
+				if err := got.WriteCSV(&have, true); err != nil {
+					t.Fatal(err)
+				}
+				if want.String() != have.String() {
+					t.Errorf("parallel=%d CSV differs from serial:\n%s\nvs\n%s",
+						par, want.String(), have.String())
+				}
+			}
+		})
+	}
+}
+
+func TestRunPropagatesCellError(t *testing.T) {
+	exp, err := ByID("fig2a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{
+		Rates: []float64{20, 40}, Repeats: 2, FlowsA: 20, Parallelism: 4,
+		Testbed: func(s Series) testbed.Config {
+			cfg := testbed.DefaultConfig(s.Buffer, s.BufferCapacity)
+			cfg.HostLinkMbps = -1 // every cell fails to assemble
+			return cfg
+		},
+	}
+	_, perr := Run(exp, opts)
+	if perr == nil {
+		t.Fatal("parallel Run succeeded with an invalid testbed config")
+	}
+	_, serr := RunSerial(exp, opts)
+	if serr == nil {
+		t.Fatal("RunSerial succeeded with an invalid testbed config")
+	}
+	// Cells are claimed in index order, so the parallel runner reports the
+	// same first-failing cell the serial loop does.
+	if perr.Error() != serr.Error() {
+		t.Errorf("parallel error %q != serial error %q", perr, serr)
 	}
 }
 

@@ -5,7 +5,11 @@
 //
 // All types in this package are plain accumulators with no locking; in sim
 // mode everything runs on a single virtual-time event loop, and live-mode
-// callers wrap them with their own synchronization.
+// callers wrap them with their own synchronization. The parallel experiment
+// runner never shares an accumulator across goroutines: each sweep cell
+// owns its summaries, and cross-cell folding happens after the workers
+// join, on a single goroutine, in a fixed order (Summary.Observe and Merge
+// are order-sensitive in the floating-point tail).
 package metrics
 
 import (

@@ -1,0 +1,118 @@
+package packet
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+// fuzzSeedFrames builds the corpus from real serialized frames: the UDP
+// shape pktgen emits, a TCP segment, a minimum-size padded frame, and
+// truncated captures like the ones packet_in carries.
+func fuzzSeedFrames(tb testing.TB) [][]byte {
+	tb.Helper()
+	udp := &Frame{
+		SrcMAC:    MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    MAC{2, 0, 0, 0, 0, 2},
+		EtherType: EtherTypeIPv4,
+		TTL:       64,
+		IPID:      7,
+		Proto:     ProtoUDP,
+		SrcIP:     netip.MustParseAddr("10.1.0.1"),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		SrcPort:   10000,
+		DstPort:   9,
+		Payload:   bytes.Repeat([]byte{0xab}, 100),
+	}
+	tcp := &Frame{
+		SrcMAC:    MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    MAC{2, 0, 0, 0, 0, 2},
+		EtherType: EtherTypeIPv4,
+		TTL:       64,
+		Proto:     ProtoTCP,
+		SrcIP:     netip.MustParseAddr("10.1.0.1"),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		SrcPort:   40000,
+		DstPort:   80,
+		Seq:       1,
+		Flags:     FlagSYN,
+		Window:    65535,
+	}
+	tiny := &Frame{
+		SrcMAC:    MAC{2, 0, 0, 0, 0, 3},
+		DstMAC:    Broadcast,
+		EtherType: EtherTypeIPv4,
+		TTL:       1,
+		Proto:     ProtoUDP,
+		SrcIP:     netip.MustParseAddr("10.1.0.9"),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		SrcPort:   1,
+		DstPort:   2,
+	}
+	var out [][]byte
+	for _, f := range []*Frame{udp, tcp, tiny} {
+		wire, err := f.Serialize()
+		if err != nil {
+			tb.Fatalf("Serialize: %v", err)
+		}
+		out = append(out, wire)
+		if len(wire) > 64 {
+			out = append(out, wire[:64]) // miss_send_len-style truncation
+		}
+	}
+	return out
+}
+
+// FuzzParseEthernet asserts the parser suite's safety properties on
+// arbitrary bytes: Parse, ParseHeaders and ParseKey never panic; whenever
+// the full parser accepts a frame the two header-only parsers agree with it
+// on the flow key; and an accepted frame survives a serialize → reparse
+// round trip with its identity intact.
+func FuzzParseEthernet(f *testing.F) {
+	for _, seed := range fuzzSeedFrames(f) {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		hf, herr := ParseHeaders(b) // must not panic even when Parse rejects
+		fr, err := Parse(b)
+		if err != nil {
+			return
+		}
+		key, kerr := ParseKey(b)
+		if kerr != nil {
+			t.Fatalf("Parse accepted frame ParseKey rejects: %v", kerr)
+		}
+		if key != fr.Key() {
+			t.Fatalf("ParseKey = %+v, Parse.Key = %+v", key, fr.Key())
+		}
+		if herr != nil {
+			t.Fatalf("Parse accepted frame ParseHeaders rejects: %v", herr)
+		}
+		if hf.Key() != key {
+			t.Fatalf("ParseHeaders key %+v != ParseKey %+v", hf.Key(), key)
+		}
+		wire, err := fr.Serialize()
+		if err != nil {
+			t.Fatalf("parsed frame does not serialize: %v", err)
+		}
+		fr2, err := Parse(wire)
+		if err != nil {
+			t.Fatalf("re-serialized frame does not parse: %v", err)
+		}
+		if fr2.Key() != key {
+			t.Fatalf("flow key changed across round trip: %+v -> %+v", key, fr2.Key())
+		}
+		if fr2.IPID != fr.IPID || fr2.TTL != fr.TTL || fr2.TOS != fr.TOS ||
+			fr2.Seq != fr.Seq || fr2.Ack != fr.Ack || fr2.Flags != fr.Flags ||
+			fr2.Window != fr.Window {
+			t.Fatalf("header fields changed across round trip:\nfirst:  %+v\nsecond: %+v", fr, fr2)
+		}
+		if !bytes.Equal(fr2.Payload, fr.Payload) {
+			t.Fatalf("payload changed across round trip: %d bytes -> %d bytes",
+				len(fr.Payload), len(fr2.Payload))
+		}
+		if err := VerifyChecksums(wire); err != nil {
+			t.Fatalf("re-serialized frame has bad checksums: %v", err)
+		}
+	})
+}

@@ -7,6 +7,12 @@
 // The kernel is single-threaded by design: determinism is what lets the
 // benchmark harness regenerate the paper's figures reproducibly. Components
 // must not retain goroutines; all concurrency is simulated.
+//
+// Concurrency contract: one Kernel (and everything scheduled on it) must be
+// confined to a single goroutine, but independent Kernels share no state —
+// not even a package-level RNG — so any number of simulations may run on
+// different goroutines at once. The parallel experiment runner relies on
+// exactly this: one kernel per sweep cell, many cells in flight.
 package sim
 
 import (

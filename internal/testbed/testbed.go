@@ -3,6 +3,10 @@
 // links, the switch attached to the controller by a control link, tcpdump
 // sniffers on the control channel, and pktgen-style workloads replayed from
 // a schedule. One Run produces every metric the paper defines in §III.B.
+//
+// A Testbed (like the sim kernel it wraps) is confined to one goroutine,
+// but independent instances share no mutable state: experiments may
+// assemble and run one testbed per goroutine concurrently.
 package testbed
 
 import (

@@ -27,6 +27,10 @@
 //
 //	res, err := sdnbuffer.RunExperiment("fig2a", sdnbuffer.ExperimentOptions{})
 //	res.WriteTable(os.Stdout)
+//
+// Experiment sweeps run their independent (series, rate, repeat) cells on
+// every core by default (ExperimentOptions.Parallelism); results are
+// deterministic regardless of the worker count.
 package sdnbuffer
 
 import (
@@ -223,6 +227,11 @@ func RunLine(p Platform, switches int, w Workload) (*Report, error) {
 
 // ExperimentOptions scales an experiment sweep; the zero value uses the
 // paper's parameters. It is the experiments options type re-exported.
+//
+// Sweeps fan their (series, rate, repeat) cell grid out across
+// ExperimentOptions.Parallelism worker goroutines (default: every core).
+// Each cell is an independent simulation, and aggregates are folded in a
+// fixed order, so results are identical at any parallelism setting.
 type ExperimentOptions = experiments.Options
 
 // ExperimentResult is a completed per-figure experiment with table/CSV

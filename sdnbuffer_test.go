@@ -85,6 +85,30 @@ func TestRunExperimentQuick(t *testing.T) {
 	}
 }
 
+func TestRunExperimentParallelismDeterministic(t *testing.T) {
+	opts := ExperimentOptions{Rates: []float64{30, 60}, Repeats: 2, FlowsA: 60}
+	opts.Parallelism = 1
+	serial, err := RunExperiment("fig5", opts)
+	if err != nil {
+		t.Fatalf("RunExperiment(parallel=1): %v", err)
+	}
+	opts.Parallelism = 4
+	parallel, err := RunExperiment("fig5", opts)
+	if err != nil {
+		t.Fatalf("RunExperiment(parallel=4): %v", err)
+	}
+	var a, b strings.Builder
+	if err := serial.WriteCSV(&a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := parallel.WriteCSV(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("CSV differs across parallelism settings:\n%s\nvs\n%s", a.String(), b.String())
+	}
+}
+
 func TestRunLineFacade(t *testing.T) {
 	rep, err := RunLine(Platform{Mode: ModePacketGranularity}, 2, SinglePacketFlows(40, 100))
 	if err != nil {
