@@ -11,6 +11,8 @@
 //	benchrunner -csv results.csv        # also write CSV rows
 //	benchrunner -repeats 20             # the paper's repetition count
 //	benchrunner -parallel 1             # serial sweep (same output bytes)
+//	benchrunner -cpuprofile cpu.pprof   # profile the sweep's hot spots
+//	benchrunner -memprofile mem.pprof   # heap profile after the sweep
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -43,9 +46,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		plot     = fs.Bool("plot", false, "render an ASCII chart per figure")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"sweep worker goroutines; results are identical at any setting (1 = serial)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: closing cpu profile: %v\n", err)
+			}
+		}()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: starting cpu profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchrunner: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing heap profile: %v\n", err)
+			}
+		}()
 	}
 
 	opts := experiments.Options{Repeats: *repeats, FlowsA: *flowsA, Parallelism: *parallel}

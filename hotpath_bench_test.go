@@ -1,0 +1,278 @@
+package sdnbuffer
+
+// Hot-path micro-benchmarks tracked in BENCH_hotpath.json. Each benchmark
+// covers one layer of the steady-state per-cell simulation cost:
+//
+//   - sim:        kernel schedule/fire throughput (event heap + allocation)
+//   - flowtable:  lookup under a rule-churn-sized table (hundreds of rules)
+//   - packet:     frame header parse on the datapath ingress path
+//   - openflow:   packet_in encode, the highest-volume control message
+//   - datapath:   the composed steady-state packet path (parse → lookup hit
+//     → forward), which must stay allocation-free
+//   - cell:       one full sweep cell, the unit the experiment runner fans out
+//
+// CI runs these with -benchmem and records the numbers (see
+// scripts/benchjson.sh); the committed BENCH_hotpath.json keeps the
+// before/after trajectory.
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/flowtable"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/sim"
+	"sdnbuffer/internal/switchd"
+)
+
+func mustAddr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+// BenchmarkHotSimKernel measures raw event scheduling+dispatch: a ladder of
+// self-rescheduling events, the pattern every simulated component produces.
+func BenchmarkHotSimKernel(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			k.After(time.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	k.After(0, tick)
+	k.Run()
+}
+
+// BenchmarkHotSimKernelCancel measures the schedule+cancel cycle (the
+// mechanism/expiry timer re-arm pattern: every control op cancels and
+// reschedules a pending timer).
+func BenchmarkHotSimKernelCancel(b *testing.B) {
+	b.ReportAllocs()
+	k := sim.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := k.After(time.Hour, func() {})
+		k.Cancel(e)
+	}
+}
+
+// hotTableFrames installs nRules exact-match rules and returns the table
+// plus a parsed frame matching the last-installed rule.
+func hotTableFrames(b *testing.B, nRules int) (*flowtable.Table, *packet.Frame, int) {
+	b.Helper()
+	tbl, err := flowtable.New(flowtable.Unlimited, flowtable.EvictNone)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hit *packet.Frame
+	var wireLen int
+	// One distinct exact rule per forged source IP, mirroring what reactive
+	// forwarding installs for the §IV workload.
+	for i := 0; i < nRules; i++ {
+		f := &packet.Frame{
+			SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+			DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+			EtherType: packet.EtherTypeIPv4,
+			TTL:       64,
+			Proto:     packet.ProtoUDP,
+			SrcIP:     mustAddr(fmt.Sprintf("10.1.%d.%d", i>>8, i&0xff)),
+			DstIP:     mustAddr("10.0.0.2"),
+			SrcPort:   uint16(10000 + i),
+			DstPort:   9,
+			Payload:   make([]byte, 958),
+		}
+		wire, err := f.Serialize()
+		if err != nil {
+			b.Fatal(err)
+		}
+		parsed, err := packet.ParseHeaders(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tbl.Insert(0, &flowtable.Entry{
+			Match:    openflow.ExactMatch(1, parsed),
+			Priority: 100,
+			Actions:  []openflow.Action{&openflow.ActionOutput{Port: 2}},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		hit, wireLen = parsed, len(wire)
+	}
+	return tbl, hit, wireLen
+}
+
+// BenchmarkHotLookup256Rules measures a lookup hit against a table holding
+// 256 exact-match rules — the paper's §VI.B rule-churn scale, where the
+// linear scan's O(n) dominates.
+func BenchmarkHotLookup256Rules(b *testing.B) {
+	tbl, f, wireLen := hotTableFrames(b, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl.Lookup(time.Duration(i), 1, f, wireLen) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+// BenchmarkHotParseHeaders measures the datapath's per-frame header parse.
+func BenchmarkHotParseHeaders(b *testing.B) {
+	f := &packet.Frame{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     mustAddr("10.1.0.1"),
+		DstIP:     mustAddr("10.0.0.2"),
+		SrcPort:   1234,
+		DstPort:   9,
+		Payload:   make([]byte, 958),
+	}
+	wire, err := f.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := packet.ParseHeaders(wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotParseHeadersInto measures the same parse through the
+// scratch-frame API the datapath actually uses — the zero-alloc variant of
+// BenchmarkHotParseHeaders.
+func BenchmarkHotParseHeadersInto(b *testing.B) {
+	f := &packet.Frame{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     mustAddr("10.1.0.1"),
+		DstIP:     mustAddr("10.0.0.2"),
+		SrcPort:   1234,
+		DstPort:   9,
+		Payload:   make([]byte, 958),
+	}
+	wire, err := f.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch packet.Frame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := packet.ParseEthernetInto(&scratch, wire); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotEncodePacketIn measures encoding the highest-volume control
+// message with a 128-byte miss_send_len payload.
+func BenchmarkHotEncodePacketIn(b *testing.B) {
+	pi := &openflow.PacketIn{BufferID: 7, TotalLen: 1000, InPort: 1, Data: make([]byte, 128)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := openflow.Encode(pi, uint32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHotEncodePacketInAppend measures the same encode through the
+// buffer-reusing API the live-mode connection writer uses — the zero-alloc
+// variant of BenchmarkHotEncodePacketIn.
+func BenchmarkHotEncodePacketInAppend(b *testing.B) {
+	pi := &openflow.PacketIn{BufferID: 7, TotalLen: 1000, InPort: 1, Data: make([]byte, 128)}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := openflow.AppendEncode(buf[:0], pi, uint32(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+}
+
+// BenchmarkHotSteadyStatePacketPath measures the composed steady-state path
+// one datapath frame takes after its rule is installed: parse → lookup hit →
+// action application. This is the path the acceptance criterion requires to
+// reach 0 allocs/op.
+func BenchmarkHotSteadyStatePacketPath(b *testing.B) {
+	dp, err := switchd.NewDatapath(switchd.Config{NumPorts: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	f := &packet.Frame{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     mustAddr("10.1.0.1"),
+		DstIP:     mustAddr("10.0.0.2"),
+		SrcPort:   1234,
+		DstPort:   9,
+		Payload:   make([]byte, 958),
+	}
+	wire, err := f.Serialize()
+	if err != nil {
+		b.Fatal(err)
+	}
+	parsed, err := packet.ParseHeaders(wire)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fm := &openflow.FlowMod{
+		Match:    openflow.ExactMatch(1, parsed),
+		Command:  openflow.FlowModAdd,
+		Priority: 100,
+		BufferID: openflow.NoBuffer,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	}
+	if _, err := dp.HandleFlowMod(0, fm); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dp.HandleFrame(time.Duration(i), 1, wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Matched == nil || len(res.Outputs) != 1 {
+			b.Fatal("expected forwarding hit")
+		}
+	}
+}
+
+// BenchmarkHotEndToEndCell runs one complete sweep cell (the §IV workload at
+// 50 Mbps, 300 flows, packet-granularity buffering) — the unit of work the
+// parallel experiment runner schedules. The ≥25% ns/op acceptance criterion
+// is measured here.
+func BenchmarkHotEndToEndCell(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Run(Platform{Mode: ModePacketGranularity, BufferUnits: 256},
+			SinglePacketFlows(50, 300))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.FramesDelivered == 0 {
+			b.Fatal("no frames delivered")
+		}
+	}
+}

@@ -40,12 +40,13 @@ type Server struct {
 type switchConn struct {
 	conn    net.Conn
 	writeMu sync.Mutex
+	writer  *openflow.Writer // per-connection encode buffer, guarded by writeMu
 }
 
 func (sc *switchConn) send(m openflow.Message, xid uint32) error {
 	sc.writeMu.Lock()
 	defer sc.writeMu.Unlock()
-	return openflow.WriteMessage(sc.conn, m, xid)
+	return sc.writer.WriteMessage(m, xid)
 }
 
 // NewServer builds a live controller around an App.
@@ -90,7 +91,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		sc := &switchConn{conn: conn}
+		sc := &switchConn{conn: conn, writer: openflow.NewWriter(conn)}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()

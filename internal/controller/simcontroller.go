@@ -111,6 +111,10 @@ func (c *SimController) process(conn int, msg []byte) {
 	default:
 		c.appErrors++
 	}
+	// Recycle the decoded shell (a no-op for non-pooled types). Apps keep at
+	// most the Data slice (reactive forwarding copies it into its reply,
+	// which sendAll encoded above), never the message itself.
+	openflow.ReleaseMessage(m)
 }
 
 func (c *SimController) sendAll(conn int, replies []openflow.Message, xid uint32) {

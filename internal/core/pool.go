@@ -173,7 +173,10 @@ func (p *Pool) store(now time.Duration, id uint32, explicit bool, inPort uint16,
 			return nil, fmt.Errorf("core: buffer id %d already in use", id)
 		}
 	} else {
-		id = p.allocateID()
+		var err error
+		if id, err = p.allocateID(); err != nil {
+			return nil, err
+		}
 	}
 	u := &Unit{
 		ID:        id,
@@ -234,6 +237,20 @@ func (p *Pool) remove(now time.Duration, id uint32) {
 	if p.reclaimDelay > 0 {
 		p.reclaiming = append(p.reclaiming, now+p.reclaimDelay)
 	}
+	// Compact the insertion-order list once released ids dominate it.
+	// Expire compacts as a side effect, but with expiry disabled nothing
+	// else prunes the list, and it would otherwise grow by one id per
+	// released unit for the whole run. Amortized O(1): a compaction scans
+	// at most 2·live+16 entries and drops more than half of them.
+	if len(p.order) > 2*len(p.units)+16 {
+		kept := p.order[:0]
+		for _, oid := range p.order {
+			if _, live := p.units[oid]; live {
+				kept = append(kept, oid)
+			}
+		}
+		p.order = kept
+	}
 	p.occupancy.Set(now, float64(p.occupied()))
 }
 
@@ -271,16 +288,24 @@ func (p *Pool) Expire(now time.Duration) []*Unit {
 
 // allocateID returns a fresh id, skipping ids in use and the NoBuffer
 // sentinel.
-func (p *Pool) allocateID() uint32 {
-	for {
+//
+// Invariant: store() admits a unit only when occupied() < capacity, and
+// capacities are configured orders of magnitude below the 2^32−1 usable ids,
+// so a free id always exists within one pass of the id space and the loop
+// terminates long before the bound. The bound exists so that if that
+// invariant is ever violated (a future caller bypassing the capacity check),
+// allocation fails loudly instead of spinning forever.
+func (p *Pool) allocateID() (uint32, error) {
+	for tries := uint64(0); tries < uint64(openflow.NoBuffer); tries++ {
 		p.nextID++
 		if p.nextID == openflow.NoBuffer {
 			p.nextID = 1
 		}
 		if _, used := p.units[p.nextID]; !used {
-			return p.nextID
+			return p.nextID, nil
 		}
 	}
+	return 0, fmt.Errorf("core: all %d buffer ids in use", uint64(openflow.NoBuffer)-1)
 }
 
 // OccupancyMean reports the time-averaged units occupied up to now — the

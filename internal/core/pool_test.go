@@ -303,3 +303,36 @@ func TestPoolAppend(t *testing.T) {
 		t.Errorf("stored/released = %d/%d, want 2/2", stored, released)
 	}
 }
+
+// TestPoolOrderBounded is a regression test for unbounded growth of the
+// insertion-order list: with expiry disabled, Expire never runs its
+// compaction, so before remove() compacted too, a long no-expiry run leaked
+// one order entry per released unit.
+func TestPoolOrderBounded(t *testing.T) {
+	p, err := NewPool(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Duration(0)
+	for i := 0; i < 10000; i++ {
+		now += time.Microsecond
+		u, err := p.Store(now, 1, []byte("x"))
+		if err != nil {
+			t.Fatalf("store %d: %v", i, err)
+		}
+		if _, err := p.Release(now, u.ID); err != nil {
+			t.Fatalf("release %d: %v", i, err)
+		}
+	}
+	if bound := 2*len(p.units) + 16; len(p.order) > bound {
+		t.Errorf("order list grew to %d entries after 10000 store/release cycles, want <= %d", len(p.order), bound)
+	}
+	// The pool must still function and account correctly after compaction.
+	u, err := p.Store(now+time.Microsecond, 1, []byte("y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Live() != 1 || u == nil {
+		t.Errorf("live = %d after post-compaction store", p.Live())
+	}
+}

@@ -1,0 +1,173 @@
+package flowtable
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// This file property-tests the equivalence promised in the package doc: the
+// indexed Lookup must return the same rule as the retained linear-scan
+// LookupOracle — and leave identical counters behind — for any mix of exact
+// and wildcard rules. Two tables are driven through the same randomized
+// insert/delete/expire sequence; one is probed via Lookup, the other via
+// LookupOracle, and every divergence is a bug in the index.
+
+// eqFrame builds a parseable frame from a small field universe so probes
+// collide with rules often enough to exercise hits, ties and misses.
+func eqFrame(rng *rand.Rand) *packet.Frame {
+	proto := uint8(packet.ProtoUDP)
+	if rng.Intn(2) == 0 {
+		proto = packet.ProtoTCP
+	}
+	return &packet.Frame{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, byte(1 + rng.Intn(2))},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, byte(3 + rng.Intn(2))},
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     proto,
+		SrcIP:     netip.AddrFrom4([4]byte{10, 0, 0, byte(rng.Intn(4))}),
+		DstIP:     netip.AddrFrom4([4]byte{10, 0, 1, byte(rng.Intn(4))}),
+		SrcPort:   uint16(1000 + rng.Intn(4)),
+		DstPort:   uint16(2000 + rng.Intn(4)),
+	}
+}
+
+// eqMatch builds either the exact reactive-forwarding pattern or a random
+// wildcard variant of it (extra wildcard bits on top of the exact set).
+func eqMatch(rng *rand.Rand, inPort uint16, f *packet.Frame) openflow.Match {
+	m := openflow.ExactMatch(inPort, f)
+	if rng.Intn(2) == 0 {
+		return m // exact: served by the hash index
+	}
+	extras := []uint32{
+		openflow.WildcardInPort, openflow.WildcardDLSrc, openflow.WildcardDLDst,
+		openflow.WildcardNWSrcAll, openflow.WildcardNWDstAll,
+		openflow.WildcardTPSrc, openflow.WildcardTPDst, openflow.WildcardNWProto,
+	}
+	n := 1 + rng.Intn(3)
+	for i := 0; i < n; i++ {
+		m.Wildcards |= extras[rng.Intn(len(extras))]
+	}
+	return m
+}
+
+// cloneEntry builds an independent Entry with the same rule content, so the
+// two tables never share mutable state.
+func cloneEntry(e *Entry) *Entry {
+	return &Entry{
+		Match:       e.Match,
+		Priority:    e.Priority,
+		Actions:     e.Actions,
+		Cookie:      e.Cookie,
+		IdleTimeout: e.IdleTimeout,
+		HardTimeout: e.HardTimeout,
+		Flags:       e.Flags,
+	}
+}
+
+func TestLookupMatchesOracle(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			indexed, err := New(Unlimited, EvictNone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := New(Unlimited, EvictNone)
+			if err != nil {
+				t.Fatal(err)
+			}
+			now := time.Duration(0)
+			var cookie uint64
+
+			probe := func() {
+				f := eqFrame(rng)
+				inPort := uint16(1 + rng.Intn(3))
+				wireLen := 60 + rng.Intn(1400)
+				got := indexed.Lookup(now, inPort, f, wireLen)
+				want := oracle.LookupOracle(now, inPort, f, wireLen)
+				switch {
+				case (got == nil) != (want == nil):
+					t.Fatalf("t=%v frame %v in_port %d: Lookup=%v, oracle=%v", now, f.Key(), inPort, got, want)
+				case got != nil && got.Cookie != want.Cookie:
+					t.Fatalf("t=%v frame %v in_port %d: Lookup chose rule %d (prio %d), oracle rule %d (prio %d)",
+						now, f.Key(), inPort, got.Cookie, got.Priority, want.Cookie, want.Priority)
+				}
+			}
+
+			for op := 0; op < 600; op++ {
+				now += time.Duration(rng.Intn(5)) * time.Millisecond
+				switch r := rng.Intn(10); {
+				case r < 4: // insert a rule (possibly replacing)
+					cookie++
+					e := &Entry{
+						Match:    eqMatch(rng, uint16(1+rng.Intn(3)), eqFrame(rng)),
+						Priority: []uint16{50, 100, 100, 200}[rng.Intn(4)],
+						Cookie:   cookie,
+					}
+					if rng.Intn(4) == 0 {
+						e.IdleTimeout = time.Duration(1+rng.Intn(20)) * time.Millisecond
+					}
+					if rng.Intn(4) == 0 {
+						e.HardTimeout = time.Duration(1+rng.Intn(30)) * time.Millisecond
+					}
+					if _, err := indexed.Insert(now, cloneEntry(e)); err != nil {
+						t.Fatalf("indexed insert: %v", err)
+					}
+					if _, err := oracle.Insert(now, cloneEntry(e)); err != nil {
+						t.Fatalf("oracle insert: %v", err)
+					}
+				case r < 5: // delete a random installed rule
+					es := indexed.Entries()
+					if len(es) == 0 {
+						continue
+					}
+					victim := es[rng.Intn(len(es))]
+					a := indexed.Delete(now, &victim.Match, victim.Priority, true)
+					b := oracle.Delete(now, &victim.Match, victim.Priority, true)
+					if len(a) != len(b) {
+						t.Fatalf("delete removed %d vs %d rules", len(a), len(b))
+					}
+				case r < 6: // expiry sweep
+					a := indexed.Expire(now)
+					b := oracle.Expire(now)
+					if len(a) != len(b) {
+						t.Fatalf("expire removed %d vs %d rules", len(a), len(b))
+					}
+				default:
+					probe()
+				}
+			}
+
+			// Final state: identical rule lists, per-rule counters, and
+			// aggregate lookup statistics.
+			ea, eb := indexed.Entries(), oracle.Entries()
+			if len(ea) != len(eb) {
+				t.Fatalf("tables diverged: %d vs %d rules", len(ea), len(eb))
+			}
+			for i := range ea {
+				if ea[i].Cookie != eb[i].Cookie {
+					t.Fatalf("rule %d: cookie %d vs %d", i, ea[i].Cookie, eb[i].Cookie)
+				}
+				pa, ba, _ := ea[i].Stats(now)
+				pb, bb, _ := eb[i].Stats(now)
+				if pa != pb || ba != bb || ea[i].LastUsed() != eb[i].LastUsed() {
+					t.Errorf("rule %d (cookie %d): counters %d/%d/%v vs %d/%d/%v",
+						i, ea[i].Cookie, pa, ba, ea[i].LastUsed(), pb, bb, eb[i].LastUsed())
+				}
+			}
+			la, ha, ma, _ := indexed.LookupStats()
+			lb, hb, mb, _ := oracle.LookupStats()
+			if la != lb || ha != hb || ma != mb {
+				t.Errorf("lookup stats diverged: %d/%d/%d vs %d/%d/%d", la, ha, ma, lb, hb, mb)
+			}
+		})
+	}
+}

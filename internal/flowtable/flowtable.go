@@ -9,6 +9,13 @@
 // can miss again mid-connection — exactly the scenario the switch buffer
 // helps with.
 //
+// Lookup is served from an exact-match hash index whenever possible: rules
+// whose match is the reactive-forwarding exact pattern (in_port plus the
+// full L2/L3/L4 header fields, the dominant rule shape in every workload
+// here) are keyed in a map and found in O(1), while wildcarded rules stay in
+// a small priority-ordered scan list. The pre-index linear scan is retained
+// as LookupOracle and property-tested for equivalence (DESIGN.md §10).
+//
 // All methods take the current time explicitly (a time.Duration since the
 // start of the run) so the same code serves the virtual-time simulator and
 // the live switch.
@@ -17,6 +24,7 @@ package flowtable
 import (
 	"errors"
 	"fmt"
+	"net/netip"
 	"time"
 
 	"sdnbuffer/internal/openflow"
@@ -40,6 +48,7 @@ type Entry struct {
 	lastUsed    time.Duration
 	packets     uint64
 	bytes       uint64
+	seq         uint64 // insertion order; tie-breaks equal priorities like scan position
 }
 
 // Stats reports the rule's traffic counters and age.
@@ -75,11 +84,72 @@ const (
 // ErrTableFull reports an insert into a full table under EvictNone.
 var ErrTableFull = errors.New("flowtable: table full")
 
+// exactWildcards is the wildcard set of openflow.ExactMatch: everything
+// matched except VLAN and TOS. Rules with exactly this wildcard pattern are
+// servable from the hash index because key equality is then equivalent to
+// Match.Matches.
+const exactWildcards = openflow.WildcardDLVLAN | openflow.WildcardDLVLANPCP | openflow.WildcardNWTOS
+
+// exactKey is the comparable map key covering every field an exact-pattern
+// rule matches on.
+type exactKey struct {
+	inPort uint16
+	dlSrc  packet.MAC
+	dlDst  packet.MAC
+	dlType uint16
+	proto  uint8
+	nwSrc  netip.Addr
+	nwDst  netip.Addr
+	tpSrc  uint16
+	tpDst  uint16
+}
+
+// indexable reports whether the entry's match is the exact pattern the hash
+// index can serve.
+func indexable(e *Entry) bool { return e.Match.Wildcards == exactWildcards }
+
+// matchKey derives the index key from an exact-pattern match.
+func matchKey(m *openflow.Match) exactKey {
+	return exactKey{
+		inPort: m.InPort,
+		dlSrc:  m.DLSrc,
+		dlDst:  m.DLDst,
+		dlType: m.DLType,
+		proto:  m.NWProto,
+		nwSrc:  m.NWSrc,
+		nwDst:  m.NWDst,
+		tpSrc:  m.TPSrc,
+		tpDst:  m.TPDst,
+	}
+}
+
+// frameKey derives the index key a frame on inPort probes with.
+func frameKey(inPort uint16, f *packet.Frame) exactKey {
+	return exactKey{
+		inPort: inPort,
+		dlSrc:  f.SrcMAC,
+		dlDst:  f.DstMAC,
+		dlType: f.EtherType,
+		proto:  f.Proto,
+		nwSrc:  f.SrcIP,
+		nwDst:  f.DstIP,
+		tpSrc:  f.SrcPort,
+		tpDst:  f.DstPort,
+	}
+}
+
 // Table is a single OpenFlow flow table.
 type Table struct {
 	capacity int
 	policy   EvictionPolicy
 	entries  []*Entry
+
+	// index maps exact-pattern rules by their full key. A bucket holds the
+	// (rare) same-key rules that differ in priority, in insertion order.
+	index map[exactKey][]*Entry
+	// wild holds the non-indexable rules, in insertion order.
+	wild    []*Entry
+	nextSeq uint64
 
 	lookups   uint64
 	hits      uint64
@@ -96,7 +166,11 @@ func New(capacity int, policy EvictionPolicy) (*Table, error) {
 	if policy != EvictNone && policy != EvictLRU {
 		return nil, fmt.Errorf("flowtable: unknown eviction policy %d", policy)
 	}
-	return &Table{capacity: capacity, policy: policy}, nil
+	return &Table{
+		capacity: capacity,
+		policy:   policy,
+		index:    make(map[exactKey][]*Entry),
+	}, nil
 }
 
 // Len reports the number of installed rules.
@@ -110,11 +184,46 @@ func (t *Table) LookupStats() (lookups, hits, misses, evictions uint64) {
 	return t.lookups, t.hits, t.misses, t.evictions
 }
 
+// better reports whether e beats best under the scan's selection rule:
+// highest priority wins, earliest-installed (lowest seq) breaks ties.
+func better(e, best *Entry) bool {
+	if best == nil {
+		return true
+	}
+	if e.Priority != best.Priority {
+		return e.Priority > best.Priority
+	}
+	return e.seq < best.seq
+}
+
 // Lookup finds the highest-priority rule matching a frame on inPort,
 // updating its counters and recency. It returns nil on a table miss — the
 // event that triggers the whole packet_in machinery.
+//
+// Exact-pattern rules are served from the hash index in O(1); only the
+// wildcarded rules are scanned.
 func (t *Table) Lookup(now time.Duration, inPort uint16, f *packet.Frame, wireLen int) *Entry {
-	t.lookups++
+	var best *Entry
+	if len(t.index) > 0 {
+		for _, e := range t.index[frameKey(inPort, f)] {
+			if better(e, best) {
+				best = e
+			}
+		}
+	}
+	for _, e := range t.wild {
+		if better(e, best) && e.Match.Matches(inPort, f) {
+			best = e
+		}
+	}
+	return t.account(now, best, wireLen)
+}
+
+// LookupOracle is the pre-index linear scan, byte-for-byte the original
+// lookup semantics (first strictly-higher-priority rule in insertion order
+// wins). It is retained as the reference implementation the equivalence
+// property test checks Lookup against; production code uses Lookup.
+func (t *Table) LookupOracle(now time.Duration, inPort uint16, f *packet.Frame, wireLen int) *Entry {
 	var best *Entry
 	for _, e := range t.entries {
 		if best != nil && e.Priority <= best.Priority {
@@ -124,6 +233,12 @@ func (t *Table) Lookup(now time.Duration, inPort uint16, f *packet.Frame, wireLe
 			best = e
 		}
 	}
+	return t.account(now, best, wireLen)
+}
+
+// account applies the hit/miss counter updates shared by both lookup paths.
+func (t *Table) account(now time.Duration, best *Entry, wireLen int) *Entry {
+	t.lookups++
 	if best == nil {
 		t.misses++
 		return nil
@@ -133,6 +248,54 @@ func (t *Table) Lookup(now time.Duration, inPort uint16, f *packet.Frame, wireLe
 	best.packets++
 	best.bytes += uint64(wireLen)
 	return best
+}
+
+// attach adds a freshly appended entry to the lookup index.
+func (t *Table) attach(e *Entry) {
+	t.nextSeq++
+	e.seq = t.nextSeq
+	if indexable(e) {
+		k := matchKey(&e.Match)
+		t.index[k] = append(t.index[k], e)
+	} else {
+		t.wild = append(t.wild, e)
+	}
+}
+
+// detach removes an entry from the lookup index (not from t.entries).
+func (t *Table) detach(e *Entry) {
+	if indexable(e) {
+		k := matchKey(&e.Match)
+		bucket := t.index[k]
+		for i, b := range bucket {
+			if b == e {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(t.index, k)
+		} else {
+			t.index[k] = bucket
+		}
+		return
+	}
+	for i, b := range t.wild {
+		if b == e {
+			t.wild = append(t.wild[:i], t.wild[i+1:]...)
+			return
+		}
+	}
+}
+
+// replaceInEntries swaps old for e in the master list, preserving position.
+func (t *Table) replaceInEntries(old, e *Entry) {
+	for i, b := range t.entries {
+		if b == old {
+			t.entries[i] = e
+			return
+		}
+	}
 }
 
 // Insert installs a rule. A rule with an identical match and priority
@@ -145,12 +308,31 @@ func (t *Table) Insert(now time.Duration, e *Entry) (*Removed, error) {
 	}
 	e.installedAt = now
 	e.lastUsed = now
-	for i, old := range t.entries {
-		if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
-			t.entries[i] = e
-			return nil, nil
+
+	// Replacement probe. Match.Equal requires identical wildcards, so an
+	// exact-pattern rule can only replace one in its own index bucket and a
+	// wildcard rule only one in the wild list — no full-table scan needed.
+	if indexable(e) {
+		k := matchKey(&e.Match)
+		for i, old := range t.index[k] {
+			if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
+				e.seq = old.seq // keep the scan-position tie-break stable
+				t.index[k][i] = e
+				t.replaceInEntries(old, e)
+				return nil, nil
+			}
+		}
+	} else {
+		for i, old := range t.wild {
+			if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
+				e.seq = old.seq
+				t.wild[i] = e
+				t.replaceInEntries(old, e)
+				return nil, nil
+			}
 		}
 	}
+
 	var victim *Removed
 	if t.capacity != Unlimited && len(t.entries) >= t.capacity {
 		switch t.policy {
@@ -164,6 +346,7 @@ func (t *Table) Insert(now time.Duration, e *Entry) (*Removed, error) {
 				}
 			}
 			victim = &Removed{Entry: t.entries[idx], Reason: openflow.RemovedEviction, At: now}
+			t.detach(t.entries[idx])
 			copy(t.entries[idx:], t.entries[idx+1:])
 			t.entries[len(t.entries)-1] = nil
 			t.entries = t.entries[:len(t.entries)-1]
@@ -171,6 +354,7 @@ func (t *Table) Insert(now time.Duration, e *Entry) (*Removed, error) {
 		}
 	}
 	t.entries = append(t.entries, e)
+	t.attach(e)
 	return victim, nil
 }
 
@@ -186,6 +370,7 @@ func (t *Table) Delete(now time.Duration, m *openflow.Match, priority uint16, st
 			match = match && e.Priority == priority
 		}
 		if match {
+			t.detach(e)
 			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedDelete, At: now})
 		} else {
 			kept = append(kept, e)
@@ -204,8 +389,10 @@ func (t *Table) Expire(now time.Duration) []Removed {
 	for _, e := range t.entries {
 		switch {
 		case e.HardTimeout > 0 && now-e.installedAt >= e.HardTimeout:
+			t.detach(e)
 			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedHardTimeout, At: now})
 		case e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout:
+			t.detach(e)
 			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedIdleTimeout, At: now})
 		default:
 			kept = append(kept, e)
@@ -243,6 +430,15 @@ func (t *Table) Entries() []*Entry {
 	out := make([]*Entry, len(t.entries))
 	copy(out, t.entries)
 	return out
+}
+
+// IndexSize reports how many rules are served by the exact-match hash index
+// versus the wildcard scan list (diagnostics and tests).
+func (t *Table) IndexSize() (indexed, wildcard int) {
+	for _, bucket := range t.index {
+		indexed += len(bucket)
+	}
+	return indexed, len(t.wild)
 }
 
 func clearTail(s []*Entry, from int) {

@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is the OpenFlow protocol version implemented (1.0).
@@ -175,19 +176,41 @@ type Message interface {
 }
 
 // Encode serializes a message with the given transaction id into a
-// standalone frame (header + body).
+// standalone frame (header + body). The returned slice is exactly sized and
+// freshly allocated, so it can be retained indefinitely — which is what the
+// simulator needs: encoded messages live on simulated links and in buffer
+// mechanisms across virtual time.
 func Encode(m Message, xid uint32) ([]byte, error) {
+	return AppendEncode(nil, m, xid)
+}
+
+// AppendEncode appends the encoded frame (header + body) to dst and returns
+// the extended slice, allocating only when dst lacks capacity. The live-mode
+// Writer uses it to reuse one encode buffer per connection; callers that
+// retain encoded frames must use Encode (or pass nil) so frames do not share
+// a buffer.
+func AppendEncode(dst []byte, m Message, xid uint32) ([]byte, error) {
 	n := HeaderLen + m.bodyLen()
 	if n > MaxMessageLen {
 		return nil, fmt.Errorf("%w: %d bytes", ErrMessageTooLong, n)
 	}
-	buf := make([]byte, n)
+	off := len(dst)
+	need := off + n
+	if cap(dst) >= need {
+		dst = dst[:need]
+		clear(dst[off:]) // encodeBody implementations assume a zeroed buffer
+	} else {
+		grown := make([]byte, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[off:]
 	buf[0] = Version
 	buf[1] = byte(m.Type())
 	binary.BigEndian.PutUint16(buf[2:4], uint16(n))
 	binary.BigEndian.PutUint32(buf[4:8], xid)
 	m.encodeBody(buf[HeaderLen:])
-	return buf, nil
+	return dst, nil
 }
 
 // MustEncode is Encode for messages known to fit; it panics on error and is
@@ -200,7 +223,49 @@ func MustEncode(m Message, xid uint32) []byte {
 	return b
 }
 
-// newMessage allocates the empty body struct for a type code.
+// Free lists for the three high-volume message types: every simulated miss
+// produces a packet_in and every controller response a packet_out or
+// flow_mod, so Decode would otherwise allocate a shell per control message.
+// Shells are zeroed on release, so acquired shells are always blank.
+var (
+	packetInPool  = sync.Pool{New: func() any { return new(PacketIn) }}
+	packetOutPool = sync.Pool{New: func() any { return new(PacketOut) }}
+	flowModPool   = sync.Pool{New: func() any { return new(FlowMod) }}
+)
+
+// AcquirePacketIn returns a blank PacketIn from the free list.
+func AcquirePacketIn() *PacketIn { return packetInPool.Get().(*PacketIn) }
+
+// AcquirePacketOut returns a blank PacketOut from the free list.
+func AcquirePacketOut() *PacketOut { return packetOutPool.Get().(*PacketOut) }
+
+// AcquireFlowMod returns a blank FlowMod from the free list.
+func AcquireFlowMod() *FlowMod { return flowModPool.Get().(*FlowMod) }
+
+// ReleaseMessage returns a pooled message shell to its free list (a no-op
+// for other types). Only the struct shell is recycled: slices the message
+// referenced (Data, Actions) keep their backing arrays, so consumers that
+// retained those slices are unaffected. The caller must not touch m after
+// release, and must never release a message something else still holds — the
+// decode sites in simswitch and the sim controller release exactly the
+// messages they finished dispatching, and mechanism-built packet_ins (which
+// the flow-granularity mechanism retains for re-requests) are never pooled.
+func ReleaseMessage(m Message) {
+	switch v := m.(type) {
+	case *PacketIn:
+		*v = PacketIn{}
+		packetInPool.Put(v)
+	case *PacketOut:
+		*v = PacketOut{}
+		packetOutPool.Put(v)
+	case *FlowMod:
+		*v = FlowMod{}
+		flowModPool.Put(v)
+	}
+}
+
+// newMessage allocates the empty body struct for a type code, drawing the
+// high-volume types from their free lists.
 func newMessage(t MsgType) (Message, error) {
 	switch t {
 	case TypeHello:
@@ -224,15 +289,15 @@ func newMessage(t MsgType) (Message, error) {
 	case TypeSetConfig:
 		return &SetConfig{}, nil
 	case TypePacketIn:
-		return &PacketIn{}, nil
+		return AcquirePacketIn(), nil
 	case TypeFlowRemoved:
 		return &FlowRemoved{}, nil
 	case TypePortStatus:
 		return &PortStatus{}, nil
 	case TypePacketOut:
-		return &PacketOut{}, nil
+		return AcquirePacketOut(), nil
 	case TypeFlowMod:
-		return &FlowMod{}, nil
+		return AcquireFlowMod(), nil
 	case TypeStatsRequest:
 		return &StatsRequest{}, nil
 	case TypeStatsReply:
@@ -270,13 +335,39 @@ func Decode(b []byte) (Message, uint32, error) {
 	return m, xid, nil
 }
 
-// WriteMessage encodes and writes one message to w.
+// WriteMessage encodes and writes one message to w, allocating a fresh
+// buffer per call. Long-lived connections should use a Writer instead.
 func WriteMessage(w io.Writer, m Message, xid uint32) error {
 	b, err := Encode(m, xid)
 	if err != nil {
 		return err
 	}
 	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("openflow: writing %v: %w", m.Type(), err)
+	}
+	return nil
+}
+
+// Writer writes framed messages to a stream, reusing one encode buffer
+// across calls — the per-connection encode buffer of the live-mode agent and
+// controller. It is not safe for concurrent use; callers must serialize
+// writes (the live endpoints hold their write mutex around each call).
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter wraps a stream for framed message writes.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteMessage encodes and writes one message, reusing the Writer's buffer.
+func (w *Writer) WriteMessage(m Message, xid uint32) error {
+	b, err := AppendEncode(w.buf[:0], m, xid)
+	if err != nil {
+		return err
+	}
+	w.buf = b
+	if _, err := w.w.Write(b); err != nil {
 		return fmt.Errorf("openflow: writing %v: %w", m.Type(), err)
 	}
 	return nil

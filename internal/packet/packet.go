@@ -194,6 +194,14 @@ func (f *Frame) WireLen() int {
 // Serialize encodes the frame into wire format, computing the IPv4 header
 // checksum and the UDP/TCP checksum, and padding to the Ethernet minimum.
 func (f *Frame) Serialize() ([]byte, error) {
+	return f.AppendSerialize(nil)
+}
+
+// AppendSerialize appends the frame's wire format to dst and returns the
+// extended slice, allocating only when dst lacks capacity. Callers that emit
+// many frames (pktgen, the live datapath) reuse one buffer per simulated
+// port and stay allocation-free on the steady-state path.
+func (f *Frame) AppendSerialize(dst []byte) ([]byte, error) {
 	if f.EtherType != EtherTypeIPv4 {
 		return nil, fmt.Errorf("%w: 0x%04x", ErrUnknownEtherType, f.EtherType)
 	}
@@ -205,7 +213,17 @@ func (f *Frame) Serialize() ([]byte, error) {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, f.Proto)
 	}
 	ipLen := IPv4HeaderLen + tl + len(f.Payload)
-	buf := make([]byte, f.WireLen())
+	off := len(dst)
+	need := off + f.WireLen()
+	if cap(dst) >= need {
+		dst = dst[:need]
+		clear(dst[off:]) // padding and reserved fields assume a zeroed buffer
+	} else {
+		grown := make([]byte, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	buf := dst[off:]
 
 	// Ethernet header.
 	copy(buf[0:6], f.DstMAC[:])
@@ -223,10 +241,10 @@ func (f *Frame) Serialize() ([]byte, error) {
 	}
 	ip[8] = f.TTL
 	ip[9] = f.Proto
-	src := f.SrcIP.As4()
-	dst := f.DstIP.As4()
-	copy(ip[12:16], src[:])
-	copy(ip[16:20], dst[:])
+	srcIP := f.SrcIP.As4()
+	dstIP := f.DstIP.As4()
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
 	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4HeaderLen]))
 
 	// Transport header.
@@ -237,7 +255,7 @@ func (f *Frame) Serialize() ([]byte, error) {
 		binary.BigEndian.PutUint16(tp[2:4], f.DstPort)
 		binary.BigEndian.PutUint16(tp[4:6], uint16(UDPHeaderLen+len(f.Payload)))
 		copy(tp[UDPHeaderLen:], f.Payload)
-		sum := pseudoHeaderChecksum(src, dst, ProtoUDP, tp[:UDPHeaderLen+len(f.Payload)])
+		sum := pseudoHeaderChecksum(srcIP, dstIP, ProtoUDP, tp[:UDPHeaderLen+len(f.Payload)])
 		if sum == 0 {
 			sum = 0xffff // UDP: zero checksum means "not computed"
 		}
@@ -251,10 +269,10 @@ func (f *Frame) Serialize() ([]byte, error) {
 		tp[13] = byte(f.Flags)
 		binary.BigEndian.PutUint16(tp[14:16], f.Window)
 		copy(tp[TCPHeaderLen:], f.Payload)
-		sum := pseudoHeaderChecksum(src, dst, ProtoTCP, tp[:TCPHeaderLen+len(f.Payload)])
+		sum := pseudoHeaderChecksum(srcIP, dstIP, ProtoTCP, tp[:TCPHeaderLen+len(f.Payload)])
 		binary.BigEndian.PutUint16(tp[16:18], sum)
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // Parse decodes a wire-format Ethernet II frame produced by Serialize (or by
@@ -363,24 +381,45 @@ func ParseKey(b []byte) (FlowKey, error) {
 // what a controller must do with a packet_in whose payload was truncated to
 // miss_send_len bytes: the headers are intact, the body is not. The returned
 // frame's Payload is whatever bytes were captured past the transport header.
+//
+// The returned Frame owns its Payload (a copy); callers on an allocation-
+// sensitive path should use ParseEthernetInto instead.
 func ParseHeaders(b []byte) (*Frame, error) {
-	if len(b) < EthernetHeaderLen+IPv4HeaderLen {
-		return nil, fmt.Errorf("%w: %d bytes, need L2+L3 headers", ErrTruncated, len(b))
-	}
 	f := &Frame{}
+	if err := ParseEthernetInto(f, b); err != nil {
+		return nil, err
+	}
+	f.Payload = cloneBytes(f.Payload)
+	return f, nil
+}
+
+// ParseEthernetInto decodes b into the caller-owned scratch frame f with
+// ParseHeaders semantics but without allocating: f.Payload aliases b.
+//
+// Ownership rules (DESIGN.md §10): the filled frame is valid only as long as
+// b is, and only until the caller's next ParseEthernetInto on the same
+// scratch. Anything that retains the frame past the current call — queueing
+// it, handing it to a buffer mechanism, capturing it in a scheduled closure —
+// must take a copy first (or use ParseHeaders). On error f is left in an
+// unspecified partially-filled state.
+func ParseEthernetInto(f *Frame, b []byte) error {
+	if len(b) < EthernetHeaderLen+IPv4HeaderLen {
+		return fmt.Errorf("%w: %d bytes, need L2+L3 headers", ErrTruncated, len(b))
+	}
+	*f = Frame{}
 	copy(f.DstMAC[:], b[0:6])
 	copy(f.SrcMAC[:], b[6:12])
 	f.EtherType = binary.BigEndian.Uint16(b[12:14])
 	if f.EtherType != EtherTypeIPv4 {
-		return nil, fmt.Errorf("%w: 0x%04x", ErrUnknownEtherType, f.EtherType)
+		return fmt.Errorf("%w: 0x%04x", ErrUnknownEtherType, f.EtherType)
 	}
 	ip := b[EthernetHeaderLen:]
 	if ip[0]>>4 != 4 {
-		return nil, ErrBadVersion
+		return ErrBadVersion
 	}
 	ihl := int(ip[0]&0x0f) * 4
 	if ihl < IPv4HeaderLen || ihl > len(ip) {
-		return nil, fmt.Errorf("%w: ihl=%d", ErrBadHeaderLength, ihl)
+		return fmt.Errorf("%w: ihl=%d", ErrBadHeaderLength, ihl)
 	}
 	f.TOS = ip[1]
 	f.IPID = binary.BigEndian.Uint16(ip[4:6])
@@ -393,14 +432,14 @@ func ParseHeaders(b []byte) (*Frame, error) {
 	switch f.Proto {
 	case ProtoUDP:
 		if len(tp) < UDPHeaderLen {
-			return nil, fmt.Errorf("%w: UDP header cut off", ErrTruncated)
+			return fmt.Errorf("%w: UDP header cut off", ErrTruncated)
 		}
 		f.SrcPort = binary.BigEndian.Uint16(tp[0:2])
 		f.DstPort = binary.BigEndian.Uint16(tp[2:4])
-		f.Payload = cloneBytes(tp[UDPHeaderLen:])
+		f.Payload = tp[UDPHeaderLen:]
 	case ProtoTCP:
 		if len(tp) < TCPHeaderLen {
-			return nil, fmt.Errorf("%w: TCP header cut off", ErrTruncated)
+			return fmt.Errorf("%w: TCP header cut off", ErrTruncated)
 		}
 		f.SrcPort = binary.BigEndian.Uint16(tp[0:2])
 		f.DstPort = binary.BigEndian.Uint16(tp[2:4])
@@ -410,12 +449,12 @@ func ParseHeaders(b []byte) (*Frame, error) {
 		f.Window = binary.BigEndian.Uint16(tp[14:16])
 		off := int(tp[12]>>4) * 4
 		if off >= TCPHeaderLen && off <= len(tp) {
-			f.Payload = cloneBytes(tp[off:])
+			f.Payload = tp[off:]
 		}
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownProtocol, f.Proto)
+		return fmt.Errorf("%w: %d", ErrUnknownProtocol, f.Proto)
 	}
-	return f, nil
+	return nil
 }
 
 // VerifyChecksums re-computes the IPv4 and transport checksums of a

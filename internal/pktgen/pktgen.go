@@ -142,6 +142,13 @@ func forgedSrcIP(flowID int) netip.Addr {
 	return netip.AddrFrom4([4]byte{10, 1, byte(flowID >> 8), byte(flowID)})
 }
 
+// zeroPad backs every generated payload: pktgen payloads are all-zero and
+// Serialize copies them into the wire buffer, so all frames (and all
+// concurrently generating sweep cells) can share this one read-only slice
+// instead of allocating per frame. validate() caps FrameSize at 1514, so the
+// slice is always long enough.
+var zeroPad = make([]byte, 1514)
+
 // buildFrame serializes one UDP frame for the given flow and size.
 func buildFrame(c *Config, flowID int, srcPort uint16, ipid uint16) ([]byte, packet.FlowKey, error) {
 	f := &packet.Frame{
@@ -155,7 +162,7 @@ func buildFrame(c *Config, flowID int, srcPort uint16, ipid uint16) ([]byte, pac
 		IPID:      ipid,
 		SrcPort:   srcPort,
 		DstPort:   c.dstPort(),
-		Payload:   make([]byte, c.FrameSize-headerOverhead),
+		Payload:   zeroPad[:c.FrameSize-headerOverhead],
 	}
 	wire, err := f.Serialize()
 	if err != nil {
@@ -313,7 +320,7 @@ func TCPEvictionFlow(c TCPFlowConfig) (Schedule, error) {
 			Seq:       seq,
 			Flags:     flags,
 			Window:    65535,
-			Payload:   make([]byte, payload),
+			Payload:   zeroPad[:payload],
 		}
 		wire, err := f.Serialize()
 		if err != nil {

@@ -13,10 +13,15 @@
 // not even a package-level RNG — so any number of simulations may run on
 // different goroutines at once. The parallel experiment runner relies on
 // exactly this: one kernel per sweep cell, many cells in flight.
+//
+// Hot-path design (DESIGN.md §10): the kernel recycles fired and cancelled
+// Event structs through a kernel-local free list (safe precisely because of
+// the single-goroutine confinement above), and the pending set is a concrete
+// 4-ary min-heap rather than container/heap — no interface boxing, fewer
+// cache-missing levels. Steady-state scheduling therefore allocates nothing.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -24,6 +29,13 @@ import (
 
 // Event is a scheduled closure. It is returned by At/After so callers can
 // cancel pending work (for example the flow-granularity re-request timer).
+//
+// Handle validity: an Event handle is only meaningful while the event is
+// pending. Once the event fires or is cancelled the kernel recycles the
+// struct for a later At/After call, so callers that keep a handle must drop
+// it (set it to nil) no later than inside the event's own callback —
+// cancelling through a stale handle could cancel an unrelated future event.
+// The timer fields in switchd follow exactly this discipline.
 type Event struct {
 	at    time.Duration
 	seq   uint64
@@ -31,38 +43,119 @@ type Event struct {
 	index int // heap index; -1 once popped or cancelled
 }
 
-// Time reports when the event is (or was) scheduled to fire.
+// Time reports when the event is scheduled to fire. It is only valid while
+// the event is pending (see the handle-validity note on Event).
 func (e *Event) Time() time.Duration { return e.at }
 
-// eventHeap orders events by (time, sequence).
+// eventHeap is a 4-ary min-heap of events ordered by (time, sequence).
+// Sequence numbers are unique, so the order is total and every conforming
+// heap implementation pops the exact same event sequence — which is what
+// keeps the pooled kernel replay-identical to the original container/heap
+// version (verified by TestKernelMatchesReferenceOrder).
+//
+// A 4-ary layout halves the tree depth of a binary heap: sift-down does more
+// comparisons per level but against adjacent slice elements (one cache
+// line), which wins for the short-lived, high-churn event populations the
+// testbed produces.
 type eventHeap []*Event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports the strict (time, seq) order; seq uniqueness means equal
+// elements never occur.
+func before(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+func (h eventHeap) siftUp(i int) {
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !before(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = e
+	e.index = i
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if before(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !before(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = i
+		i = m
+	}
+	h[i] = e
+	e.index = i
+}
+
+func (h *eventHeap) push(e *Event) {
 	*h = append(*h, e)
+	h.siftUp(len(*h) - 1)
 }
-func (h *eventHeap) Pop() any {
+
+func (h *eventHeap) pop() *Event {
 	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+	n := len(old) - 1
+	top := old[0]
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		old[0] = last
+		(*h).siftDown(0)
+	}
+	top.index = -1
+	return top
 }
+
+// remove deletes the event at heap index i.
+func (h *eventHeap) remove(i int) {
+	old := *h
+	n := len(old) - 1
+	e := old[i]
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		old[i] = last
+		last.index = i
+		hh := *h
+		hh.siftDown(i)
+		if last.index == i {
+			hh.siftUp(i)
+		}
+	}
+	e.index = -1
+}
+
+// maxFree bounds the event free list so a transient burst of pending events
+// cannot pin its peak memory for the rest of the run. Steady-state churn
+// stays far below this.
+const maxFree = 4096
 
 // Kernel is the event loop. Create one with New; the zero value is not
 // usable because it lacks a seeded RNG.
@@ -72,6 +165,7 @@ type Kernel struct {
 	seq      uint64
 	rng      *rand.Rand
 	executed uint64
+	free     []*Event // recycled Event structs; kernel-local, no locking
 }
 
 // New creates a kernel whose random source is seeded deterministically.
@@ -93,6 +187,28 @@ func (k *Kernel) Executed() uint64 { return k.executed }
 // Pending reports how many events are scheduled but not yet executed.
 func (k *Kernel) Pending() int { return len(k.events) }
 
+// acquire takes an Event from the free list (or allocates) and stamps it
+// with a fresh sequence number.
+func (k *Kernel) acquire(t time.Duration, fn func()) *Event {
+	k.seq++
+	if n := len(k.free); n > 0 {
+		e := k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+		e.at, e.seq, e.fn = t, k.seq, fn
+		return e
+	}
+	return &Event{at: t, seq: k.seq, fn: fn}
+}
+
+// release returns a fired or cancelled event to the free list.
+func (k *Kernel) release(e *Event) {
+	e.fn = nil
+	if len(k.free) < maxFree {
+		k.free = append(k.free, e)
+	}
+}
+
 // At schedules fn at absolute virtual time t. Scheduling in the past is a
 // programming error and panics: silently reordering time would corrupt every
 // downstream measurement.
@@ -100,9 +216,8 @@ func (k *Kernel) At(t time.Duration, fn func()) *Event {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
 	}
-	k.seq++
-	e := &Event{at: t, seq: k.seq, fn: fn}
-	heap.Push(&k.events, e)
+	e := k.acquire(t, fn)
+	k.events.push(e)
 	return e
 }
 
@@ -115,14 +230,15 @@ func (k *Kernel) After(d time.Duration, fn func()) *Event {
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op and reports false.
+// already-cancelled event is a no-op and reports false — but note the
+// handle-validity contract on Event: a handle kept past its event's firing
+// may already designate a recycled, unrelated event.
 func (k *Kernel) Cancel(e *Event) bool {
 	if e == nil || e.index < 0 {
 		return false
 	}
-	heap.Remove(&k.events, e.index)
-	e.index = -1
-	e.fn = nil
+	k.events.remove(e.index)
+	k.release(e)
 	return true
 }
 
@@ -132,10 +248,10 @@ func (k *Kernel) Step() bool {
 	if len(k.events) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.events).(*Event)
+	e := k.events.pop()
 	k.now = e.at
 	fn := e.fn
-	e.fn = nil
+	k.release(e)
 	k.executed++
 	fn()
 	return true

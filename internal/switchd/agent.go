@@ -42,6 +42,7 @@ type Agent struct {
 	dp       *Datapath
 	conn     net.Conn
 	writeMu  sync.Mutex
+	writer   *openflow.Writer // per-connection encode buffer, guarded by writeMu
 	start    time.Time
 	nextXid  uint32
 	tickT    *time.Timer
@@ -127,6 +128,7 @@ func (a *Agent) Connect(addr string) error {
 		return fmt.Errorf("switchd: agent closed")
 	}
 	a.conn = conn
+	a.writer = openflow.NewWriter(conn)
 	a.mu.Unlock()
 
 	if err := a.send(&openflow.Hello{}, a.xid()); err != nil {
@@ -201,14 +203,14 @@ func (a *Agent) xid() uint32 {
 
 func (a *Agent) send(m openflow.Message, xid uint32) error {
 	a.mu.Lock()
-	conn := a.conn
+	w := a.writer
 	a.mu.Unlock()
-	if conn == nil {
+	if w == nil {
 		return fmt.Errorf("switchd: not connected")
 	}
 	a.writeMu.Lock()
 	defer a.writeMu.Unlock()
-	return openflow.WriteMessage(conn, m, xid)
+	return w.WriteMessage(m, xid)
 }
 
 func (a *Agent) readLoop(conn net.Conn) {
@@ -366,17 +368,27 @@ func (a *Agent) InjectFrame(inPort uint16, frame []byte) error {
 	a.mu.Lock()
 	res, err := a.dp.HandleFrame(a.now(), inPort, frame)
 	tx := a.transmit
+	// The FrameResult is datapath-owned scratch, valid only under the lock
+	// (a concurrent InjectFrame would overwrite it); copy what outlives it.
+	var outs []Output
+	var pi *openflow.PacketIn
+	if err == nil {
+		outs = append(outs, res.Outputs...)
+		if res.Miss != nil {
+			pi = res.Miss.PacketIn
+		}
+	}
 	a.mu.Unlock()
 	if err != nil {
 		return err
 	}
-	for _, o := range res.Outputs {
+	for _, o := range outs {
 		if tx != nil {
 			tx(o.Port, o.Frame)
 		}
 	}
-	if res.Miss != nil && res.Miss.PacketIn != nil {
-		if err := a.send(res.Miss.PacketIn, a.xid()); err != nil {
+	if pi != nil {
+		if err := a.send(pi, a.xid()); err != nil {
 			return err
 		}
 	}
@@ -444,6 +456,7 @@ func (a *Agent) Close() error {
 	a.closed = true
 	conn := a.conn
 	a.conn = nil
+	a.writer = nil
 	if a.tickT != nil {
 		a.tickT.Stop()
 		a.tickT = nil

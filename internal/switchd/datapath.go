@@ -102,6 +102,15 @@ type Datapath struct {
 	portRxBytes  []uint64
 	portTxFrames []uint64
 	portTxBytes  []uint64
+
+	// Per-datapath scratch reused by HandleFrame so the steady-state packet
+	// path (parse → lookup hit → forward) allocates nothing. The returned
+	// FrameResult therefore aliases these fields — see HandleFrame's doc for
+	// the ownership contract.
+	parseScratch packet.Frame
+	outScratch   []Output
+	missScratch  core.MissResult
+	resScratch   FrameResult
 }
 
 // NewDatapath builds a datapath from the configuration.
@@ -165,6 +174,13 @@ func (d *Datapath) Features() *openflow.FeaturesReply {
 
 // HandleFrame processes one ingress frame: flow-table lookup, then either
 // action application (hit) or the buffer mechanism (miss).
+//
+// The returned FrameResult — including its Outputs slice and Miss pointer —
+// is scratch owned by the datapath and is valid only until the next
+// HandleFrame call; callers that keep any of it across frames must copy
+// (DESIGN.md §10). The Output frame bytes themselves are not scratch: they
+// alias the caller's frame (or a rewritten copy) and stay valid as long as
+// the caller's buffer does.
 func (d *Datapath) HandleFrame(now time.Duration, inPort uint16, frame []byte) (*FrameResult, error) {
 	if inPort < 1 || int(inPort) > d.cfg.NumPorts {
 		return nil, fmt.Errorf("%w: in_port %d of %d", ErrBadPort, inPort, d.cfg.NumPorts)
@@ -173,21 +189,24 @@ func (d *Datapath) HandleFrame(now time.Duration, inPort uint16, frame []byte) (
 	d.rxBytes += uint64(len(frame))
 	d.portRxFrames[inPort]++
 	d.portRxBytes[inPort] += uint64(len(frame))
-	parsed, err := packet.ParseHeaders(frame)
-	if err != nil {
+	parsed := &d.parseScratch
+	if err := packet.ParseEthernetInto(parsed, frame); err != nil {
 		return nil, fmt.Errorf("switchd: unparseable frame on port %d: %w", inPort, err)
 	}
 	if e := d.table.Lookup(now, inPort, parsed, len(frame)); e != nil {
-		outs, err := d.applyActions(now, inPort, frame, e.Actions)
+		outs, err := d.applyActions(now, inPort, frame, e.Actions, d.outScratch[:0])
 		if err != nil {
 			return nil, err
 		}
+		d.outScratch = outs
 		d.countTx(outs)
-		return &FrameResult{Outputs: outs, Matched: e}, nil
+		d.resScratch = FrameResult{Outputs: outs, Matched: e}
+		return &d.resScratch, nil
 	}
 	d.misses++
-	miss := d.mech.HandleMiss(now, inPort, frame, parsed.Key())
-	return &FrameResult{Miss: &miss}, nil
+	d.missScratch = d.mech.HandleMiss(now, inPort, frame, parsed.Key())
+	d.resScratch = FrameResult{Miss: &d.missScratch}
+	return &d.resScratch, nil
 }
 
 // ControlResult is the effect of one controller-to-switch message.
@@ -289,7 +308,7 @@ func (d *Datapath) HandlePacketOut(now time.Duration, po *openflow.PacketOut) (*
 	if len(po.Data) == 0 {
 		return res, nil
 	}
-	outs, err := d.applyActions(now, po.InPort, po.Data, po.Actions)
+	outs, err := d.applyActions(now, po.InPort, po.Data, po.Actions, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +326,7 @@ func (d *Datapath) releaseThrough(now time.Duration, bufferID uint32, actions []
 	}
 	var outs []Output
 	for _, r := range released {
-		o, err := d.applyActions(now, r.InPort, r.Data, actions)
+		o, err := d.applyActions(now, r.InPort, r.Data, actions, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -324,59 +343,33 @@ func bufferUnknownError() openflow.Message {
 	}
 }
 
-// applyActions runs an OpenFlow 1.0 action list over a frame: header
-// rewrites mutate a copy, output actions emit the current frame state.
-func (d *Datapath) applyActions(_ time.Duration, inPort uint16, frame []byte, actions []openflow.Action) ([]Output, error) {
+// applyActions runs an OpenFlow 1.0 action list over a frame, appending the
+// resulting transmissions to outs (which may be a caller-owned scratch slice
+// re-sliced to length 0, or nil for a fresh allocation). Header rewrites
+// mutate a copy; output actions emit the current frame state. It is written
+// without closures so the steady-state hit path stays allocation-free.
+func (d *Datapath) applyActions(_ time.Duration, inPort uint16, frame []byte, actions []openflow.Action, outs []Output) ([]Output, error) {
 	cur := frame
 	modified := false
-	ensureCopy := func() {
-		if !modified {
-			c := make([]byte, len(cur))
-			copy(c, cur)
-			cur = c
-			modified = true
-		}
-	}
-	var outs []Output
-	emit := func(port uint16, queue uint32) error {
-		switch port {
-		case openflow.PortInPort:
-			outs = append(outs, Output{Port: inPort, Frame: cur, Queue: queue})
-		case openflow.PortFlood, openflow.PortAll:
-			for p := 1; p <= d.cfg.NumPorts; p++ {
-				if uint16(p) == inPort && port == openflow.PortFlood {
-					continue
-				}
-				outs = append(outs, Output{Port: uint16(p), Frame: cur, Queue: queue})
-			}
-		case openflow.PortController, openflow.PortLocal, openflow.PortNone, openflow.PortTable, openflow.PortNormal:
-			// Not meaningful as a datapath output in this testbed; ignore.
-		default:
-			if port < 1 || int(port) > d.cfg.NumPorts {
-				return fmt.Errorf("%w: output port %d", ErrBadPort, port)
-			}
-			outs = append(outs, Output{Port: port, Frame: cur, Queue: queue})
-		}
-		return nil
-	}
+	var err error
 	for _, a := range actions {
 		switch act := a.(type) {
 		case *openflow.ActionOutput:
-			if err := emit(act.Port, 0); err != nil {
+			if outs, err = d.emitAction(outs, inPort, cur, act.Port, 0); err != nil {
 				return nil, err
 			}
 		case *openflow.ActionEnqueue:
-			if err := emit(act.Port, act.QueueID); err != nil {
+			if outs, err = d.emitAction(outs, inPort, cur, act.Port, act.QueueID); err != nil {
 				return nil, err
 			}
 		case *openflow.ActionSetDLSrc:
-			ensureCopy()
+			cur, modified = ensureFrameCopy(cur, modified)
 			copy(cur[6:12], act.Addr[:])
 		case *openflow.ActionSetDLDst:
-			ensureCopy()
+			cur, modified = ensureFrameCopy(cur, modified)
 			copy(cur[0:6], act.Addr[:])
 		case *openflow.ActionSetNWTOS:
-			ensureCopy()
+			cur, modified = ensureFrameCopy(cur, modified)
 			if len(cur) >= packet.EthernetHeaderLen+packet.IPv4HeaderLen {
 				rewriteTOS(cur, act.TOS)
 			}
@@ -385,6 +378,42 @@ func (d *Datapath) applyActions(_ time.Duration, inPort uint16, frame []byte, ac
 		}
 	}
 	return outs, nil
+}
+
+// emitAction appends the transmissions for one output/enqueue action.
+// Already-appended outputs keep whatever frame slice they were emitted with:
+// a later rewrite copies cur first, so earlier emissions are not affected.
+func (d *Datapath) emitAction(outs []Output, inPort uint16, cur []byte, port uint16, queue uint32) ([]Output, error) {
+	switch port {
+	case openflow.PortInPort:
+		outs = append(outs, Output{Port: inPort, Frame: cur, Queue: queue})
+	case openflow.PortFlood, openflow.PortAll:
+		for p := 1; p <= d.cfg.NumPorts; p++ {
+			if uint16(p) == inPort && port == openflow.PortFlood {
+				continue
+			}
+			outs = append(outs, Output{Port: uint16(p), Frame: cur, Queue: queue})
+		}
+	case openflow.PortController, openflow.PortLocal, openflow.PortNone, openflow.PortTable, openflow.PortNormal:
+		// Not meaningful as a datapath output in this testbed; ignore.
+	default:
+		if port < 1 || int(port) > d.cfg.NumPorts {
+			return nil, fmt.Errorf("%w: output port %d", ErrBadPort, port)
+		}
+		outs = append(outs, Output{Port: port, Frame: cur, Queue: queue})
+	}
+	return outs, nil
+}
+
+// ensureFrameCopy returns a private copy of cur on the first rewrite so the
+// caller's ingress buffer is never mutated.
+func ensureFrameCopy(cur []byte, modified bool) ([]byte, bool) {
+	if modified {
+		return cur, true
+	}
+	c := make([]byte, len(cur))
+	copy(c, cur)
+	return c, true
 }
 
 // rewriteTOS updates the IPv4 TOS byte and fixes the header checksum.

@@ -204,7 +204,7 @@ func TestDatapathFloodAndAllPorts(t *testing.T) {
 	frame := testFrame(t, "10.1.0.1", 1000, 64)
 	outs, err := dp.applyActions(0, 2, frame, []openflow.Action{
 		&openflow.ActionOutput{Port: openflow.PortFlood},
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestDatapathFloodAndAllPorts(t *testing.T) {
 	}
 	outs, err = dp.applyActions(0, 2, frame, []openflow.Action{
 		&openflow.ActionOutput{Port: openflow.PortAll},
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestDatapathInPortOutput(t *testing.T) {
 	frame := testFrame(t, "10.1.0.1", 1000, 64)
 	outs, err := dp.applyActions(0, 1, frame, []openflow.Action{
 		&openflow.ActionOutput{Port: openflow.PortInPort},
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestDatapathRewriteActions(t *testing.T) {
 		&openflow.ActionSetDLDst{Addr: newDst},
 		&openflow.ActionSetNWTOS{TOS: 0x2e},
 		&openflow.ActionOutput{Port: 2},
-	})
+	}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,7 +291,7 @@ func TestDatapathBadPorts(t *testing.T) {
 	}
 	if _, err := dp.applyActions(0, 1, frame, []openflow.Action{
 		&openflow.ActionOutput{Port: 9},
-	}); !errors.Is(err, ErrBadPort) {
+	}, nil); !errors.Is(err, ErrBadPort) {
 		t.Errorf("output 9: %v", err)
 	}
 }

@@ -290,6 +290,10 @@ func (s *SimSwitch) processControl(msg []byte) {
 	if res != nil {
 		s.finishControl(res, xid)
 	}
+	// The decoded shell is fully dispatched: the flow table keeps its own
+	// reference to the action slice and released frames alias the packet_out
+	// data's backing array, neither of which shell recycling touches.
+	openflow.ReleaseMessage(m)
 	s.armMechTimer()
 	s.armExpiryTimer()
 }

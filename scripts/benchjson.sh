@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# benchjson.sh — run the hot-path micro-benchmarks with -benchmem and emit
+# the results as JSON on stdout. This is the machine-readable form of
+# `go test -bench Hot`; CI uses it to produce the BENCH_hotpath.json
+# artifact that is compared (non-gating) against the committed baseline.
+#
+# Usage:
+#   scripts/benchjson.sh                      # all Hot* benchmarks, -count 1
+#   scripts/benchjson.sh HotSimKernel         # a subset, by benchmark regex
+#   scripts/benchjson.sh Hot 5                # -count 5 (awk keeps the last run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pattern="${1:-Hot}"
+count="${2:-1}"
+
+go test -run '^$' -bench "$pattern" -benchmem -count "$count" . | awk '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+    iters[name] = $2; ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+}
+END {
+    printf "{\n"
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, iters[name], ns[name], bytes[name], allocs[name], (i < n - 1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}'
