@@ -8,6 +8,8 @@
 //	benchrunner                         # all 16 figures, paper-scale sweep
 //	benchrunner -experiments fig2a,fig8 # a subset
 //	benchrunner -quick                  # reduced sweep for a fast look
+//	benchrunner -scenario resilience    # loss-rate × mechanism resilience sweep
+//	benchrunner -scenario outage        # control-blackout fail-mode scenario
 //	benchrunner -csv results.csv        # also write CSV rows
 //	benchrunner -repeats 20             # the paper's repetition count
 //	benchrunner -parallel 1             # serial sweep (same output bytes)
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"sdnbuffer/internal/experiments"
+	"sdnbuffer/internal/netem"
 )
 
 func main() {
@@ -38,6 +41,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		expList  = fs.String("experiments", "", "comma-separated figure ids (default: all)")
+		scenario = fs.String("scenario", "",
+			"run a resilience scenario instead of the figure sweep: resilience | outage")
 		repeats  = fs.Int("repeats", 5, "seeds per sweep point (paper: 20)")
 		rates    = fs.String("rates", "", "comma-separated sending rates in Mbps (default: 5..100 step 5)")
 		flowsA   = fs.Int("flows", 1000, "§IV workload flow count")
@@ -103,20 +108,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts.FlowsB, opts.PktsPerFlowB, opts.GroupB = 20, 10, 5
 	}
 
-	all := experiments.All()
-	selected := all
-	if *expList != "" {
-		selected = nil
-		for _, id := range strings.Split(*expList, ",") {
-			exp, err := experiments.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintf(stderr, "benchrunner: %v\n", err)
-				return 2
-			}
-			selected = append(selected, exp)
-		}
-	}
-
 	var csv *os.File
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -130,6 +121,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 		csv = f
+	}
+
+	if *scenario != "" {
+		return runScenario(*scenario, *quick, *repeats, *parallel, csv, stdout, stderr)
+	}
+
+	all := experiments.All()
+	selected := all
+	if *expList != "" {
+		selected = nil
+		for _, id := range strings.Split(*expList, ",") {
+			exp, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintf(stderr, "benchrunner: %v\n", err)
+				return 2
+			}
+			selected = append(selected, exp)
+		}
 	}
 
 	var claims []string
@@ -168,4 +177,63 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// runScenario dispatches the resilience scenarios added alongside the
+// figure sweep: the loss-rate × mechanism sweep and the control-blackout
+// fail-mode comparison.
+func runScenario(name string, quick bool, repeats, parallel int, csv *os.File, stdout, stderr io.Writer) int {
+	switch name {
+	case "resilience":
+		opts := experiments.ResilienceOptions{Repeats: repeats, Parallelism: parallel}
+		if quick {
+			opts.Repeats = 1
+			opts.Flows, opts.PktsPerFlow, opts.Group = 20, 10, 5
+		}
+		start := time.Now()
+		res, err := experiments.RunResilience(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: resilience: %v\n", err)
+			return 1
+		}
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing table: %v\n", err)
+			return 1
+		}
+		if csv != nil {
+			if err := res.WriteCSV(csv, true); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "(resilience in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
+	case "outage":
+		opts := experiments.OutageOptions{}
+		if quick {
+			opts.Flows, opts.PktsPerFlow, opts.Group = 20, 10, 5
+			opts.Window = netem.Window{Start: 5 * time.Millisecond, End: 20 * time.Millisecond}
+		}
+		start := time.Now()
+		rows, err := experiments.RunOutage(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: outage: %v\n", err)
+			return 1
+		}
+		if err := experiments.WriteOutageTable(stdout, opts, rows); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing table: %v\n", err)
+			return 1
+		}
+		if csv != nil {
+			if err := experiments.WriteOutageCSV(csv, rows, true); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "(outage in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
+	default:
+		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience or outage)\n", name)
+		return 2
+	}
 }

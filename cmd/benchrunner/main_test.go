@@ -64,3 +64,46 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Errorf("unknown flag: exit %d, want 2", code)
 	}
 }
+
+// runScenarioCSV drives the -scenario CLI path and returns the CSV bytes.
+func runScenarioCSV(t *testing.T, scenario string, extra ...string) []byte {
+	t.Helper()
+	csv := filepath.Join(t.TempDir(), "out.csv")
+	args := append([]string{"-scenario", scenario, "-quick", "-csv", csv}, extra...)
+	var stdout, stderr bytes.Buffer
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+	}
+	b, err := os.ReadFile(csv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) == 0 {
+		t.Fatal("empty CSV output")
+	}
+	return b
+}
+
+// TestScenarioCSVDeterminism extends the determinism gate to the resilience
+// scenarios: byte-identical CSV across runs and parallelism settings.
+func TestScenarioCSVDeterminism(t *testing.T) {
+	serial := runScenarioCSV(t, "resilience", "-parallel", "1")
+	parallel := runScenarioCSV(t, "resilience", "-parallel", "4")
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("resilience CSV differs serial vs parallel:\n%s\nvs\n%s", serial, parallel)
+	}
+	if !strings.HasPrefix(string(serial), "series,loss_rate,") {
+		t.Errorf("resilience CSV header missing: %q", string(serial[:40]))
+	}
+	outage := runScenarioCSV(t, "outage")
+	if !bytes.Equal(outage, runScenarioCSV(t, "outage")) {
+		t.Error("outage CSV differs across identical runs")
+	}
+	if !strings.HasPrefix(string(outage), "series,fail_mode,") {
+		t.Errorf("outage CSV header missing: %q", string(outage[:40]))
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-scenario", "nope"}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown scenario: exit %d, want 2", code)
+	}
+}

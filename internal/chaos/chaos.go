@@ -1,0 +1,238 @@
+// Package chaos composes netem impairments and controller-side faults into
+// named, seeded fault plans for the resilience experiments. A Plan is pure
+// configuration: the testbed applies its link impairments to the control
+// channel, schedules its outage windows as fail-mode toggles on the switch,
+// and wraps the sim controller's deliver/emit path in an Injector that can
+// stall, drop, or crash/restart the controller mid-sweep.
+//
+// Everything is driven off the sim kernel RNG (via netem's per-payload
+// draws) or explicit time windows, so a plan replays identically for a
+// given kernel seed — the property the acceptance criteria lean on.
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/sim"
+)
+
+// ControllerFaults describes controller-side misbehavior, expressed as time
+// windows against the sim clock.
+//
+// Stalls model a controller that is alive but not making progress (GC pause,
+// overload): messages arriving during a stall window are held and replayed,
+// in arrival order, when the window ends. Drops model silent discard (e.g. a
+// crashed worker thread): messages arriving in a drop window vanish.
+// Crashes model a full controller restart: like a drop window, but on
+// recovery the controller's state is reset via the RestartFn the testbed
+// wires in (for the reactive forwarder this clears nothing — it is
+// stateless — but the hook is where e.g. learned topology would be wiped).
+type ControllerFaults struct {
+	Stalls  []netem.Window
+	Drops   []netem.Window
+	Crashes []netem.Window
+}
+
+// Validate rejects malformed windows.
+func (cf *ControllerFaults) Validate() error {
+	for _, set := range [][]netem.Window{cf.Stalls, cf.Drops, cf.Crashes} {
+		for _, w := range set {
+			if err := w.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether any fault window is configured.
+func (cf *ControllerFaults) Enabled() bool {
+	return len(cf.Stalls)+len(cf.Drops)+len(cf.Crashes) > 0
+}
+
+// Plan is a complete fault scenario for one testbed run.
+type Plan struct {
+	// Name labels the plan in reports and logs.
+	Name string
+	// ControlUp impairs the switch→controller direction (packet_ins and
+	// re-requests travel here — the paper's loss-sensitive direction).
+	ControlUp netem.Impairment
+	// ControlDown impairs the controller→switch direction (flow_mods and
+	// packet_outs).
+	ControlDown netem.Impairment
+	// Controller injects faults at the controller itself, after the control
+	// channel has delivered the message.
+	Controller ControllerFaults
+	// SwitchOutages are windows during which the switch treats the control
+	// channel as dead: the datapath flips into its configured fail mode
+	// (fail-secure or fail-standalone) at Start and restores at End. The
+	// testbed also blanks both control links over the same windows so no
+	// message sneaks through.
+	SwitchOutages []netem.Window
+}
+
+// Validate checks every component of the plan.
+func (p *Plan) Validate() error {
+	if err := p.ControlUp.Validate(); err != nil {
+		return fmt.Errorf("chaos: plan %q control-up: %w", p.Name, err)
+	}
+	if err := p.ControlDown.Validate(); err != nil {
+		return fmt.Errorf("chaos: plan %q control-down: %w", p.Name, err)
+	}
+	if err := p.Controller.Validate(); err != nil {
+		return fmt.Errorf("chaos: plan %q controller: %w", p.Name, err)
+	}
+	for _, w := range p.SwitchOutages {
+		if err := w.Validate(); err != nil {
+			return fmt.Errorf("chaos: plan %q switch outage: %w", p.Name, err)
+		}
+	}
+	return nil
+}
+
+// Enabled reports whether the plan injects any fault at all.
+func (p *Plan) Enabled() bool {
+	return p.ControlUp.Enabled() || p.ControlDown.Enabled() ||
+		p.Controller.Enabled() || len(p.SwitchOutages) > 0
+}
+
+// SymmetricLoss builds a plan dropping each control message independently
+// with probability p in both directions.
+func SymmetricLoss(p float64) *Plan {
+	return &Plan{
+		Name:        fmt.Sprintf("loss-%g", p),
+		ControlUp:   netem.Impairment{LossRate: p},
+		ControlDown: netem.Impairment{LossRate: p},
+	}
+}
+
+// GilbertElliottFor returns a two-state loss model whose stationary loss
+// rate is meanLoss with mean burst length burstLen (in payloads). Loss is
+// total inside the bad state and zero in the good state, the standard
+// simplified Gilbert configuration.
+func GilbertElliottFor(meanLoss float64, burstLen float64) (*netem.GilbertElliott, error) {
+	if meanLoss <= 0 || meanLoss >= 1 {
+		return nil, fmt.Errorf("chaos: mean loss %g outside (0, 1)", meanLoss)
+	}
+	if burstLen < 1 {
+		return nil, fmt.Errorf("chaos: burst length %g < 1", burstLen)
+	}
+	// With LossBad = 1, stationary loss = pGB/(pGB+pBG) and mean burst
+	// length = 1/pBG. Solve for the transition probabilities.
+	pBG := 1 / burstLen
+	pGB := meanLoss * pBG / (1 - meanLoss)
+	if pGB > 1 {
+		return nil, fmt.Errorf("chaos: mean loss %g unreachable with burst length %g", meanLoss, burstLen)
+	}
+	return &netem.GilbertElliott{PGoodBad: pGB, PBadGood: pBG, LossBad: 1}, nil
+}
+
+// BurstyLoss builds a symmetric Gilbert–Elliott plan at the given stationary
+// loss rate and mean burst length.
+func BurstyLoss(meanLoss, burstLen float64) (*Plan, error) {
+	ge, err := GilbertElliottFor(meanLoss, burstLen)
+	if err != nil {
+		return nil, err
+	}
+	up, down := *ge, *ge
+	return &Plan{
+		Name:        fmt.Sprintf("burst-%g-len%g", meanLoss, burstLen),
+		ControlUp:   netem.Impairment{Gilbert: &up},
+		ControlDown: netem.Impairment{Gilbert: &down},
+	}, nil
+}
+
+// Outage builds a plan with a single switch-visible control-channel blackout.
+func Outage(start, end time.Duration) *Plan {
+	return &Plan{
+		Name:          fmt.Sprintf("outage-%v-%v", start, end),
+		SwitchOutages: []netem.Window{{Start: start, End: end}},
+	}
+}
+
+// Clock is the minimal sim-time source the Injector needs (satisfied by
+// *sim.Kernel).
+type Clock interface {
+	Now() time.Duration
+	At(t time.Duration, fn func()) *sim.Event
+}
+
+// Injector applies ControllerFaults around a message-delivery function. It
+// is single-goroutine like the kernel it runs on.
+type Injector struct {
+	clock  Clock
+	faults ControllerFaults
+	held   []func() // messages parked by an active stall window
+
+	// Counters for reports.
+	Stalled int64
+	Dropped int64
+	Crashed int64
+
+	// RestartFn, when set, runs once at the end of each crash window,
+	// modeling controller state reset on restart.
+	RestartFn func()
+}
+
+// NewInjector builds an injector for the given fault windows. Stall-window
+// flushes are scheduled eagerly so held messages replay even if no further
+// traffic arrives.
+func NewInjector(clock Clock, faults ControllerFaults, restart func()) *Injector {
+	inj := &Injector{clock: clock, faults: faults, RestartFn: restart}
+	for _, w := range faults.Stalls {
+		w := w
+		clock.At(w.End, func() { inj.flush() })
+	}
+	for _, w := range faults.Crashes {
+		w := w
+		clock.At(w.End, func() {
+			if inj.RestartFn != nil {
+				inj.RestartFn()
+			}
+		})
+	}
+	return inj
+}
+
+// Wrap decorates deliver with the configured faults. The returned function
+// is what the testbed hands to the control link in place of the raw
+// controller deliver.
+func (inj *Injector) Wrap(deliver func()) func() {
+	return func() {
+		now := inj.clock.Now()
+		for _, w := range inj.faults.Crashes {
+			if w.Contains(now) {
+				inj.Crashed++
+				return
+			}
+		}
+		for _, w := range inj.faults.Drops {
+			if w.Contains(now) {
+				inj.Dropped++
+				return
+			}
+		}
+		for _, w := range inj.faults.Stalls {
+			if w.Contains(now) {
+				inj.Stalled++
+				inj.held = append(inj.held, deliver)
+				return
+			}
+		}
+		deliver()
+	}
+}
+
+// flush replays messages parked by a stall window, in arrival order.
+func (inj *Injector) flush() {
+	held := inj.held
+	inj.held = nil
+	for _, fn := range held {
+		fn()
+	}
+}
+
+// HeldCount reports messages currently parked by a stall window.
+func (inj *Injector) HeldCount() int { return len(inj.held) }

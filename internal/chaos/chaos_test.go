@@ -1,0 +1,161 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/sim"
+)
+
+func TestSymmetricLoss(t *testing.T) {
+	p := SymmetricLoss(0.05)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !p.Enabled() {
+		t.Error("plan with 5% loss reports disabled")
+	}
+	if p.ControlUp.LossRate != 0.05 || p.ControlDown.LossRate != 0.05 {
+		t.Errorf("loss rates = %g/%g, want 0.05 both ways", p.ControlUp.LossRate, p.ControlDown.LossRate)
+	}
+}
+
+func TestZeroPlanDisabled(t *testing.T) {
+	var p Plan
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if p.Enabled() {
+		t.Error("zero plan reports enabled")
+	}
+}
+
+func TestGilbertElliottFor(t *testing.T) {
+	ge, err := GilbertElliottFor(0.05, 4)
+	if err != nil {
+		t.Fatalf("GilbertElliottFor: %v", err)
+	}
+	if got := ge.MeanLossRate(); got < 0.0499 || got > 0.0501 {
+		t.Errorf("MeanLossRate = %g, want 0.05", got)
+	}
+	if got := 1 / ge.PBadGood; got < 3.99 || got > 4.01 {
+		t.Errorf("mean burst length = %g, want 4", got)
+	}
+	if _, err := GilbertElliottFor(0, 4); err == nil {
+		t.Error("accepted zero mean loss")
+	}
+	if _, err := GilbertElliottFor(0.5, 0.5); err == nil {
+		t.Error("accepted burst length < 1")
+	}
+}
+
+func TestBurstyLossIndependentState(t *testing.T) {
+	p, err := BurstyLoss(0.1, 5)
+	if err != nil {
+		t.Fatalf("BurstyLoss: %v", err)
+	}
+	if p.ControlUp.Gilbert == p.ControlDown.Gilbert {
+		t.Error("up and down directions share one Gilbert model pointer")
+	}
+}
+
+func TestOutagePlan(t *testing.T) {
+	p := Outage(10*time.Millisecond, 20*time.Millisecond)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(p.SwitchOutages) != 1 || !p.SwitchOutages[0].Contains(15*time.Millisecond) {
+		t.Errorf("outage windows = %+v", p.SwitchOutages)
+	}
+}
+
+func TestInjectorDropWindow(t *testing.T) {
+	k := sim.New(1)
+	inj := NewInjector(k, ControllerFaults{
+		Drops: []netem.Window{{Start: 10 * time.Millisecond, End: 20 * time.Millisecond}},
+	}, nil)
+	var delivered []time.Duration
+	send := func(at time.Duration) {
+		k.At(at, func() {
+			inj.Wrap(func() { delivered = append(delivered, k.Now()) })()
+		})
+	}
+	send(5 * time.Millisecond)
+	send(15 * time.Millisecond)
+	send(25 * time.Millisecond)
+	k.Run()
+	if len(delivered) != 2 || delivered[0] != 5*time.Millisecond || delivered[1] != 25*time.Millisecond {
+		t.Errorf("delivered = %v, want [5ms 25ms]", delivered)
+	}
+	if inj.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", inj.Dropped)
+	}
+}
+
+func TestInjectorStallHoldsAndReplaysInOrder(t *testing.T) {
+	k := sim.New(1)
+	inj := NewInjector(k, ControllerFaults{
+		Stalls: []netem.Window{{Start: 10 * time.Millisecond, End: 20 * time.Millisecond}},
+	}, nil)
+	type ev struct {
+		id int
+		at time.Duration
+	}
+	var delivered []ev
+	send := func(id int, at time.Duration) {
+		k.At(at, func() {
+			inj.Wrap(func() { delivered = append(delivered, ev{id, k.Now()}) })()
+		})
+	}
+	send(0, 5*time.Millisecond)
+	send(1, 12*time.Millisecond)
+	send(2, 14*time.Millisecond)
+	send(3, 25*time.Millisecond)
+	k.Run()
+	if len(delivered) != 4 {
+		t.Fatalf("delivered %d messages, want 4: %v", len(delivered), delivered)
+	}
+	// Stalled messages 1 and 2 replay in arrival order at the window end.
+	want := []ev{
+		{0, 5 * time.Millisecond},
+		{1, 20 * time.Millisecond},
+		{2, 20 * time.Millisecond},
+		{3, 25 * time.Millisecond},
+	}
+	for i, w := range want {
+		if delivered[i] != w {
+			t.Errorf("delivered[%d] = %+v, want %+v", i, delivered[i], w)
+		}
+	}
+	if inj.Stalled != 2 {
+		t.Errorf("Stalled = %d, want 2", inj.Stalled)
+	}
+	if inj.HeldCount() != 0 {
+		t.Errorf("HeldCount = %d after flush, want 0", inj.HeldCount())
+	}
+}
+
+func TestInjectorCrashDropsAndRestarts(t *testing.T) {
+	k := sim.New(1)
+	restarts := 0
+	inj := NewInjector(k, ControllerFaults{
+		Crashes: []netem.Window{{Start: 10 * time.Millisecond, End: 20 * time.Millisecond}},
+	}, func() { restarts++ })
+	delivered := 0
+	send := func(at time.Duration) {
+		k.At(at, func() { inj.Wrap(func() { delivered++ })() })
+	}
+	send(15 * time.Millisecond)
+	send(25 * time.Millisecond)
+	k.Run()
+	if delivered != 1 {
+		t.Errorf("delivered = %d, want 1", delivered)
+	}
+	if inj.Crashed != 1 {
+		t.Errorf("Crashed = %d, want 1", inj.Crashed)
+	}
+	if restarts != 1 {
+		t.Errorf("restarts = %d, want 1", restarts)
+	}
+}

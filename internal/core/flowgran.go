@@ -19,7 +19,24 @@ type flowState struct {
 	bufferID  uint32
 	createdAt time.Duration
 	deadline  time.Duration
+	timeout   time.Duration // current re-request wait, grown by the backoff
+	attempts  int           // re-requests already sent for this flow
 	header    *openflow.PacketIn
+}
+
+// RetryPolicy hardens the re-request loop against a lossy or dead control
+// channel. MaxRerequests caps how many times a flow's packet_in is re-sent
+// before the mechanism gives up on controller-driven release; BackoffPct
+// grows each successive wait by that percentage (100 doubles it). Zero
+// values keep the original behavior: retry forever at a fixed interval.
+//
+// On give-up the flow's buffer unit is released — never leaked — and the
+// queued packets are handed back through the no-buffer full-packet path in
+// arrival order, so the controller can still forward them; they are counted
+// as fallbacks, and the abandoned flow as a giveup.
+type RetryPolicy struct {
+	MaxRerequests int
+	BackoffPct    int
 }
 
 // FlowGranularity is the paper's proposed buffer mechanism (§V).
@@ -42,6 +59,7 @@ type FlowGranularity struct {
 	missSendLen      int
 	rerequestTimeout time.Duration
 	maxPerFlow       int
+	retry            RetryPolicy
 	flows            map[packet.FlowKey]*flowState
 	byID             map[uint32]*flowState
 	order            []*flowState // insertion order, for deterministic sweeps
@@ -49,6 +67,7 @@ type FlowGranularity struct {
 	packetIns  uint64
 	rerequests uint64
 	fallbacks  uint64
+	giveups    uint64
 }
 
 var _ Mechanism = (*FlowGranularity)(nil)
@@ -80,6 +99,22 @@ func NewFlowGranularity(capacity, missSendLen int, rerequestTimeout time.Duratio
 		byID:             make(map[uint32]*flowState),
 	}, nil
 }
+
+// SetRetryPolicy installs the re-request hardening policy. Call before
+// traffic; it applies to flows buffered afterwards.
+func (m *FlowGranularity) SetRetryPolicy(p RetryPolicy) error {
+	if p.MaxRerequests < 0 {
+		return fmt.Errorf("core: negative re-request cap %d", p.MaxRerequests)
+	}
+	if p.BackoffPct < 0 {
+		return fmt.Errorf("core: negative re-request backoff %d%%", p.BackoffPct)
+	}
+	m.retry = p
+	return nil
+}
+
+// RetryPolicy reports the installed hardening policy.
+func (m *FlowGranularity) RetryPolicy() RetryPolicy { return m.retry }
 
 // Granularity implements Mechanism.
 func (*FlowGranularity) Granularity() openflow.BufferGranularity {
@@ -162,6 +197,7 @@ func (m *FlowGranularity) HandleMiss(now time.Duration, inPort uint16, data []by
 		bufferID:  id,
 		createdAt: now,
 		deadline:  now + m.rerequestTimeout,
+		timeout:   m.rerequestTimeout,
 		header: &openflow.PacketIn{
 			BufferID: id,
 			TotalLen: uint16(len(data)),
@@ -241,28 +277,65 @@ func (m *FlowGranularity) NextDeadline() (time.Duration, bool) {
 	return next, found
 }
 
-// Tick implements Mechanism: expire overdue flows and re-send the packet_in
-// for flows whose re-request timer has fired (Algorithm 1 lines 12-13).
+// Tick implements Mechanism: expire overdue flows, re-send the packet_in
+// for flows whose re-request timer has fired (Algorithm 1 lines 12-13), and
+// — with a RetryPolicy installed — give up on flows that exhausted their
+// re-request budget, draining their queues via the no-buffer full-packet
+// path so the pool unit is released rather than leaked.
 func (m *FlowGranularity) Tick(now time.Duration) []*openflow.PacketIn {
 	var resend []*openflow.PacketIn
 	// Collect first: forget() mutates the bookkeeping. Iterate in insertion
-	// order so re-requests are emitted deterministically.
-	var expired []*flowState
+	// order so re-requests and give-up fallbacks are emitted
+	// deterministically.
+	var expired, abandoned []*flowState
 	for _, st := range m.order {
 		if m.pool.expiry > 0 && now-st.createdAt >= m.pool.expiry {
 			expired = append(expired, st)
 			continue
 		}
-		if now >= st.deadline {
-			st.deadline = now + m.rerequestTimeout
-			m.rerequests++
-			m.packetIns++
-			resend = append(resend, st.header)
+		if now < st.deadline {
+			continue
 		}
+		if m.retry.MaxRerequests > 0 && st.attempts >= m.retry.MaxRerequests {
+			abandoned = append(abandoned, st)
+			continue
+		}
+		st.attempts++
+		if m.retry.BackoffPct > 0 {
+			st.timeout += st.timeout * time.Duration(m.retry.BackoffPct) / 100
+		}
+		st.deadline = now + st.timeout
+		m.rerequests++
+		m.packetIns++
+		resend = append(resend, st.header)
 	}
 	for _, st := range expired {
 		_, _ = m.pool.DiscardExpired(now, st.bufferID) // expiring; unit must exist
 		m.forget(st)
+	}
+	for _, st := range abandoned {
+		// Give up on controller-driven release: free the unit and hand every
+		// queued packet back as a full-payload no-buffer packet_in, in arrival
+		// order. Ownership of the packet bytes transfers to the packet_ins;
+		// the pool slot is reclaimed here, so nothing leaks even if the
+		// control channel stays dead.
+		u, err := m.pool.Release(now, st.bufferID)
+		m.forget(st)
+		m.giveups++
+		if err != nil {
+			continue // invariant broken; forget() already dropped the records
+		}
+		for _, bp := range u.Packets {
+			m.fallbacks++
+			m.packetIns++
+			resend = append(resend, &openflow.PacketIn{
+				BufferID: openflow.NoBuffer,
+				TotalLen: uint16(len(bp.Data)),
+				InPort:   bp.InPort,
+				Reason:   openflow.ReasonNoMatch,
+				Data:     bp.Data,
+			})
+		}
 	}
 	return resend
 }
@@ -276,6 +349,7 @@ func (m *FlowGranularity) Stats(now time.Duration) openflow.FlowBufferStats {
 		PacketIns:       m.packetIns,
 		Rerequests:      m.rerequests,
 		DroppedNoBuffer: m.fallbacks,
+		Giveups:         m.giveups,
 	}
 }
 
@@ -303,7 +377,17 @@ func NewMechanism(cfg openflow.FlowBufferConfig, capacity, missSendLen int, expi
 		return NewPacketGranularity(capacity, missSendLen, expiry)
 	case openflow.GranularityFlow:
 		timeout := time.Duration(cfg.RerequestTimeoutMs) * time.Millisecond
-		return NewFlowGranularity(capacity, missSendLen, timeout, int(cfg.MaxPacketsPerFlow), expiry)
+		fg, err := NewFlowGranularity(capacity, missSendLen, timeout, int(cfg.MaxPacketsPerFlow), expiry)
+		if err != nil {
+			return nil, err
+		}
+		if err := fg.SetRetryPolicy(RetryPolicy{
+			MaxRerequests: int(cfg.MaxRerequests),
+			BackoffPct:    int(cfg.RerequestBackoffPct),
+		}); err != nil {
+			return nil, err
+		}
+		return fg, nil
 	default:
 		return nil, fmt.Errorf("core: invalid granularity %d", uint8(cfg.Granularity))
 	}

@@ -1,0 +1,500 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnbuffer/internal/chaos"
+	"sdnbuffer/internal/metrics"
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/switchd"
+	"sdnbuffer/internal/testbed"
+)
+
+// SeriesFlowHardened is the flow-granularity mechanism with the re-request
+// budget enabled: after 8 attempts (backing off 200% per resend) the flow's
+// buffer is released and its packets fall back to full-packet packet_ins.
+var SeriesFlowHardened = Series{
+	Name: "flow-hardened",
+	Buffer: openflow.FlowBufferConfig{
+		Granularity:         openflow.GranularityFlow,
+		RerequestTimeoutMs:  50,
+		MaxRerequests:       8,
+		RerequestBackoffPct: 200,
+	},
+	BufferCapacity: 256,
+}
+
+// ResilienceOptions scale the loss-rate × mechanism sweep. The zero value is
+// filled with the defaults the report quotes.
+type ResilienceOptions struct {
+	// LossRates are the control-channel loss probabilities swept (default
+	// 0, 1%, 2%, 5%, 10%, both directions).
+	LossRates []float64
+	// BurstLen, when > 1, switches the loss model from i.i.d. to
+	// Gilbert–Elliott with this mean burst length (in control messages).
+	BurstLen float64
+	// RateMbps is the fixed workload sending rate (default 50).
+	RateMbps float64
+	// Repeats is the number of seeds per point (default 3).
+	Repeats int
+	// Flows, PktsPerFlow, Group shape the interleaved-burst workload
+	// (default 50/20/5, the §V shape).
+	Flows, PktsPerFlow, Group int
+	// FrameSize is the Ethernet frame size (default 1000).
+	FrameSize int
+	// Jitter is the pktgen pacing jitter (default 0.5).
+	Jitter float64
+	// BufferExpiry bounds buffered-packet lifetime so units stranded by a
+	// lost request eventually expire (default 1s).
+	BufferExpiry time.Duration
+	// Parallelism fans the (series, loss, repeat) grid across workers
+	// (default GOMAXPROCS). Results are folded in a fixed order, so output
+	// is byte-identical at any setting.
+	Parallelism int
+}
+
+func (o ResilienceOptions) withDefaults() ResilienceOptions {
+	if len(o.LossRates) == 0 {
+		o.LossRates = []float64{0, 0.01, 0.02, 0.05, 0.10}
+	}
+	if o.RateMbps == 0 {
+		o.RateMbps = 50
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+	if o.Flows == 0 {
+		o.Flows = 50
+	}
+	if o.PktsPerFlow == 0 {
+		o.PktsPerFlow = 20
+	}
+	if o.Group == 0 {
+		o.Group = 5
+	}
+	if o.FrameSize == 0 {
+		o.FrameSize = 1000
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.5
+	}
+	if o.BufferExpiry == 0 {
+		o.BufferExpiry = time.Second
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// resilienceCell is the raw metric set of one (series, loss, seed) run.
+type resilienceCell struct {
+	delivered, sent int64
+	rerequests      uint64
+	giveups         uint64
+	fallbacks       uint64
+	leaked          int
+	dups, misorders int64
+}
+
+// ResiliencePoint aggregates one loss rate of one series across repeats.
+type ResiliencePoint struct {
+	LossRate float64
+	// Delivery is the per-repeat delivered/sent ratio.
+	Delivery metrics.Summary
+	// Rerequests, Giveups and Fallbacks are summed across repeats.
+	Rerequests, Giveups, Fallbacks uint64
+	// Leaked is the worst pool occupancy left at quiescence across repeats
+	// (the acceptance criterion demands zero for the flow series).
+	Leaked int
+	// Dups and Misorders sum duplicate and out-of-order workload emissions
+	// observed at the switch's transmit tap.
+	Dups, Misorders int64
+}
+
+// ResilienceSeriesResult is one mechanism's curve.
+type ResilienceSeriesResult struct {
+	Series Series
+	Points []ResiliencePoint
+}
+
+// ResilienceResult is a completed loss-rate × mechanism sweep.
+type ResilienceResult struct {
+	Options ResilienceOptions
+	Series  []ResilienceSeriesResult
+}
+
+// ResilienceSeries are the mechanisms the sweep compares: packet granularity
+// (no re-request), flow granularity (retry forever) and the hardened flow
+// mechanism (bounded retries with backoff and give-up).
+func ResilienceSeries() []Series {
+	return []Series{SeriesPacketGranularity, SeriesFlowGranularity, SeriesFlowHardened}
+}
+
+// resilienceConfig builds the testbed for one cell: §V platform, combined
+// flow_mods (atomic install+release keeps drains exactly-once under
+// duplicated re-requests) and the cell's loss plan.
+func resilienceConfig(s Series, opts ResilienceOptions, loss float64, seed int64) (testbed.Config, error) {
+	cfg := testbed.DefaultConfig(s.Buffer, s.BufferCapacity)
+	cfg.Seed = seed
+	cfg.Switch.Datapath.BufferExpiry = opts.BufferExpiry
+	cfg.Forwarder.CombinedFlowMod = true
+	if loss > 0 {
+		if opts.BurstLen > 1 {
+			plan, err := chaos.BurstyLoss(loss, opts.BurstLen)
+			if err != nil {
+				return cfg, err
+			}
+			cfg.Chaos = plan
+		} else {
+			cfg.Chaos = chaos.SymmetricLoss(loss)
+		}
+	}
+	return cfg, nil
+}
+
+func runResilienceCell(s Series, opts ResilienceOptions, loss float64, seed int64) (resilienceCell, error) {
+	cfg, err := resilienceConfig(s, opts, loss, seed)
+	if err != nil {
+		return resilienceCell{}, err
+	}
+	tb, err := testbed.New(cfg)
+	if err != nil {
+		return resilienceCell{}, err
+	}
+	sched, err := pktgen.InterleavedBursts(pktgen.Config{
+		FrameSize: opts.FrameSize,
+		RateMbps:  opts.RateMbps,
+		Jitter:    opts.Jitter,
+		Seed:      seed,
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+	}, opts.Flows, opts.PktsPerFlow, opts.Group)
+	if err != nil {
+		return resilienceCell{}, err
+	}
+	res, err := tb.Run(sched)
+	if err != nil {
+		return resilienceCell{}, err
+	}
+	return resilienceCell{
+		delivered:  res.FramesDelivered,
+		sent:       int64(res.FramesSent),
+		rerequests: res.Rerequests,
+		giveups:    res.Giveups,
+		fallbacks:  res.BufferFallbacks,
+		leaked:     res.BufferUnitsLeaked,
+		dups:       res.DupEmissions,
+		misorders:  res.OrderViolations,
+	}, nil
+}
+
+// RunResilience executes the loss-rate × mechanism sweep, fanning the
+// (series, loss, repeat) grid across Parallelism workers and folding the
+// per-cell metrics in a fixed order — the same determinism contract as Run.
+func RunResilience(opts ResilienceOptions) (*ResilienceResult, error) {
+	opts = opts.withDefaults()
+	series := ResilienceSeries()
+	type rcell struct{ s, l, rep int }
+	var cells []rcell
+	for si := range series {
+		for li := range opts.LossRates {
+			for rep := 0; rep < opts.Repeats; rep++ {
+				cells = append(cells, rcell{s: si, l: li, rep: rep})
+			}
+		}
+	}
+	vals := make([]resilienceCell, len(cells))
+	errs := make([]error, len(cells))
+	workers := opts.Parallelism
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				if failed.Load() {
+					continue
+				}
+				c := cells[i]
+				v, err := runResilienceCell(series[c.s], opts, opts.LossRates[c.l], int64(c.rep)+1)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				vals[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("experiments: resilience %s at loss %g rep %d: %w",
+				series[c.s].Name, opts.LossRates[c.l], c.rep, err)
+		}
+	}
+
+	out := &ResilienceResult{Options: opts}
+	i := 0
+	for _, s := range series {
+		sr := ResilienceSeriesResult{Series: s}
+		for _, loss := range opts.LossRates {
+			p := ResiliencePoint{LossRate: loss}
+			for rep := 0; rep < opts.Repeats; rep++ {
+				v := vals[i]
+				i++
+				if v.sent > 0 {
+					p.Delivery.Observe(float64(v.delivered) / float64(v.sent))
+				}
+				p.Rerequests += v.rerequests
+				p.Giveups += v.giveups
+				p.Fallbacks += v.fallbacks
+				if v.leaked > p.Leaked {
+					p.Leaked = v.leaked
+				}
+				p.Dups += v.dups
+				p.Misorders += v.misorders
+			}
+			sr.Points = append(sr.Points, p)
+		}
+		out.Series = append(out.Series, sr)
+	}
+	return out, nil
+}
+
+// WriteTable renders the sweep as a fixed-width text table, one row per
+// (series, loss rate).
+func (r *ResilienceResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "resilience — delivery under control-channel loss (rate %g Mbps, %d repeats)\n",
+		r.Options.RateMbps, r.Options.Repeats); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-20s %8s %10s %10s %8s %9s %7s %6s %9s",
+		"series", "loss", "delivery", "±sd", "rereq", "giveups", "fallbk", "leak", "dup/misord")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%-20s %8.3g %10.4f %10.4f %8d %9d %7d %6d %5d/%d\n",
+				s.Series.Name, p.LossRate, p.Delivery.Mean(), p.Delivery.StdDev(),
+				p.Rerequests, p.Giveups, p.Fallbacks, p.Leaked, p.Dups, p.Misorders); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the sweep as CSV rows:
+// series,loss_rate,delivery_mean,delivery_stddev,delivery_min,rerequests,giveups,fallbacks,leaked,dups,misorders.
+func (r *ResilienceResult) WriteCSV(w io.Writer, includeHeader bool) error {
+	if includeHeader {
+		if _, err := fmt.Fprintln(w, "series,loss_rate,delivery_mean,delivery_stddev,delivery_min,rerequests,giveups,fallbacks,leaked,dups,misorders"); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g,%g,%g,%d,%d,%d,%d,%d,%d\n",
+				s.Series.Name, p.LossRate, p.Delivery.Mean(), p.Delivery.StdDev(), p.Delivery.Min(),
+				p.Rerequests, p.Giveups, p.Fallbacks, p.Leaked, p.Dups, p.Misorders); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// OutageOptions configure the control-channel blackout scenario.
+type OutageOptions struct {
+	// Window is the blackout (default 40ms–120ms, mid-workload).
+	Window netem.Window
+	// RateMbps, Flows, PktsPerFlow, Group, FrameSize, Jitter shape the
+	// workload exactly as in ResilienceOptions.
+	RateMbps                  float64
+	Flows, PktsPerFlow, Group int
+	FrameSize                 int
+	Jitter                    float64
+	// Seed drives the run (default 1).
+	Seed int64
+	// BufferExpiry as in ResilienceOptions (default 1s).
+	BufferExpiry time.Duration
+}
+
+func (o OutageOptions) withDefaults() OutageOptions {
+	if o.Window == (netem.Window{}) {
+		o.Window = netem.Window{Start: 40 * time.Millisecond, End: 120 * time.Millisecond}
+	}
+	if o.RateMbps == 0 {
+		o.RateMbps = 50
+	}
+	if o.Flows == 0 {
+		o.Flows = 50
+	}
+	if o.PktsPerFlow == 0 {
+		o.PktsPerFlow = 20
+	}
+	if o.Group == 0 {
+		o.Group = 5
+	}
+	if o.FrameSize == 0 {
+		o.FrameSize = 1000
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.BufferExpiry == 0 {
+		o.BufferExpiry = time.Second
+	}
+	return o
+}
+
+// OutageRow is one (mechanism, fail mode) cell of the outage scenario.
+type OutageRow struct {
+	Series   string
+	FailMode switchd.FailMode
+	// Delivery is delivered/sent for the run.
+	Delivery float64
+	// StandaloneForwards and ControlDownMisses are the datapath fail-mode
+	// counters; Giveups/Leaked/Dups/Misorders as in ResiliencePoint.
+	StandaloneForwards uint64
+	ControlDownMisses  uint64
+	Giveups            uint64
+	Leaked             int
+	Dups, Misorders    int64
+}
+
+// RunOutage runs the blackout scenario for {no-buffer, flow-granularity} ×
+// {fail-secure, fail-standalone}: the switch sees the control channel die
+// mid-workload, degrades per its fail mode, and recovers when the window
+// ends. Four cells, run serially — determinism is trivial.
+func RunOutage(opts OutageOptions) ([]OutageRow, error) {
+	opts = opts.withDefaults()
+	series := []Series{SeriesNoBuffer, SeriesFlowGranularity}
+	modes := []switchd.FailMode{switchd.FailSecure, switchd.FailStandalone}
+	var rows []OutageRow
+	for _, s := range series {
+		for _, mode := range modes {
+			cfg := testbed.DefaultConfig(s.Buffer, s.BufferCapacity)
+			cfg.Seed = opts.Seed
+			cfg.Switch.Datapath.BufferExpiry = opts.BufferExpiry
+			cfg.Switch.Datapath.FailMode = mode
+			cfg.Forwarder.CombinedFlowMod = true
+			cfg.Chaos = &chaos.Plan{
+				Name:          fmt.Sprintf("outage-%s-%s", s.Name, mode),
+				SwitchOutages: []netem.Window{opts.Window},
+			}
+			tb, err := testbed.New(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: outage %s/%s: %w", s.Name, mode, err)
+			}
+			sched, err := pktgen.InterleavedBursts(pktgen.Config{
+				FrameSize: opts.FrameSize,
+				RateMbps:  opts.RateMbps,
+				Jitter:    opts.Jitter,
+				Seed:      opts.Seed,
+				SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+				DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+				DstIP:     netip.MustParseAddr("10.0.0.2"),
+			}, opts.Flows, opts.PktsPerFlow, opts.Group)
+			if err != nil {
+				return nil, err
+			}
+			res, err := tb.Run(sched)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: outage %s/%s: %w", s.Name, mode, err)
+			}
+			row := OutageRow{
+				Series:             s.Name,
+				FailMode:           mode,
+				StandaloneForwards: res.StandaloneForwards,
+				ControlDownMisses:  res.ControlDownMisses,
+				Giveups:            res.Giveups,
+				Leaked:             res.BufferUnitsLeaked,
+				Dups:               res.DupEmissions,
+				Misorders:          res.OrderViolations,
+			}
+			if res.FramesSent > 0 {
+				row.Delivery = float64(res.FramesDelivered) / float64(res.FramesSent)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteOutageTable renders the blackout scenario rows.
+func WriteOutageTable(w io.Writer, opts OutageOptions, rows []OutageRow) error {
+	opts = opts.withDefaults()
+	if _, err := fmt.Fprintf(w, "outage — control blackout %v–%v at %g Mbps\n",
+		opts.Window.Start, opts.Window.End, opts.RateMbps); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-18s %-16s %10s %11s %10s %8s %6s %9s",
+		"series", "fail-mode", "delivery", "standalone", "downmiss", "giveups", "leak", "dup/misord")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%-18s %-16s %10.4f %11d %10d %8d %6d %5d/%d\n",
+			r.Series, r.FailMode, r.Delivery, r.StandaloneForwards, r.ControlDownMisses,
+			r.Giveups, r.Leaked, r.Dups, r.Misorders); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteOutageCSV renders the blackout rows as CSV:
+// series,fail_mode,delivery,standalone_forwards,control_down_misses,giveups,leaked,dups,misorders.
+func WriteOutageCSV(w io.Writer, rows []OutageRow, includeHeader bool) error {
+	if includeHeader {
+		if _, err := fmt.Fprintln(w, "series,fail_mode,delivery,standalone_forwards,control_down_misses,giveups,leaked,dups,misorders"); err != nil {
+			return err
+		}
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%g,%d,%d,%d,%d,%d,%d\n",
+			r.Series, r.FailMode, r.Delivery, r.StandaloneForwards, r.ControlDownMisses,
+			r.Giveups, r.Leaked, r.Dups, r.Misorders); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -91,6 +91,57 @@ func FuzzDecode(f *testing.F) {
 	})
 }
 
+// FuzzVendorDecode targets the flow-buffer vendor codec: ParseVendor must
+// never panic on arbitrary payload bytes, and any payload it accepts must
+// survive a re-encode/re-parse round trip (legacy-length bodies re-encode to
+// the extended layout with the new fields zero, which the round-trip
+// comparison tolerates by re-parsing rather than comparing bytes).
+func FuzzVendorDecode(f *testing.F) {
+	cfg, err := EncodeFlowBufferConfig(FlowBufferConfig{
+		Granularity:         GranularityFlow,
+		RerequestTimeoutMs:  50,
+		MaxPacketsPerFlow:   64,
+		MaxRerequests:       8,
+		RerequestBackoffPct: 200,
+	})
+	if err != nil {
+		f.Fatalf("EncodeFlowBufferConfig: %v", err)
+	}
+	f.Add(cfg.Data)
+	f.Add(EncodeFlowBufferStatsRequest().Data)
+	f.Add(EncodeFlowBufferStats(FlowBufferStats{
+		UnitsInUse: 3, UnitsCapacity: 256, PacketIns: 10, Rerequests: 2, Giveups: 1,
+	}).Data)
+	f.Add(cfg.Data[:4+12]) // legacy config body
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ParseVendor(&Vendor{Vendor: VendorID, Data: data})
+		if err != nil {
+			return // rejected input; not panicking is the property
+		}
+		var re *Vendor
+		switch {
+		case p.Config != nil:
+			re, err = EncodeFlowBufferConfig(*p.Config)
+			if err != nil {
+				t.Fatalf("accepted config %+v does not re-encode: %v", p.Config, err)
+			}
+		case p.StatsRequest:
+			re = EncodeFlowBufferStatsRequest()
+		case p.Stats != nil:
+			re = EncodeFlowBufferStats(*p.Stats)
+		default:
+			t.Fatalf("ParseVendor returned empty payload for %x", data)
+		}
+		p2, err := ParseVendor(re)
+		if err != nil {
+			t.Fatalf("re-encoded payload does not parse: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("payload not equivalent across re-encode:\nfirst:  %#v\nsecond: %#v", p, p2)
+		}
+	})
+}
+
 // FuzzReader drives the stream reader with the same corpus: whatever framing
 // the byte-slice decoder accepts, the io reader must deliver identically.
 func FuzzReader(f *testing.F) {

@@ -416,9 +416,11 @@ func TestMatchEqual(t *testing.T) {
 
 func TestVendorFlowBufferConfigRoundTrip(t *testing.T) {
 	cfg := FlowBufferConfig{
-		Granularity:        GranularityFlow,
-		RerequestTimeoutMs: 50,
-		MaxPacketsPerFlow:  64,
+		Granularity:         GranularityFlow,
+		RerequestTimeoutMs:  50,
+		MaxPacketsPerFlow:   64,
+		MaxRerequests:       8,
+		RerequestBackoffPct: 200,
 	}
 	v, err := EncodeFlowBufferConfig(cfg)
 	if err != nil {
@@ -437,7 +439,7 @@ func TestVendorFlowBufferConfigRoundTrip(t *testing.T) {
 func TestVendorFlowBufferStatsRoundTrip(t *testing.T) {
 	s := FlowBufferStats{
 		UnitsInUse: 5, UnitsCapacity: 256, FlowsBuffered: 3,
-		PacketIns: 100, Rerequests: 2, DroppedNoBuffer: 1,
+		PacketIns: 100, Rerequests: 2, DroppedNoBuffer: 1, Giveups: 4,
 	}
 	got := roundTrip(t, EncodeFlowBufferStats(s), 21).(*Vendor)
 	payload, err := ParseVendor(got)
@@ -455,6 +457,37 @@ func TestVendorFlowBufferStatsRoundTrip(t *testing.T) {
 	}
 	if !p2.StatsRequest {
 		t.Error("stats request not recognized")
+	}
+}
+
+// TestVendorLegacyBodies pins wire compatibility with pre-retry-policy
+// peers: the original 12-byte config and 36-byte stats bodies must still
+// parse, with the new fields decoding as zero (retry-forever semantics).
+func TestVendorLegacyBodies(t *testing.T) {
+	cfg := make([]byte, 4+12)
+	binary.BigEndian.PutUint16(cfg[0:2], FlowBufSubtypeConfig)
+	cfg[4] = uint8(GranularityFlow)
+	binary.BigEndian.PutUint32(cfg[8:12], 50)
+	binary.BigEndian.PutUint32(cfg[12:16], 64)
+	p, err := ParseVendor(&Vendor{Vendor: VendorID, Data: cfg})
+	if err != nil {
+		t.Fatalf("ParseVendor(legacy config): %v", err)
+	}
+	want := FlowBufferConfig{Granularity: GranularityFlow, RerequestTimeoutMs: 50, MaxPacketsPerFlow: 64}
+	if p.Config == nil || *p.Config != want {
+		t.Errorf("legacy config = %+v, want %+v", p.Config, want)
+	}
+
+	st := make([]byte, 4+36)
+	binary.BigEndian.PutUint16(st[0:2], FlowBufSubtypeStatsReply)
+	binary.BigEndian.PutUint32(st[4:8], 7)
+	binary.BigEndian.PutUint64(st[24:32], 3)
+	ps, err := ParseVendor(&Vendor{Vendor: VendorID, Data: st})
+	if err != nil {
+		t.Fatalf("ParseVendor(legacy stats): %v", err)
+	}
+	if ps.Stats == nil || ps.Stats.UnitsInUse != 7 || ps.Stats.Rerequests != 3 || ps.Stats.Giveups != 0 {
+		t.Errorf("legacy stats = %+v", ps.Stats)
 	}
 }
 

@@ -90,13 +90,26 @@ func (m *Vendor) decodeBody(b []byte) error {
 // packet_in for a still-buffered flow. MaxPacketsPerFlow bounds one flow's
 // queue so a single heavy flow cannot monopolize the pool (0 means
 // unbounded).
+//
+// MaxRerequests and RerequestBackoffPct harden the re-request loop against a
+// lossy or dead control channel: after MaxRerequests unanswered re-sends the
+// switch gives up on the buffered flow — releasing its pool unit and
+// draining the queued packets through the no-buffer full-packet path — and
+// each successive wait grows by RerequestBackoffPct percent (100 doubles it).
+// Both zero keeps the original retry-forever, fixed-interval behavior, which
+// is also what a legacy 12-byte config body decodes to.
 type FlowBufferConfig struct {
-	Granularity        BufferGranularity
-	RerequestTimeoutMs uint32
-	MaxPacketsPerFlow  uint32
+	Granularity         BufferGranularity
+	RerequestTimeoutMs  uint32
+	MaxPacketsPerFlow   uint32
+	MaxRerequests       uint32
+	RerequestBackoffPct uint32
 }
 
-const flowBufferConfigLen = 4 + 12 // subheader + body
+const (
+	flowBufferConfigLenV1 = 4 + 12 // subheader + original body
+	flowBufferConfigLen   = 4 + 20 // subheader + body with retry policy
+)
 
 // EncodeFlowBufferConfig wraps the config into a Vendor message.
 func EncodeFlowBufferConfig(c FlowBufferConfig) (*Vendor, error) {
@@ -108,11 +121,16 @@ func EncodeFlowBufferConfig(c FlowBufferConfig) (*Vendor, error) {
 	data[4] = uint8(c.Granularity)
 	binary.BigEndian.PutUint32(data[8:12], c.RerequestTimeoutMs)
 	binary.BigEndian.PutUint32(data[12:16], c.MaxPacketsPerFlow)
+	binary.BigEndian.PutUint32(data[16:20], c.MaxRerequests)
+	binary.BigEndian.PutUint32(data[20:24], c.RerequestBackoffPct)
 	return &Vendor{Vendor: VendorID, Data: data}, nil
 }
 
 // FlowBufferStats reports buffer occupancy and mechanism counters
-// (switch-to-controller, answering a stats request).
+// (switch-to-controller, answering a stats request). Giveups counts flows
+// abandoned after exhausting the re-request budget; their queued packets are
+// reported through the mechanism's fallback counter, not lost. A legacy
+// 36-byte stats body decodes with Giveups == 0.
 type FlowBufferStats struct {
 	UnitsInUse      uint32
 	UnitsCapacity   uint32
@@ -120,9 +138,13 @@ type FlowBufferStats struct {
 	PacketIns       uint64
 	Rerequests      uint64
 	DroppedNoBuffer uint64
+	Giveups         uint64
 }
 
-const flowBufferStatsLen = 4 + 36
+const (
+	flowBufferStatsLenV1 = 4 + 36
+	flowBufferStatsLen   = 4 + 44
+)
 
 // EncodeFlowBufferStatsRequest builds the stats request Vendor message.
 func EncodeFlowBufferStatsRequest() *Vendor {
@@ -141,6 +163,7 @@ func EncodeFlowBufferStats(s FlowBufferStats) *Vendor {
 	binary.BigEndian.PutUint64(data[16:24], s.PacketIns)
 	binary.BigEndian.PutUint64(data[24:32], s.Rerequests)
 	binary.BigEndian.PutUint64(data[32:40], s.DroppedNoBuffer)
+	binary.BigEndian.PutUint64(data[40:48], s.Giveups)
 	return &Vendor{Vendor: VendorID, Data: data}
 }
 
@@ -166,13 +189,20 @@ func ParseVendor(v *Vendor) (*VendorPayload, error) {
 	subtype := binary.BigEndian.Uint16(v.Data[0:2])
 	switch subtype {
 	case FlowBufSubtypeConfig:
-		if len(v.Data) < flowBufferConfigLen {
+		// Accept the legacy 12-byte body (pre-retry-policy peers) alongside
+		// the extended 20-byte body; missing fields decode as zero, which
+		// means retry-forever — the legacy semantics.
+		if len(v.Data) < flowBufferConfigLenV1 {
 			return nil, fmt.Errorf("%w: flow buffer config payload %d bytes", ErrTruncated, len(v.Data))
 		}
 		c := &FlowBufferConfig{
 			Granularity:        BufferGranularity(v.Data[4]),
 			RerequestTimeoutMs: binary.BigEndian.Uint32(v.Data[8:12]),
 			MaxPacketsPerFlow:  binary.BigEndian.Uint32(v.Data[12:16]),
+		}
+		if len(v.Data) >= flowBufferConfigLen {
+			c.MaxRerequests = binary.BigEndian.Uint32(v.Data[16:20])
+			c.RerequestBackoffPct = binary.BigEndian.Uint32(v.Data[20:24])
 		}
 		if !c.Granularity.Valid() {
 			return nil, fmt.Errorf("openflow: invalid buffer granularity %d", v.Data[4])
@@ -181,7 +211,7 @@ func ParseVendor(v *Vendor) (*VendorPayload, error) {
 	case FlowBufSubtypeStatsRequest:
 		return &VendorPayload{StatsRequest: true}, nil
 	case FlowBufSubtypeStatsReply:
-		if len(v.Data) < flowBufferStatsLen {
+		if len(v.Data) < flowBufferStatsLenV1 {
 			return nil, fmt.Errorf("%w: flow buffer stats payload %d bytes", ErrTruncated, len(v.Data))
 		}
 		s := &FlowBufferStats{
@@ -191,6 +221,9 @@ func ParseVendor(v *Vendor) (*VendorPayload, error) {
 			PacketIns:       binary.BigEndian.Uint64(v.Data[16:24]),
 			Rerequests:      binary.BigEndian.Uint64(v.Data[24:32]),
 			DroppedNoBuffer: binary.BigEndian.Uint64(v.Data[32:40]),
+		}
+		if len(v.Data) >= flowBufferStatsLen {
+			s.Giveups = binary.BigEndian.Uint64(v.Data[40:48])
 		}
 		return &VendorPayload{Stats: s}, nil
 	default:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -12,6 +13,50 @@ import (
 	"sdnbuffer/internal/core"
 	"sdnbuffer/internal/openflow"
 )
+
+// ErrEchoTimeout reports that the controller stopped answering keepalive
+// probes. It is delivered through OnDisconnect (inspect with errors.Is) so
+// callers can tell a silent controller from a torn connection.
+var ErrEchoTimeout = errors.New("switchd: echo keepalive timed out")
+
+// ReconnectConfig enables automatic redial after the control channel dies.
+// Waits grow exponentially from InitialBackoff by Multiplier up to
+// MaxBackoff, with a uniform random fraction Jitter of the current backoff
+// added on top so a fleet of switches does not redial in lockstep.
+type ReconnectConfig struct {
+	// Enable turns automatic reconnection on.
+	Enable bool
+	// InitialBackoff is the first wait (default 100ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the wait (default 5s).
+	MaxBackoff time.Duration
+	// Multiplier grows the wait per failed attempt (default 2).
+	Multiplier float64
+	// Jitter adds up to this fraction of the current backoff to each wait
+	// (e.g. 0.2 adds 0–20%). 0 disables jitter.
+	Jitter float64
+	// MaxAttempts gives up after this many failed dials (0 = keep trying).
+	MaxAttempts int
+	// Seed fixes the jitter RNG for reproducible tests (0 seeds from the
+	// clock).
+	Seed int64
+}
+
+func (rc ReconnectConfig) withDefaults() ReconnectConfig {
+	if rc.InitialBackoff <= 0 {
+		rc.InitialBackoff = 100 * time.Millisecond
+	}
+	if rc.MaxBackoff <= 0 {
+		rc.MaxBackoff = 5 * time.Second
+	}
+	if rc.Multiplier < 1 {
+		rc.Multiplier = 2
+	}
+	if rc.Jitter < 0 {
+		rc.Jitter = 0
+	}
+	return rc
+}
 
 // AgentConfig configures the live-mode switch.
 type AgentConfig struct {
@@ -21,12 +66,21 @@ type AgentConfig struct {
 	// EchoInterval enables a keepalive loop: the agent probes the
 	// controller with ECHO_REQUEST at this interval and reports a dead
 	// control channel through OnDisconnect when a probe goes unanswered
-	// for two intervals. 0 disables keepalive.
+	// for two intervals (the error matches ErrEchoTimeout). 0 disables
+	// keepalive.
 	EchoInterval time.Duration
 	// OnDisconnect is called (once per connection) when the control
 	// channel dies — read failure or missed keepalive. It runs on an agent
-	// goroutine and must not block; typical use is scheduling a reconnect.
+	// goroutine and must not block. With Reconnect.Enable the agent
+	// additionally redials on its own; without it, typical use is
+	// scheduling a reconnect by hand.
 	OnDisconnect func(err error)
+	// Reconnect configures automatic redial with exponential backoff.
+	Reconnect ReconnectConfig
+	// OnReconnect is called after a successful automatic reconnect with
+	// the number of dial attempts it took. Runs on an agent goroutine and
+	// must not block.
+	OnReconnect func(attempts int)
 }
 
 // Agent is the live-mode switch: a Datapath driven by a real OpenFlow TCP
@@ -37,16 +91,22 @@ type Agent struct {
 	logger       *log.Logger
 	echoInterval time.Duration
 	onDisconnect func(err error)
+	onReconnect  func(attempts int)
+	reconnect    ReconnectConfig
+	rng          *rand.Rand    // jitter source; used only by reconnectLoop
+	stop         chan struct{} // closed by Close to abort backoff sleeps
 
 	mu       sync.Mutex
 	dp       *Datapath
 	conn     net.Conn
+	addr     string // last Connect target, for automatic redial
 	writeMu  sync.Mutex
 	writer   *openflow.Writer // per-connection encode buffer, guarded by writeMu
 	start    time.Time
 	nextXid  uint32
 	tickT    *time.Timer
 	echoT    *time.Timer
+	echoGen  uint64 // invalidates in-flight echo timer fires on Close/reconnect
 	lastEcho time.Time
 	disc     bool // OnDisconnect already fired for this connection
 
@@ -62,11 +122,20 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
+	rc := cfg.Reconnect.withDefaults()
+	seed := rc.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	return &Agent{
 		dp:           dp,
 		logger:       cfg.Logger,
 		echoInterval: cfg.EchoInterval,
 		onDisconnect: cfg.OnDisconnect,
+		onReconnect:  cfg.OnReconnect,
+		reconnect:    rc,
+		rng:          rand.New(rand.NewSource(seed)),
+		stop:         make(chan struct{}),
 		start:        time.Now(),
 	}, nil
 }
@@ -105,6 +174,14 @@ func (a *Agent) Stats() (rxFrames, rxBytes, txFrames, txBytes, misses uint64) {
 	return a.dp.Stats()
 }
 
+// ControlDown reports whether the datapath is currently in its fail mode,
+// safely.
+func (a *Agent) ControlDown() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.dp.ControlDown()
+}
+
 func (a *Agent) logf(format string, args ...any) {
 	if a.logger != nil {
 		a.logger.Printf(format, args...)
@@ -128,7 +205,11 @@ func (a *Agent) Connect(addr string) error {
 		return fmt.Errorf("switchd: agent closed")
 	}
 	a.conn = conn
+	a.addr = addr
 	a.writer = openflow.NewWriter(conn)
+	a.disc = false
+	a.lastEcho = time.Now()
+	a.echoGen++ // invalidate probes armed for the previous connection
 	a.mu.Unlock()
 
 	if err := a.send(&openflow.Hello{}, a.xid()); err != nil {
@@ -141,15 +222,16 @@ func (a *Agent) Connect(addr string) error {
 	}()
 	if a.echoInterval > 0 {
 		a.mu.Lock()
-		a.lastEcho = time.Now()
-		a.disc = false
 		a.armEchoLocked()
 		a.mu.Unlock()
 	}
 	return nil
 }
 
-// armEchoLocked schedules the next keepalive probe. Callers hold a.mu.
+// armEchoLocked schedules the next keepalive probe. Callers hold a.mu. The
+// probe captures the current echo generation: Close and reconnect bump it,
+// so a timer fire already in flight when the agent closes or redials finds
+// itself stale and does nothing — the timer cannot act after Close.
 func (a *Agent) armEchoLocked() {
 	if a.closed || a.echoInterval <= 0 {
 		return
@@ -157,19 +239,20 @@ func (a *Agent) armEchoLocked() {
 	if a.echoT != nil {
 		a.echoT.Stop()
 	}
-	a.echoT = time.AfterFunc(a.echoInterval, a.echoProbe)
+	gen := a.echoGen
+	a.echoT = time.AfterFunc(a.echoInterval, func() { a.echoProbe(gen) })
 }
 
-func (a *Agent) echoProbe() {
+func (a *Agent) echoProbe(gen uint64) {
 	a.mu.Lock()
+	stale := a.closed || gen != a.echoGen
 	dead := time.Since(a.lastEcho) > 2*a.echoInterval
-	closed := a.closed
 	a.mu.Unlock()
-	if closed {
+	if stale {
 		return
 	}
 	if dead {
-		a.reportDisconnect(fmt.Errorf("switchd: controller unresponsive for %v", 2*a.echoInterval))
+		a.reportDisconnect(fmt.Errorf("%w: controller unresponsive for %v", ErrEchoTimeout, 2*a.echoInterval))
 		return
 	}
 	if err := a.send(&openflow.EchoRequest{Data: []byte("keepalive")}, a.xid()); err != nil {
@@ -181,16 +264,83 @@ func (a *Agent) echoProbe() {
 	a.mu.Unlock()
 }
 
-// reportDisconnect fires OnDisconnect once per connection.
+// reportDisconnect fires OnDisconnect once per connection, flips the
+// datapath into its fail mode, closes the dead connection (unblocking the
+// read loop after an echo timeout), and — when automatic reconnection is
+// enabled — starts the backoff redial loop.
 func (a *Agent) reportDisconnect(err error) {
 	a.mu.Lock()
 	fire := !a.disc && !a.closed
 	a.disc = true
 	cb := a.onDisconnect
+	var conn net.Conn
+	spawn := false
+	if fire {
+		a.dp.SetControlDown(true)
+		conn = a.conn
+		a.conn = nil
+		a.writer = nil
+		if a.reconnect.Enable {
+			// wg.Add happens strictly before Close sets a.closed (both under
+			// a.mu), and Close only calls wg.Wait after that — so this Add
+			// never races a Wait at counter zero.
+			a.wg.Add(1)
+			spawn = true
+		}
+	}
 	a.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
 	a.logf("switch: control channel down: %v", err)
 	if fire && cb != nil {
 		cb(err)
+	}
+	if spawn {
+		go a.reconnectLoop()
+	}
+}
+
+// reconnectLoop redials the controller with exponential backoff + jitter
+// until it succeeds, exhausts MaxAttempts, or the agent closes.
+func (a *Agent) reconnectLoop() {
+	defer a.wg.Done()
+	rc := a.reconnect
+	backoff := rc.InitialBackoff
+	for attempt := 1; ; attempt++ {
+		if rc.MaxAttempts > 0 && attempt > rc.MaxAttempts {
+			a.logf("switch: reconnect: giving up after %d attempts", rc.MaxAttempts)
+			return
+		}
+		wait := backoff
+		if rc.Jitter > 0 {
+			wait += time.Duration(a.rng.Float64() * rc.Jitter * float64(backoff))
+		}
+		select {
+		case <-a.stop:
+			return
+		case <-time.After(wait):
+		}
+		a.mu.Lock()
+		addr := a.addr
+		a.mu.Unlock()
+		if err := a.Connect(addr); err != nil {
+			a.logf("switch: reconnect attempt %d: %v", attempt, err)
+			backoff = time.Duration(float64(backoff) * rc.Multiplier)
+			if backoff > rc.MaxBackoff {
+				backoff = rc.MaxBackoff
+			}
+			continue
+		}
+		a.mu.Lock()
+		a.dp.SetControlDown(false)
+		cb := a.onReconnect
+		a.mu.Unlock()
+		a.logf("switch: reconnected after %d attempt(s)", attempt)
+		if cb != nil {
+			cb(attempt)
+		}
+		return
 	}
 }
 
@@ -366,6 +516,10 @@ func (a *Agent) reconfigureBuffer(cfg openflow.FlowBufferConfig) error {
 // misses go to the buffer mechanism and the controller.
 func (a *Agent) InjectFrame(inPort uint16, frame []byte) error {
 	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("switchd: agent closed")
+	}
 	res, err := a.dp.HandleFrame(a.now(), inPort, frame)
 	tx := a.transmit
 	// The FrameResult is datapath-owned scratch, valid only under the lock
@@ -389,7 +543,11 @@ func (a *Agent) InjectFrame(inPort uint16, frame []byte) error {
 	}
 	if pi != nil {
 		if err := a.send(pi, a.xid()); err != nil {
-			return err
+			// A dead control channel loses packet_ins but must not fail the
+			// data plane: the fail mode decided what happened to the frame,
+			// and for buffered misses the re-request timer retries after
+			// reconnect.
+			a.logf("switch: packet_in lost (control channel down): %v", err)
 		}
 	}
 	a.rearmTick()
@@ -428,6 +586,10 @@ func (a *Agent) rearmTickLocked() {
 
 func (a *Agent) tick() {
 	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
 	now := a.now()
 	resend := a.dp.Mechanism().Tick(now)
 	var removed []*openflow.FlowRemoved
@@ -450,10 +612,13 @@ func (a *Agent) tick() {
 	}
 }
 
-// Close tears the control connection down and stops timers.
+// Close tears the control connection down, stops timers, aborts any
+// reconnect backoff in progress, and waits for agent goroutines to exit.
 func (a *Agent) Close() error {
 	a.mu.Lock()
+	wasClosed := a.closed
 	a.closed = true
+	a.echoGen++ // a probe already fired but not yet run becomes stale
 	conn := a.conn
 	a.conn = nil
 	a.writer = nil
@@ -466,6 +631,9 @@ func (a *Agent) Close() error {
 		a.echoT = nil
 	}
 	a.mu.Unlock()
+	if !wasClosed {
+		close(a.stop)
+	}
 	var err error
 	if conn != nil {
 		err = conn.Close()

@@ -17,6 +17,38 @@ import (
 	"sdnbuffer/internal/packet"
 )
 
+// FailMode selects how the datapath behaves while the control channel is
+// down (SetControlDown). The zero value is fail-secure, matching OVS's
+// default and the safer posture: installed rules keep forwarding and misses
+// keep queueing into the bounded buffer pool — the re-request timer then
+// recovers them organically once the channel is restored. Fail-standalone
+// instead degrades misses to transparent L2 learning-switch forwarding so
+// traffic keeps moving without the controller; the learned MAC table lives
+// only for the duration of the outage and is cleared on restore, handing
+// authority back to the controller.
+type FailMode uint8
+
+const (
+	// FailSecure keeps the flow table authoritative and buffers misses while
+	// the control channel is down.
+	FailSecure FailMode = iota
+	// FailStandalone forwards misses via MAC learning while the control
+	// channel is down.
+	FailStandalone
+)
+
+// String names the fail mode.
+func (m FailMode) String() string {
+	switch m {
+	case FailSecure:
+		return "fail-secure"
+	case FailStandalone:
+		return "fail-standalone"
+	default:
+		return fmt.Sprintf("fail-mode(%d)", uint8(m))
+	}
+}
+
 // Config describes a datapath.
 type Config struct {
 	// DatapathID is the switch's OpenFlow identity.
@@ -37,6 +69,8 @@ type Config struct {
 	MissSendLen int
 	// BufferExpiry bounds buffered-packet lifetime (0 = none).
 	BufferExpiry time.Duration
+	// FailMode selects control-channel-loss behavior (default FailSecure).
+	FailMode FailMode
 }
 
 func (c *Config) withDefaults() Config {
@@ -103,6 +137,14 @@ type Datapath struct {
 	portTxFrames []uint64
 	portTxBytes  []uint64
 
+	// Control-channel fail-mode state. macTable is allocated lazily on the
+	// first standalone-forwarded frame and discarded when the channel is
+	// restored, so the healthy hot path never touches a map.
+	controlDown        bool
+	macTable           map[packet.MAC]uint16
+	standaloneForwards uint64
+	downMisses         uint64
+
 	// Per-datapath scratch reused by HandleFrame so the steady-state packet
 	// path (parse → lookup hit → forward) allocates nothing. The returned
 	// FrameResult therefore aliases these fields — see HandleFrame's doc for
@@ -146,6 +188,30 @@ func (d *Datapath) Table() *flowtable.Table { return d.table }
 
 // Mechanism exposes the buffer mechanism.
 func (d *Datapath) Mechanism() core.Mechanism { return d.mech }
+
+// SetControlDown flips the datapath in or out of its configured fail mode.
+// Restoring the channel clears any outage-learned MAC table: the controller
+// is authoritative again and stale learning must not shadow its rules.
+func (d *Datapath) SetControlDown(down bool) {
+	if d.controlDown == down {
+		return
+	}
+	d.controlDown = down
+	if !down {
+		d.macTable = nil
+	}
+}
+
+// ControlDown reports whether the datapath currently treats the control
+// channel as dead.
+func (d *Datapath) ControlDown() bool { return d.controlDown }
+
+// FailStats reports fail-mode counters: frames forwarded by the standalone
+// learning switch, and table misses taken while the control channel was
+// down (either mode).
+func (d *Datapath) FailStats() (standaloneForwards, downMisses uint64) {
+	return d.standaloneForwards, d.downMisses
+}
 
 // Features builds the switch's FEATURES_REPLY.
 func (d *Datapath) Features() *openflow.FeaturesReply {
@@ -204,8 +270,44 @@ func (d *Datapath) HandleFrame(now time.Duration, inPort uint16, frame []byte) (
 		return &d.resScratch, nil
 	}
 	d.misses++
+	if d.controlDown {
+		d.downMisses++
+		if d.cfg.FailMode == FailStandalone {
+			return d.standaloneForward(inPort, parsed, frame)
+		}
+		// Fail-secure: fall through to the mechanism — misses keep queueing
+		// into the bounded pool; the packet_in is lost on the dead channel
+		// and the re-request timer recovers the flow after restore.
+	}
 	d.missScratch = d.mech.HandleMiss(now, inPort, frame, parsed.Key())
 	d.resScratch = FrameResult{Miss: &d.missScratch}
+	return &d.resScratch, nil
+}
+
+// standaloneForward is the fail-standalone degraded path: transparent L2
+// learning-switch forwarding for table misses while the controller is
+// unreachable. Learned entries exist only for the outage's duration.
+func (d *Datapath) standaloneForward(inPort uint16, parsed *packet.Frame, frame []byte) (*FrameResult, error) {
+	if d.macTable == nil {
+		d.macTable = make(map[packet.MAC]uint16)
+	}
+	d.macTable[parsed.SrcMAC] = inPort
+	outs := d.outScratch[:0]
+	var err error
+	if port, known := d.macTable[parsed.DstMAC]; known && !parsed.DstMAC.IsBroadcast() {
+		if port != inPort {
+			outs, err = d.emitAction(outs, inPort, frame, port, 0)
+		}
+	} else {
+		outs, err = d.emitAction(outs, inPort, frame, openflow.PortFlood, 0)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.outScratch = outs
+	d.countTx(outs)
+	d.standaloneForwards++
+	d.resScratch = FrameResult{Outputs: outs}
 	return &d.resScratch, nil
 }
 

@@ -1,0 +1,147 @@
+package switchd
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+func macFrame(t *testing.T, src, dst packet.MAC, srcIP string) []byte {
+	t.Helper()
+	f := &packet.Frame{
+		SrcMAC:    src,
+		DstMAC:    dst,
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     netip.MustParseAddr(srcIP),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		SrcPort:   1000,
+		DstPort:   9,
+		Payload:   make([]byte, 100),
+	}
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	return wire
+}
+
+func TestFailSecureKeepsBufferingWhileDown(t *testing.T) {
+	dp, err := NewDatapath(Config{
+		NumPorts:       3,
+		Buffer:         openflow.FlowBufferConfig{Granularity: openflow.GranularityFlow, RerequestTimeoutMs: 50},
+		BufferCapacity: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.SetControlDown(true)
+	if !dp.ControlDown() {
+		t.Fatal("ControlDown not set")
+	}
+	frame := macFrame(t, packet.MAC{2, 0, 0, 0, 0, 1}, packet.MAC{2, 0, 0, 0, 0, 2}, "10.1.0.1")
+	res, err := dp.HandleFrame(0, 1, frame)
+	if err != nil {
+		t.Fatalf("HandleFrame: %v", err)
+	}
+	// Fail-secure: the miss still goes through the buffer mechanism.
+	if res.Miss == nil || !res.Miss.Buffered || res.Miss.PacketIn == nil {
+		t.Fatalf("fail-secure miss = %+v, want buffered packet_in", res)
+	}
+	if fwd, down := dp.FailStats(); fwd != 0 || down != 1 {
+		t.Errorf("FailStats = %d/%d, want 0 standalone, 1 down miss", fwd, down)
+	}
+
+	// Installed rules keep forwarding while down.
+	parsed, err := packet.ParseHeaders(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dp.HandleFlowMod(time.Millisecond, &openflow.FlowMod{
+		Match: openflow.ExactMatch(1, parsed), Command: openflow.FlowModAdd,
+		Priority: 100, BufferID: openflow.NoBuffer,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = dp.HandleFrame(2*time.Millisecond, 1, frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matched == nil || len(res.Outputs) != 1 || res.Outputs[0].Port != 2 {
+		t.Errorf("rule did not forward while down: %+v", res)
+	}
+}
+
+func TestFailStandaloneLearningSwitch(t *testing.T) {
+	dp, err := NewDatapath(Config{
+		NumPorts:       3,
+		Buffer:         openflow.FlowBufferConfig{Granularity: openflow.GranularityFlow, RerequestTimeoutMs: 50},
+		BufferCapacity: 16,
+		FailMode:       FailStandalone,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.SetControlDown(true)
+	macA := packet.MAC{2, 0, 0, 0, 0, 0xA}
+	macB := packet.MAC{2, 0, 0, 0, 0, 0xB}
+
+	// Unknown destination floods all ports except ingress.
+	res, err := dp.HandleFrame(0, 1, macFrame(t, macA, macB, "10.1.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss != nil {
+		t.Fatalf("standalone mode buffered a miss: %+v", res.Miss)
+	}
+	if len(res.Outputs) != 2 || res.Outputs[0].Port != 2 || res.Outputs[1].Port != 3 {
+		t.Fatalf("unknown dst outputs = %+v, want flood to 2,3", res.Outputs)
+	}
+
+	// Reply from B on port 2: A was learned on port 1, so unicast.
+	res, err = dp.HandleFrame(time.Millisecond, 2, macFrame(t, macB, macA, "10.2.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 1 || res.Outputs[0].Port != 1 {
+		t.Fatalf("learned dst outputs = %+v, want unicast to 1", res.Outputs)
+	}
+
+	// Broadcast floods even though the broadcast MAC might be "learned".
+	bcast := packet.MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	res, err = dp.HandleFrame(2*time.Millisecond, 1, macFrame(t, macA, bcast, "10.1.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs) != 2 {
+		t.Fatalf("broadcast outputs = %+v, want flood", res.Outputs)
+	}
+
+	if fwd, down := dp.FailStats(); fwd != 3 || down != 3 {
+		t.Errorf("FailStats = %d/%d, want 3/3", fwd, down)
+	}
+
+	// Restore: learned MACs are wiped, and misses buffer again.
+	dp.SetControlDown(false)
+	if dp.macTable != nil {
+		t.Error("MAC table survived control-channel restore")
+	}
+	res, err = dp.HandleFrame(3*time.Millisecond, 2, macFrame(t, macB, macA, "10.2.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Miss == nil || !res.Miss.Buffered {
+		t.Errorf("restored datapath did not buffer the miss: %+v", res)
+	}
+}
+
+func TestFailModeString(t *testing.T) {
+	if FailSecure.String() != "fail-secure" || FailStandalone.String() != "fail-standalone" {
+		t.Errorf("strings = %q/%q", FailSecure, FailStandalone)
+	}
+}

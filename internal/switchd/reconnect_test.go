@@ -1,0 +1,197 @@
+package switchd_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/switchd"
+)
+
+// TestAgentEchoTimeoutErrorIsDistinct pins the satellite contract: a missed
+// keepalive surfaces ErrEchoTimeout through OnDisconnect, inspectable with
+// errors.Is, not a generic read error.
+func TestAgentEchoTimeoutErrorIsDistinct(t *testing.T) {
+	rc := startRawController(t)
+	discErr := make(chan error, 4)
+	agent, err := switchd.NewAgent(switchd.AgentConfig{
+		Datapath:     switchd.Config{DatapathID: 1, NumPorts: 2},
+		EchoInterval: 20 * time.Millisecond,
+		OnDisconnect: func(err error) { discErr <- err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	done := make(chan error, 1)
+	go func() { done <- agent.Connect(rc.ln.Addr().String()) }()
+	rc.accept()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	rc.readType(openflow.TypeHello)
+	// Answer nothing: the keepalive must time out.
+	select {
+	case err := <-discErr:
+		if !errors.Is(err, switchd.ErrEchoTimeout) {
+			t.Errorf("disconnect error = %v, want errors.Is(_, ErrEchoTimeout)", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDisconnect never fired")
+	}
+	// The disconnect also flips the datapath into its fail mode.
+	if !agent.ControlDown() {
+		t.Error("datapath not in fail mode after echo timeout")
+	}
+}
+
+// TestAgentEchoTimerSilentAfterClose guards the close race: an echo timer
+// fire in flight when Close runs must not report a disconnect afterwards.
+func TestAgentEchoTimerSilentAfterClose(t *testing.T) {
+	rc := startRawController(t)
+	discErr := make(chan error, 16)
+	agent, err := switchd.NewAgent(switchd.AgentConfig{
+		Datapath:     switchd.Config{DatapathID: 1, NumPorts: 2},
+		EchoInterval: time.Millisecond, // fire constantly to provoke the race
+		OnDisconnect: func(err error) { discErr <- err },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- agent.Connect(rc.ln.Addr().String()) }()
+	rc.accept()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * time.Millisecond) // let probes start
+	if err := agent.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Drain anything reported before Close completed, then confirm silence.
+	for {
+		select {
+		case <-discErr:
+			continue
+		default:
+		}
+		break
+	}
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case err := <-discErr:
+		t.Errorf("OnDisconnect fired after Close: %v", err)
+	default:
+	}
+}
+
+// TestAgentAutoReconnect exercises the full recovery loop: hangup →
+// fail-mode entry → backoff redial → fresh handshake → OnReconnect →
+// fail-mode exit.
+func TestAgentAutoReconnect(t *testing.T) {
+	rc := startRawController(t)
+	discErr := make(chan error, 4)
+	reconnected := make(chan int, 4)
+	agent, err := switchd.NewAgent(switchd.AgentConfig{
+		Datapath:     switchd.Config{DatapathID: 1, NumPorts: 2},
+		OnDisconnect: func(err error) { discErr <- err },
+		OnReconnect:  func(attempts int) { reconnected <- attempts },
+		Reconnect: switchd.ReconnectConfig{
+			Enable:         true,
+			InitialBackoff: 10 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+			Jitter:         0.2,
+			Seed:           42,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	done := make(chan error, 1)
+	go func() { done <- agent.Connect(rc.ln.Addr().String()) }()
+	rc.accept()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	rc.readType(openflow.TypeHello)
+
+	_ = rc.conn.Close() // controller hangs up
+	select {
+	case <-discErr:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDisconnect never fired")
+	}
+	if !agent.ControlDown() {
+		t.Error("datapath not in fail mode after hangup")
+	}
+
+	// The listener is still up: the redial must land here with a fresh
+	// handshake.
+	rc.accept()
+	rc.readType(openflow.TypeHello)
+	select {
+	case attempts := <-reconnected:
+		if attempts < 1 {
+			t.Errorf("attempts = %d", attempts)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnReconnect never fired")
+	}
+	if agent.ControlDown() {
+		t.Error("datapath still in fail mode after reconnect")
+	}
+}
+
+// TestAgentReconnectGivesUpAfterMaxAttempts bounds the redial loop: with the
+// listener gone, the agent must stop after MaxAttempts and Close must not
+// hang on the abandoned loop.
+func TestAgentReconnectGivesUpAfterMaxAttempts(t *testing.T) {
+	rc := startRawController(t)
+	discErr := make(chan error, 4)
+	reconnected := make(chan int, 4)
+	agent, err := switchd.NewAgent(switchd.AgentConfig{
+		Datapath:     switchd.Config{DatapathID: 1, NumPorts: 2},
+		OnDisconnect: func(err error) { discErr <- err },
+		OnReconnect:  func(attempts int) { reconnected <- attempts },
+		Reconnect: switchd.ReconnectConfig{
+			Enable:         true,
+			InitialBackoff: 2 * time.Millisecond,
+			MaxBackoff:     5 * time.Millisecond,
+			MaxAttempts:    3,
+			Seed:           7,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- agent.Connect(rc.ln.Addr().String()) }()
+	rc.accept()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	rc.readType(openflow.TypeHello)
+
+	_ = rc.conn.Close()
+	_ = rc.ln.Close() // nothing to reconnect to
+	select {
+	case <-discErr:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDisconnect never fired")
+	}
+	time.Sleep(100 * time.Millisecond) // 3 attempts at ≤5ms backoff fit easily
+	select {
+	case <-reconnected:
+		t.Error("OnReconnect fired with no listener")
+	default:
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- agent.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on the reconnect loop")
+	}
+}

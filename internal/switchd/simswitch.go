@@ -154,6 +154,10 @@ func (s *SimSwitch) Datapath() *Datapath { return s.dp }
 // encoded control message to put on the control link.
 func (s *SimSwitch) SetControlSender(fn func(msg []byte)) { s.sendCtrl = fn }
 
+// SetControlDown flips the switch's datapath in or out of its configured
+// fail mode; the testbed calls this at outage-window boundaries.
+func (s *SimSwitch) SetControlDown(down bool) { s.dp.SetControlDown(down) }
+
 // SetTransmit wires the data plane egress: fn is called for every frame the
 // switch puts on a port.
 func (s *SimSwitch) SetTransmit(fn func(port uint16, frame []byte)) { s.transmit = fn }
@@ -312,13 +316,16 @@ func (s *SimSwitch) finishControl(res *ControlResult, xid uint32) {
 	if len(res.Outputs) == 0 {
 		return
 	}
-	cost := time.Duration(len(res.Outputs)) * s.cfg.BufferOpCost
-	outs := res.Outputs
-	s.cpu.Submit(cost, func() {
-		for _, o := range outs {
-			s.emit(o)
-		}
-	})
+	// Emit released packets now, in the same event that made the rule
+	// install visible, and only charge the release cost to the CPU. If the
+	// emission were deferred to the cost job's completion, a same-flow frame
+	// arriving in the install-to-drain window would match the new rule on
+	// another core and overtake its buffered predecessors — breaking the
+	// per-flow ordering the buffer mechanism exists to preserve.
+	s.cpu.Submit(time.Duration(len(res.Outputs))*s.cfg.BufferOpCost, nil)
+	for _, o := range res.Outputs {
+		s.emit(o)
+	}
 }
 
 func (s *SimSwitch) handleVendor(v *openflow.Vendor, xid uint32) {

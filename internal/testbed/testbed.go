@@ -16,7 +16,9 @@ import (
 	"time"
 
 	"sdnbuffer/internal/capture"
+	"sdnbuffer/internal/chaos"
 	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/core"
 	"sdnbuffer/internal/metrics"
 	"sdnbuffer/internal/netem"
 	"sdnbuffer/internal/openflow"
@@ -53,6 +55,13 @@ type Config struct {
 	// probability (both directions). The paper's re-request timer
 	// (Algorithm 1 line 12) exists exactly for this failure mode.
 	ControlLossRate float64
+	// Chaos layers a fault plan over the control path: link impairments on
+	// both control directions, controller-side stall/drop/crash windows, and
+	// switch-visible outage windows that flip the datapath into its fail
+	// mode. Nil means no injected faults. A plan with zero loss leaves
+	// ControlLossRate in force (the impairment merge rule), so outage or
+	// reorder scenarios compose with the legacy loss knob.
+	Chaos *chaos.Plan
 	// UseAuthorityProxy interposes a DevoFlow/DIFANE-style authority device
 	// on the control path (the related-work approach of §II): it answers
 	// misses for already-seen destinations from cloned rules and escalates
@@ -148,6 +157,26 @@ type Result struct {
 	FramesSent      int
 	FramesDelivered int64
 	FlowsObserved   int
+
+	// Resilience bookkeeping (all zero on a healthy run).
+	//
+	// Giveups counts flows whose re-request budget ran out (the hardened
+	// mechanism released their buffer and fell back to full-packet
+	// packet_ins). BufferUnitsLeaked is the pool occupancy at quiescence —
+	// the acceptance criterion demands zero. DupEmissions counts workload
+	// frames the switch emitted more than once; OrderViolations counts
+	// emissions whose per-flow sequence number went backwards.
+	Giveups           uint64
+	BufferUnitsLeaked int
+	DupEmissions      int64
+	OrderViolations   int64
+	// StandaloneForwards / ControlDownMisses mirror the datapath fail-mode
+	// counters; CtrlStalled/Dropped/Crashed mirror the chaos injector.
+	StandaloneForwards uint64
+	ControlDownMisses  uint64
+	CtrlStalled        int64
+	CtrlDropped        int64
+	CtrlCrashed        int64
 }
 
 // frameIdent identifies a workload frame by flow key and IP id (pktgen sets
@@ -164,6 +193,7 @@ type flowTrack struct {
 	haveLeave  bool
 	leaveLast  time.Duration
 	leaves     int
+	lastSeq    int // highest per-flow sequence (IP id) emitted; -1 before any
 }
 
 // Testbed is one assembled platform instance.
@@ -183,9 +213,14 @@ type Testbed struct {
 	proxy         *AuthorityProxy
 	upstreamChans *capture.ControlChannel // proxy<->controller leg, when proxied
 
+	inj *chaos.Injector // nil without controller faults
+
 	index     map[frameIdent]int // frame -> flow id
 	flows     map[int]*flowTrack
+	emitted   map[frameIdent]int // transmit-tap emission counts
 	delivered int64
+	dups      int64
+	misorders int64
 }
 
 // New assembles a testbed.
@@ -226,13 +261,14 @@ func New(cfg Config) (*Testbed, error) {
 		return l, nil
 	}
 	tb := &Testbed{
-		cfg:    cfg,
-		kernel: k,
-		sw:     sw,
-		ctl:    ctl,
-		fwd:    fwd,
-		index:  make(map[frameIdent]int),
-		flows:  make(map[int]*flowTrack),
+		cfg:     cfg,
+		kernel:  k,
+		sw:      sw,
+		ctl:     ctl,
+		fwd:     fwd,
+		index:   make(map[frameIdent]int),
+		flows:   make(map[int]*flowTrack),
+		emitted: make(map[frameIdent]int),
 	}
 	if tb.h1ToSw, err = mkLink("h1->sw", cfg.HostLinkMbps, cfg.HostLinkPropagation); err != nil {
 		return nil, err
@@ -262,7 +298,47 @@ func New(cfg Config) (*Testbed, error) {
 			return nil, fmt.Errorf("testbed: %w", err)
 		}
 	}
+	if cfg.Chaos != nil {
+		if err := cfg.Chaos.Validate(); err != nil {
+			return nil, fmt.Errorf("testbed: %w", err)
+		}
+		up, down := cfg.Chaos.ControlUp, cfg.Chaos.ControlDown
+		if len(cfg.Chaos.SwitchOutages) > 0 {
+			// Blank both control links over switch-outage windows so no
+			// message crosses while the datapath sits in its fail mode.
+			up.Outages = append(append([]netem.Window(nil), up.Outages...), cfg.Chaos.SwitchOutages...)
+			down.Outages = append(append([]netem.Window(nil), down.Outages...), cfg.Chaos.SwitchOutages...)
+		}
+		if up.Enabled() {
+			if err := ctrlUp.SetImpairment(up); err != nil {
+				return nil, fmt.Errorf("testbed: control-up impairment: %w", err)
+			}
+		}
+		if down.Enabled() {
+			if err := ctrlDown.SetImpairment(down); err != nil {
+				return nil, fmt.Errorf("testbed: control-down impairment: %w", err)
+			}
+		}
+		for _, w := range cfg.Chaos.SwitchOutages {
+			w := w
+			k.At(w.Start, func() { sw.SetControlDown(true) })
+			k.At(w.End, func() { sw.SetControlDown(false) })
+		}
+		if cfg.Chaos.Controller.Enabled() {
+			tb.inj = chaos.NewInjector(k, cfg.Chaos.Controller, nil)
+		}
+	}
 	tb.chans = capture.NewControlChannel(ctrlUp, ctrlDown)
+
+	// deliverToController applies the controller-side fault injector (when
+	// configured) at the point a control message would reach the controller.
+	deliverToController := func(msg []byte) func() {
+		deliver := func() { ctl.Deliver(msg) }
+		if tb.inj != nil {
+			return tb.inj.Wrap(deliver)
+		}
+		return deliver
+	}
 
 	if cfg.UseAuthorityProxy {
 		cost := cfg.ProxyCost
@@ -284,7 +360,7 @@ func New(cfg Config) (*Testbed, error) {
 			ctrlUp.Send(msg, func() { proxy.DeliverFromSwitch(msg) })
 		})
 		proxy.SetUpstream(func(msg []byte) {
-			proxyUp.Send(msg, func() { ctl.Deliver(msg) })
+			proxyUp.Send(msg, deliverToController(msg))
 		})
 		ctl.SetSwitchSender(func(msg []byte) {
 			proxyDown.Send(msg, func() { proxy.DeliverFromController(msg) })
@@ -295,7 +371,7 @@ func New(cfg Config) (*Testbed, error) {
 		tb.proxy = proxy
 	} else {
 		sw.SetControlSender(func(msg []byte) {
-			ctrlUp.Send(msg, func() { ctl.Deliver(msg) })
+			ctrlUp.Send(msg, deliverToController(msg))
 		})
 		ctl.SetSwitchSender(func(msg []byte) {
 			ctrlDown.Send(msg, func() { sw.DeliverControl(msg) })
@@ -317,6 +393,10 @@ func (tb *Testbed) Controller() *controller.SimController { return tb.ctl }
 // Capture exposes the switch-side control-channel sniffers.
 func (tb *Testbed) Capture() *capture.ControlChannel { return tb.chans }
 
+// Injector exposes the controller-side fault injector (nil unless the chaos
+// plan configures controller faults).
+func (tb *Testbed) Injector() *chaos.Injector { return tb.inj }
+
 // UpstreamCapture exposes the proxy-to-controller sniffers (nil without
 // UseAuthorityProxy). The gap between Capture and UpstreamCapture is the
 // traffic the authority device absorbed.
@@ -326,12 +406,25 @@ func (tb *Testbed) UpstreamCapture() *capture.ControlChannel { return tb.upstrea
 func (tb *Testbed) Proxy() *AuthorityProxy { return tb.proxy }
 
 // onSwitchTransmit observes every frame leaving the switch and forwards it
-// onto the proper egress link.
+// onto the proper egress link. The tap doubles as the exactly-once-in-order
+// oracle for the resilience runs: pktgen stamps each frame's IP id with its
+// 0-based per-flow sequence number, so a repeated ident is a duplicate
+// emission and a sequence number below the flow's high-water mark is an
+// ordering violation.
 func (tb *Testbed) onSwitchTransmit(port uint16, frame []byte) {
 	now := tb.kernel.Now()
-	if id, ok := tb.identify(frame); ok {
+	if ident, id, ok := tb.identify(frame); ok {
+		tb.emitted[ident]++
+		if tb.emitted[ident] > 1 {
+			tb.dups++
+		}
 		tr := tb.flows[id]
 		if tr != nil && tr.haveEnter {
+			if seq := int(ident.ipid); seq < tr.lastSeq {
+				tb.misorders++
+			} else {
+				tr.lastSeq = seq
+			}
 			if !tr.haveLeave {
 				tr.leaveFirst = now
 				tr.haveLeave = true
@@ -351,13 +444,14 @@ func (tb *Testbed) onSwitchTransmit(port uint16, frame []byte) {
 }
 
 // identify maps a frame to its workload flow id.
-func (tb *Testbed) identify(frame []byte) (int, bool) {
+func (tb *Testbed) identify(frame []byte) (frameIdent, int, bool) {
 	f, err := packet.ParseHeaders(frame)
 	if err != nil {
-		return 0, false
+		return frameIdent{}, 0, false
 	}
-	id, ok := tb.index[frameIdent{key: f.Key(), ipid: f.IPID}]
-	return id, ok
+	ident := frameIdent{key: f.Key(), ipid: f.IPID}
+	id, ok := tb.index[ident]
+	return ident, id, ok
 }
 
 // Run replays a schedule from Host1 and runs the platform to quiescence,
@@ -373,7 +467,7 @@ func (tb *Testbed) Run(sched pktgen.Schedule) (*Result, error) {
 		}
 		tb.index[frameIdent{key: f.Key(), ipid: f.IPID}] = e.FlowID
 		if _, ok := tb.flows[e.FlowID]; !ok {
-			tb.flows[e.FlowID] = &flowTrack{}
+			tb.flows[e.FlowID] = &flowTrack{lastSeq: -1}
 		}
 	}
 	for _, e := range sched {
@@ -381,7 +475,7 @@ func (tb *Testbed) Run(sched pktgen.Schedule) (*Result, error) {
 		tb.kernel.At(e.At, func() {
 			tb.h1ToSw.Send(e.Frame, func() {
 				now := tb.kernel.Now()
-				if id, ok := tb.identify(e.Frame); ok {
+				if _, id, ok := tb.identify(e.Frame); ok {
 					tr := tb.flows[id]
 					if !tr.haveEnter {
 						tr.enterFirst = now
@@ -445,6 +539,18 @@ func (tb *Testbed) collect(sched pktgen.Schedule) *Result {
 	st := mech.Stats(now)
 	res.Rerequests = st.Rerequests
 	res.BufferFallbacks = st.DroppedNoBuffer
+	res.Giveups = st.Giveups
+	if pm, ok := mech.(interface{ Pool() *core.Pool }); ok {
+		res.BufferUnitsLeaked = pm.Pool().Live()
+	}
+	res.DupEmissions = tb.dups
+	res.OrderViolations = tb.misorders
+	res.StandaloneForwards, res.ControlDownMisses = tb.sw.Datapath().FailStats()
+	if tb.inj != nil {
+		res.CtrlStalled = tb.inj.Stalled
+		res.CtrlDropped = tb.inj.Dropped
+		res.CtrlCrashed = tb.inj.Crashed
+	}
 
 	res.PacketIns, _ = tb.chans.ToController.ByType(openflow.TypePacketIn)
 	res.FlowMods, _ = tb.chans.ToSwitch.ByType(openflow.TypeFlowMod)
