@@ -10,6 +10,9 @@
 //	benchrunner -quick                  # reduced sweep for a fast look
 //	benchrunner -scenario resilience    # loss-rate × mechanism resilience sweep
 //	benchrunner -scenario outage        # control-blackout fail-mode scenario
+//	benchrunner -scenario delay-decomp  # per-stage delay decomposition vs M/M/c model
+//	benchrunner -trace out.json         # one traced run → Chrome trace_event JSON
+//	benchrunner -flowcsv flows.csv      # same run's NetFlow-style flow records
 //	benchrunner -csv results.csv        # also write CSV rows
 //	benchrunner -repeats 20             # the paper's repetition count
 //	benchrunner -parallel 1             # serial sweep (same output bytes)
@@ -30,6 +33,7 @@ import (
 
 	"sdnbuffer/internal/experiments"
 	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/telemetry"
 )
 
 func main() {
@@ -42,7 +46,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		expList  = fs.String("experiments", "", "comma-separated figure ids (default: all)")
 		scenario = fs.String("scenario", "",
-			"run a resilience scenario instead of the figure sweep: resilience | outage")
+			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp")
+		tracePath = fs.String("trace", "",
+			"run one telemetry-instrumented workload and write its spans as Chrome trace_event JSON to this file")
+		flowCSVPath = fs.String("flowcsv", "",
+			"write the traced run's NetFlow-style flow records as CSV to this file (implies the -trace run)")
 		repeats  = fs.Int("repeats", 5, "seeds per sweep point (paper: 20)")
 		rates    = fs.String("rates", "", "comma-separated sending rates in Mbps (default: 5..100 step 5)")
 		flowsA   = fs.Int("flows", 1000, "§IV workload flow count")
@@ -121,6 +129,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}()
 		csv = f
+	}
+
+	if *tracePath != "" || *flowCSVPath != "" {
+		return runTraced(*tracePath, *flowCSVPath, *quick, stdout, stderr)
 	}
 
 	if *scenario != "" {
@@ -232,8 +244,84 @@ func runScenario(name string, quick bool, repeats, parallel int, csv *os.File, s
 		}
 		fmt.Fprintf(stdout, "(outage in %v)\n", time.Since(start).Round(time.Millisecond))
 		return 0
+	case "delay-decomp":
+		opts := experiments.DelayDecompOptions{Repeats: repeats, Parallelism: parallel}
+		if quick {
+			opts.Repeats = 1
+			opts.Flows, opts.PktsPerFlow, opts.Group = 20, 10, 5
+		}
+		start := time.Now()
+		res, err := experiments.RunDelayDecomp(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: delay-decomp: %v\n", err)
+			return 1
+		}
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing table: %v\n", err)
+			return 1
+		}
+		if csv != nil {
+			if err := res.WriteCSV(csv, true); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "(delay-decomp in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	default:
-		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience or outage)\n", name)
+		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage or delay-decomp)\n", name)
 		return 2
 	}
+}
+
+// runTraced executes one telemetry-instrumented flow-granularity run at
+// 50 Mbps and exports its spans (Chrome trace_event JSON, -trace) and
+// NetFlow-style flow records (CSV, -flowcsv).
+func runTraced(tracePath, flowCSVPath string, quick bool, stdout, stderr io.Writer) int {
+	opts := experiments.DelayDecompOptions{}
+	if quick {
+		opts.Flows, opts.PktsPerFlow, opts.Group = 20, 10, 5
+	}
+	start := time.Now()
+	tb, err := experiments.RunTraced(experiments.SeriesFlowGranularity, opts, 50, 1)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchrunner: traced run: %v\n", err)
+		return 1
+	}
+	rec := tb.Telemetry()
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: %v\n", err)
+			return 1
+		}
+		werr := telemetry.WriteTrace(f, rec.Tracer().Snapshot())
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing trace: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "trace: %d spans (%d emitted, %d overwritten) → %s\n",
+			rec.Tracer().Len(), rec.Tracer().Emitted(), rec.Tracer().Dropped(), tracePath)
+	}
+	if flowCSVPath != "" {
+		f, err := os.Create(flowCSVPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: %v\n", err)
+			return 1
+		}
+		werr := rec.Flows().WriteCSV(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing flow records: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(stdout, "flow records: %d exported → %s\n", len(rec.Flows().Records()), flowCSVPath)
+	}
+	fmt.Fprintf(stdout, "(traced run in %v)\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -105,5 +106,58 @@ func TestScenarioCSVDeterminism(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-scenario", "nope"}, &stdout, &stderr); code != 2 {
 		t.Errorf("unknown scenario: exit %d, want 2", code)
+	}
+}
+
+// TestDelayDecompScenario extends the determinism gate to the telemetry
+// scenario: the per-stage delay CSV must be byte-identical at any -parallel.
+func TestDelayDecompScenario(t *testing.T) {
+	serial := runScenarioCSV(t, "delay-decomp", "-parallel", "1")
+	parallel := runScenarioCSV(t, "delay-decomp", "-parallel", "4")
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("delay-decomp CSV differs serial vs parallel:\n%s\nvs\n%s", serial, parallel)
+	}
+	if !strings.HasPrefix(string(serial), "series,rate_mbps,stage,") {
+		t.Errorf("delay-decomp CSV header missing: %q", string(serial[:40]))
+	}
+}
+
+// TestTraceExport drives -trace/-flowcsv and checks both artifacts parse.
+func TestTraceExport(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "out.json")
+	flowPath := filepath.Join(dir, "flows.csv")
+	var stdout, stderr bytes.Buffer
+	args := []string{"-quick", "-trace", tracePath, "-flowcsv", flowPath}
+	if code := run(args, &stdout, &stderr); code != 0 {
+		t.Fatalf("run(%v) = %d, stderr:\n%s", args, code, stderr.String())
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 || doc.DisplayTimeUnit != "ms" {
+		t.Errorf("trace shape: %d events, unit %q", len(doc.TraceEvents), doc.DisplayTimeUnit)
+	}
+	flows, err := os.ReadFile(flowPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(flows)), "\n")
+	if !strings.HasPrefix(lines[0], "src_ip,dst_ip,") {
+		t.Errorf("flow CSV header: %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Error("flow CSV has no data rows")
 	}
 }

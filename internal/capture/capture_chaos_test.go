@@ -1,0 +1,122 @@
+package capture
+
+import (
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/sim"
+)
+
+// TestSnifferAccountingUnderImpairment pins the capture layer's contract on
+// a maximally hostile link: taps observe offered traffic, at enqueue, in
+// enqueue order — so sniffer accounting is exact (equal to Link.Traffic())
+// no matter what loss, reordering, duplication or jitter the impairment
+// inflicts on the deliveries behind it.
+func TestSnifferAccountingUnderImpairment(t *testing.T) {
+	k := sim.New(42)
+	link, err := netem.NewLink(k, "chaotic", 10, 100*time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.SetImpairment(netem.Impairment{
+		LossRate:       0.2,
+		ReorderProb:    0.3,
+		ReorderDelay:   2 * time.Millisecond,
+		DuplicateProb:  0.3,
+		DuplicateDelay: time.Millisecond,
+		JitterMax:      500 * time.Microsecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSniffer("offered")
+	link.AddTap(s.Tap())
+	// A second tap records observation order and times to compare against
+	// the enqueue schedule.
+	var seenLens []int
+	var seenAt []time.Duration
+	link.AddTap(func(now time.Duration, payload []byte) {
+		seenLens = append(seenLens, len(payload))
+		seenAt = append(seenAt, now)
+	})
+
+	// A deterministic mix of classifiable OpenFlow messages and raw
+	// payloads of varying length, enqueued on a staggered schedule.
+	const n = 200
+	var sentLens []int
+	sentBytes := 0
+	delivered := 0
+	var wantPktIns, wantFlowMods, wantRaw int
+	for i := 0; i < n; i++ {
+		var payload []byte
+		switch i % 3 {
+		case 0:
+			payload = openflow.MustEncode(&openflow.PacketIn{
+				BufferID: uint32(i), Data: make([]byte, 50+i%7)}, uint32(i))
+			wantPktIns++
+		case 1:
+			payload = openflow.MustEncode(&openflow.FlowMod{
+				Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}, uint32(i))
+			wantFlowMods++
+		default:
+			payload = make([]byte, 10+i%13) // no OF header: raw
+			wantRaw++
+		}
+		sentLens = append(sentLens, len(payload))
+		sentBytes += len(payload)
+		at := time.Duration(i) * 150 * time.Microsecond
+		k.At(at, func() { link.Send(payload, func() { delivered++ }) })
+	}
+	k.Run()
+
+	// Taps saw every offered payload exactly once, in enqueue order.
+	if len(seenLens) != n {
+		t.Fatalf("taps observed %d payloads, offered %d", len(seenLens), n)
+	}
+	for i := range seenLens {
+		if seenLens[i] != sentLens[i] {
+			t.Fatalf("observation %d: len %d, enqueue order says %d", i, seenLens[i], sentLens[i])
+		}
+		if i > 0 && seenAt[i] < seenAt[i-1] {
+			t.Fatalf("observation %d at %v before previous at %v", i, seenAt[i], seenAt[i-1])
+		}
+	}
+
+	// Sniffer totals equal the link's offered-traffic accounting byte for
+	// byte, and the per-type + raw split is exhaustive.
+	count, bytes := s.Total()
+	if trafficCount, trafficBytes := link.Traffic(); count != trafficCount || bytes != trafficBytes {
+		t.Errorf("sniffer total %d/%dB != link traffic %d/%dB", count, bytes, trafficCount, trafficBytes)
+	}
+	if count != n || bytes != int64(sentBytes) {
+		t.Errorf("sniffer total %d/%dB, offered %d/%dB", count, bytes, n, sentBytes)
+	}
+	pktIns, pktInBytes := s.ByType(openflow.TypePacketIn)
+	flowMods, flowModBytes := s.ByType(openflow.TypeFlowMod)
+	raw, rawBytes := s.Raw()
+	if pktIns != int64(wantPktIns) || flowMods != int64(wantFlowMods) || raw != int64(wantRaw) {
+		t.Errorf("classified %d/%d/%d, sent %d/%d/%d",
+			pktIns, flowMods, raw, wantPktIns, wantFlowMods, wantRaw)
+	}
+	if pktIns+flowMods+raw != count || pktInBytes+flowModBytes+rawBytes != bytes {
+		t.Errorf("per-type + raw (%d/%dB) does not add up to total (%d/%dB)",
+			pktIns+flowMods+raw, pktInBytes+flowModBytes+rawBytes, count, bytes)
+	}
+
+	// The impairment really did its job: some payloads were dropped, and
+	// duplication delivered at least one extra copy — yet none of it touched
+	// the offered-traffic accounting above.
+	droppedCount, _ := link.Dropped()
+	if droppedCount == 0 {
+		t.Error("impairment dropped nothing; the adversarial schedule is toothless")
+	}
+	if delivered+int(droppedCount) < n {
+		t.Errorf("delivered %d + dropped %d < offered %d", delivered, droppedCount, n)
+	}
+	if faults := link.Faults(); faults.Duplicated == 0 || faults.Reordered == 0 {
+		t.Errorf("impairment injected %d dups, %d reorders; want both > 0",
+			faults.Duplicated, faults.Reordered)
+	}
+}

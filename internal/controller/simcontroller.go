@@ -2,9 +2,11 @@ package controller
 
 import (
 	"fmt"
+	"time"
 
 	"sdnbuffer/internal/openflow"
 	"sdnbuffer/internal/sim"
+	"sdnbuffer/internal/telemetry"
 )
 
 // SimConfig is the simulated controller's resource model.
@@ -35,6 +37,9 @@ type SimController struct {
 
 	handled   uint64
 	appErrors uint64
+
+	// tel is nil unless telemetry is wired (SetTelemetry).
+	tel *telemetry.Recorder
 }
 
 // NewSimController builds the simulated controller.
@@ -62,6 +67,22 @@ func NewSimController(k *sim.Kernel, cfg SimConfig, app App) (*SimController, er
 // Multi-switch testbeds use Attach instead.
 func (c *SimController) SetSwitchSender(fn func(msg []byte)) { c.senders[0] = fn }
 
+// SetTelemetry wires the packet-lifecycle recorder: the controller emits a
+// controller-service span per message it answers, covering CPU queueing,
+// application service and the egress-share cost up to the replies reaching
+// the downlink, and its CPU reports each job's service interval via the sim
+// resource trace hook. nil disables (the default).
+func (c *SimController) SetTelemetry(rec *telemetry.Recorder) {
+	c.tel = rec
+	if rec == nil {
+		c.cpu.SetTraceFunc(nil)
+		return
+	}
+	c.cpu.SetTraceFunc(func(_, started, finished time.Duration) {
+		c.tel.Span(telemetry.KindControllerCPU, started, finished, 0, 0, 0)
+	})
+}
+
 // Attach registers an additional switch connection and returns the Deliver
 // function for its uplink. All attached switches share the controller's CPU
 // — one Floodlight process serving a multi-switch topology.
@@ -81,11 +102,12 @@ func (c *SimController) deliverFrom(conn int, msg []byte) {
 	// app runs; charge the ingress share first and the egress share when
 	// sending. Splitting keeps causality: expensive requests delay the
 	// decision, expensive responses delay the send.
+	arrived := c.kernel.Now()
 	inCost := c.cfg.Cost.Cost(len(msg), 0)
-	c.cpu.Submit(inCost, func() { c.process(conn, msg) })
+	c.cpu.Submit(inCost, func() { c.process(conn, msg, arrived) })
 }
 
-func (c *SimController) process(conn int, msg []byte) {
+func (c *SimController) process(conn int, msg []byte, arrived time.Duration) {
 	m, xid, err := openflow.Decode(msg)
 	if err != nil {
 		c.appErrors++
@@ -99,11 +121,11 @@ func (c *SimController) process(conn int, msg []byte) {
 			c.appErrors++
 			return
 		}
-		c.sendAll(conn, replies, xid)
+		c.sendAll(conn, replies, xid, arrived)
 	case *openflow.EchoRequest:
-		c.sendAll(conn, []openflow.Message{&openflow.EchoReply{Data: t.Data}}, xid)
+		c.sendAll(conn, []openflow.Message{&openflow.EchoReply{Data: t.Data}}, xid, arrived)
 	case *openflow.Hello:
-		c.sendAll(conn, []openflow.Message{&openflow.Hello{}}, xid)
+		c.sendAll(conn, []openflow.Message{&openflow.Hello{}}, xid, arrived)
 	case *openflow.ErrorMsg, *openflow.BarrierReply, *openflow.EchoReply,
 		*openflow.FeaturesReply, *openflow.GetConfigReply, *openflow.FlowRemoved,
 		*openflow.PortStatus, *openflow.Vendor:
@@ -117,7 +139,7 @@ func (c *SimController) process(conn int, msg []byte) {
 	openflow.ReleaseMessage(m)
 }
 
-func (c *SimController) sendAll(conn int, replies []openflow.Message, xid uint32) {
+func (c *SimController) sendAll(conn int, replies []openflow.Message, xid uint32, arrived time.Duration) {
 	total := 0
 	encoded := make([][]byte, 0, len(replies))
 	for _, r := range replies {
@@ -134,6 +156,11 @@ func (c *SimController) sendAll(conn int, replies []openflow.Message, xid uint32
 		outCost = 0
 	}
 	c.cpu.Submit(outCost, func() {
+		if c.tel != nil {
+			// Controller service: message arrival to its replies reaching the
+			// downlink — CPU queueing + application + egress-share service.
+			c.tel.Span(telemetry.KindControllerService, arrived, c.kernel.Now(), 0, xid, uint32(total))
+		}
 		sender := c.senders[conn]
 		if sender == nil {
 			return

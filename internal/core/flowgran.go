@@ -8,6 +8,7 @@ import (
 
 	"sdnbuffer/internal/openflow"
 	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/telemetry"
 )
 
 // flowState is the per-flow record behind the paper's buffer_id map
@@ -68,6 +69,8 @@ type FlowGranularity struct {
 	rerequests uint64
 	fallbacks  uint64
 	giveups    uint64
+
+	tel *telemetry.Recorder // nil unless the testbed wires telemetry
 }
 
 var _ Mechanism = (*FlowGranularity)(nil)
@@ -115,6 +118,10 @@ func (m *FlowGranularity) SetRetryPolicy(p RetryPolicy) error {
 
 // RetryPolicy reports the installed hardening policy.
 func (m *FlowGranularity) RetryPolicy() RetryPolicy { return m.retry }
+
+// SetTelemetry wires the recorder the mechanism emits buffer-lifecycle
+// spans and flow-record updates into (nil disables; the default).
+func (m *FlowGranularity) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
 
 // Granularity implements Mechanism.
 func (*FlowGranularity) Granularity() openflow.BufferGranularity {
@@ -181,6 +188,9 @@ func (m *FlowGranularity) HandleMiss(now time.Duration, inPort uint16, data []by
 		if err := m.pool.Append(now, st.bufferID, inPort, data); err != nil {
 			return fallback()
 		}
+		if m.tel != nil {
+			m.tel.Instant(telemetry.KindBufferEnqueue, now, telemetry.HashKey(key), st.bufferID, uint32(len(data)))
+		}
 		return MissResult{Buffered: true}
 	}
 
@@ -210,6 +220,9 @@ func (m *FlowGranularity) HandleMiss(now time.Duration, inPort uint16, data []by
 	m.byID[id] = st
 	m.order = append(m.order, st)
 	m.packetIns++
+	if m.tel != nil {
+		m.tel.Instant(telemetry.KindBufferEnqueue, now, telemetry.HashKey(key), id, uint32(len(data)))
+	}
 	return MissResult{PacketIn: st.header, Buffered: true}
 }
 
@@ -307,6 +320,10 @@ func (m *FlowGranularity) Tick(now time.Duration) []*openflow.PacketIn {
 		st.deadline = now + st.timeout
 		m.rerequests++
 		m.packetIns++
+		if m.tel != nil {
+			m.tel.Instant(telemetry.KindRerequest, now, telemetry.HashKey(st.key), st.bufferID, 0)
+			m.tel.FlowRerequest(st.key)
+		}
 		resend = append(resend, st.header)
 	}
 	for _, st := range expired {
@@ -322,6 +339,10 @@ func (m *FlowGranularity) Tick(now time.Duration) []*openflow.PacketIn {
 		u, err := m.pool.Release(now, st.bufferID)
 		m.forget(st)
 		m.giveups++
+		if m.tel != nil {
+			m.tel.Instant(telemetry.KindGiveup, now, telemetry.HashKey(st.key), st.bufferID, 0)
+			m.tel.FlowGiveup(st.key)
+		}
 		if err != nil {
 			continue // invariant broken; forget() already dropped the records
 		}

@@ -6,6 +6,7 @@ import (
 
 	"sdnbuffer/internal/openflow"
 	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/telemetry"
 )
 
 // PacketGranularity is the OpenFlow default buffer mechanism: every
@@ -22,6 +23,8 @@ type PacketGranularity struct {
 	missSendLen int
 	packetIns   uint64
 	fallbacks   uint64
+
+	tel *telemetry.Recorder // nil unless the testbed wires telemetry
 }
 
 var _ Mechanism = (*PacketGranularity)(nil)
@@ -45,10 +48,14 @@ func (*PacketGranularity) Granularity() openflow.BufferGranularity {
 	return openflow.GranularityPacket
 }
 
+// SetTelemetry wires the recorder the mechanism emits buffer-enqueue spans
+// into (nil disables; the default).
+func (m *PacketGranularity) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
+
 // HandleMiss implements Mechanism: buffer the packet in its own unit and
 // report only a header prefix, or fall back to the full-packet path when the
 // pool is exhausted.
-func (m *PacketGranularity) HandleMiss(now time.Duration, inPort uint16, data []byte, _ packet.FlowKey) MissResult {
+func (m *PacketGranularity) HandleMiss(now time.Duration, inPort uint16, data []byte, key packet.FlowKey) MissResult {
 	m.packetIns++
 	u, err := m.pool.Store(now, inPort, data)
 	if err != nil {
@@ -63,6 +70,9 @@ func (m *PacketGranularity) HandleMiss(now time.Duration, inPort uint16, data []
 			},
 			Fallback: true,
 		}
+	}
+	if m.tel != nil {
+		m.tel.Instant(telemetry.KindBufferEnqueue, now, telemetry.HashKey(key), u.ID, uint32(len(data)))
 	}
 	return MissResult{
 		PacketIn: &openflow.PacketIn{

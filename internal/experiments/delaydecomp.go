@@ -1,0 +1,417 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/telemetry"
+	"sdnbuffer/internal/testbed"
+)
+
+// DelayDecompOptions scale the per-stage delay decomposition sweep: for each
+// (series, rate, repeat) cell the platform runs with the telemetry recorder
+// wired in, and the recorded spans are folded into one delay histogram per
+// lifecycle stage.
+type DelayDecompOptions struct {
+	// Rates are the sending-rate sweep points in Mbps (default 20, 50, 80 —
+	// light, moderate and heavy load on the 100 Mbps links).
+	Rates []float64
+	// Repeats is the number of seeds per point (default 3).
+	Repeats int
+	// Flows, PktsPerFlow, Group shape the interleaved-burst workload
+	// (default 50/20/5, the §V shape: the miss path and the fast path both
+	// appear).
+	Flows, PktsPerFlow, Group int
+	// FrameSize is the Ethernet frame size (default 1000).
+	FrameSize int
+	// Jitter is the pktgen pacing jitter (default 0.5).
+	Jitter float64
+	// SpanCapacity sizes each cell's tracer ring (default 1<<18). A cell
+	// whose ring overflows fails the sweep: a decomposition over a partial
+	// window would silently misreport the early stages.
+	SpanCapacity int
+	// Parallelism fans the (series, rate, repeat) grid across workers
+	// (default GOMAXPROCS). Per-cell histograms are merged in a fixed order,
+	// so output is byte-identical at any setting.
+	Parallelism int
+}
+
+func (o DelayDecompOptions) withDefaults() DelayDecompOptions {
+	if len(o.Rates) == 0 {
+		o.Rates = []float64{20, 50, 80}
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 3
+	}
+	if o.Flows == 0 {
+		o.Flows = 50
+	}
+	if o.PktsPerFlow == 0 {
+		o.PktsPerFlow = 20
+	}
+	if o.Group == 0 {
+		o.Group = 5
+	}
+	if o.FrameSize == 0 {
+		o.FrameSize = 1000
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.5
+	}
+	if o.SpanCapacity == 0 {
+		o.SpanCapacity = 1 << 18
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// DelayDecompSeries are the buffer configurations the decomposition
+// compares: the no-buffer baseline against both buffering granularities.
+func DelayDecompSeries() []Series {
+	return []Series{SeriesNoBuffer, SeriesPacketGranularity, SeriesFlowGranularity}
+}
+
+// decompCell is one (series, rate, seed) run's decomposition plus the
+// queueing-model inputs measured from the same spans.
+type decompCell struct {
+	decomp *telemetry.Decomposition
+	// svcMsgs counts controller-service spans (answered control messages),
+	// ctlBusy sums controller-CPU service intervals, elapsed is the cell's
+	// measurement window — together they estimate the M/M/c arrival and
+	// service rates.
+	svcMsgs int64
+	ctlBusy time.Duration
+	elapsed time.Duration
+}
+
+// DelayDecompPoint is one (series, rate) aggregate: merged per-stage delay
+// statistics and the single-node queueing model's prediction for the
+// controller-service stage at the measured load.
+type DelayDecompPoint struct {
+	RateMbps float64
+	// Stages reports every decomposition stage in DecompStages order
+	// (seconds).
+	Stages []telemetry.StageStats
+	// Lambda is the measured controller message arrival rate (msgs/s), Mu
+	// the measured per-message service rate of one core (msgs/s), Servers
+	// the controller core count.
+	Lambda, Mu float64
+	Servers    int
+	// ModelSojourn is the M/M/c mean sojourn prediction W = 1/µ + Wq in
+	// seconds (Inf when the measured load saturates the model, NaN when no
+	// control messages were observed). Compare against the
+	// controller-service stage's measured mean.
+	ModelSojourn float64
+}
+
+// DelayDecompSeriesResult is one series' sweep.
+type DelayDecompSeriesResult struct {
+	Series Series
+	Points []DelayDecompPoint
+}
+
+// DelayDecompResult is a completed delay-decomposition sweep.
+type DelayDecompResult struct {
+	Options DelayDecompOptions
+	Series  []DelayDecompSeriesResult
+}
+
+func runDelayDecompCell(s Series, opts DelayDecompOptions, rate float64, seed int64) (decompCell, error) {
+	cfg := testbed.DefaultConfig(s.Buffer, s.BufferCapacity)
+	cfg.Seed = seed
+	cfg.Telemetry = &telemetry.Config{SpanCapacity: opts.SpanCapacity}
+	tb, err := testbed.New(cfg)
+	if err != nil {
+		return decompCell{}, err
+	}
+	sched, err := pktgen.InterleavedBursts(pktgen.Config{
+		FrameSize: opts.FrameSize,
+		RateMbps:  rate,
+		Jitter:    opts.Jitter,
+		Seed:      seed,
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+	}, opts.Flows, opts.PktsPerFlow, opts.Group)
+	if err != nil {
+		return decompCell{}, err
+	}
+	res, err := tb.Run(sched)
+	if err != nil {
+		return decompCell{}, err
+	}
+	tracer := tb.Telemetry().Tracer()
+	if d := tracer.Dropped(); d > 0 {
+		return decompCell{}, fmt.Errorf("tracer ring overflowed (%d spans dropped); raise SpanCapacity above %d",
+			d, opts.SpanCapacity)
+	}
+	dec, err := telemetry.NewDecomposition(nil)
+	if err != nil {
+		return decompCell{}, err
+	}
+	out := decompCell{decomp: dec, elapsed: res.Elapsed}
+	for _, sp := range tracer.Snapshot() {
+		dec.Add(sp)
+		switch sp.Kind {
+		case telemetry.KindControllerService:
+			out.svcMsgs++
+		case telemetry.KindControllerCPU:
+			out.ctlBusy += sp.Duration()
+		}
+	}
+	return out, nil
+}
+
+// ErlangC is the Erlang-C delay probability C(c, a): the probability an
+// arrival to an M/M/c queue with offered load a = λ/µ Erlangs has to wait.
+// It is the single-node model the related measurement literature fits SDN
+// controller delay with; see EXPERIMENTS.md §delay-decomposition.
+func ErlangC(c int, a float64) float64 {
+	if c <= 0 || a <= 0 {
+		return 0
+	}
+	if a >= float64(c) {
+		return 1 // saturated: every arrival waits
+	}
+	// term accumulates a^k/k! iteratively to avoid factorial overflow.
+	term := 1.0
+	sum := 1.0 // k = 0
+	for k := 1; k < c; k++ {
+		term *= a / float64(k)
+		sum += term
+	}
+	top := term * a / float64(c) * float64(c) / (float64(c) - a) // a^c/c! · c/(c−a)
+	return top / (sum + top)
+}
+
+// MMcSojourn is the M/M/c mean sojourn time W = 1/µ + C(c,λ/µ)/(cµ−λ) in
+// seconds. It returns +Inf at or beyond saturation and NaN for λ ≤ 0.
+func MMcSojourn(lambda, mu float64, c int) float64 {
+	if lambda <= 0 || mu <= 0 || c <= 0 {
+		return math.NaN()
+	}
+	a := lambda / mu
+	if a >= float64(c) {
+		return math.Inf(1)
+	}
+	return 1/mu + ErlangC(c, a)/(float64(c)*mu-lambda)
+}
+
+// RunDelayDecomp executes the delay-decomposition sweep, fanning the
+// (series, rate, repeat) grid across Parallelism workers and merging the
+// per-cell stage histograms in a fixed order — the same determinism contract
+// as Run, so table and CSV bytes are identical at any parallelism.
+func RunDelayDecomp(opts DelayDecompOptions) (*DelayDecompResult, error) {
+	opts = opts.withDefaults()
+	series := DelayDecompSeries()
+	servers := testbed.DefaultConfig(series[0].Buffer, series[0].BufferCapacity).Controller.CPUCores
+	type dcell struct{ s, r, rep int }
+	var cells []dcell
+	for si := range series {
+		for ri := range opts.Rates {
+			for rep := 0; rep < opts.Repeats; rep++ {
+				cells = append(cells, dcell{s: si, r: ri, rep: rep})
+			}
+		}
+	}
+	vals := make([]decompCell, len(cells))
+	errs := make([]error, len(cells))
+	workers := opts.Parallelism
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				if failed.Load() {
+					continue
+				}
+				c := cells[i]
+				v, err := runDelayDecompCell(series[c.s], opts, opts.Rates[c.r], int64(c.rep)+1)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				vals[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("experiments: delay-decomp %s at %g Mbps rep %d: %w",
+				series[c.s].Name, opts.Rates[c.r], c.rep, err)
+		}
+	}
+
+	out := &DelayDecompResult{Options: opts}
+	i := 0
+	for _, s := range series {
+		sr := DelayDecompSeriesResult{Series: s}
+		for _, rate := range opts.Rates {
+			merged, err := telemetry.NewDecomposition(nil)
+			if err != nil {
+				return nil, err
+			}
+			var svcMsgs int64
+			var ctlBusy, elapsed time.Duration
+			for rep := 0; rep < opts.Repeats; rep++ {
+				v := vals[i]
+				i++
+				if err := merged.Merge(v.decomp); err != nil {
+					return nil, err
+				}
+				svcMsgs += v.svcMsgs
+				ctlBusy += v.ctlBusy
+				elapsed += v.elapsed
+			}
+			p := DelayDecompPoint{
+				RateMbps: rate,
+				Stages:   merged.Stats(),
+				Servers:  servers,
+			}
+			if elapsed > 0 {
+				p.Lambda = float64(svcMsgs) / elapsed.Seconds()
+			}
+			if ctlBusy > 0 {
+				p.Mu = float64(svcMsgs) / ctlBusy.Seconds()
+			}
+			p.ModelSojourn = MMcSojourn(p.Lambda, p.Mu, servers)
+			sr.Points = append(sr.Points, p)
+		}
+		out.Series = append(out.Series, sr)
+	}
+	return out, nil
+}
+
+// measuredControllerService returns the measured controller-service stage of
+// a point (nil if absent).
+func (p *DelayDecompPoint) measuredControllerService() *telemetry.StageStats {
+	for i := range p.Stages {
+		if p.Stages[i].Stage == telemetry.KindControllerService {
+			return &p.Stages[i]
+		}
+	}
+	return nil
+}
+
+// WriteTable renders the sweep as fixed-width per-stage delay tables, one
+// block per (series, rate), each followed by the M/M/c model comparison for
+// the controller-service stage.
+func (r *DelayDecompResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "delay-decomp — per-stage delay decomposition (%d×%d-packet flows, %d repeats)\n",
+		r.Options.Flows, r.Options.PktsPerFlow, r.Options.Repeats); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-20s %6s %-20s %8s %10s %10s %10s %10s %10s",
+		"series", "Mbps", "stage", "count", "mean_us", "p50_us", "p95_us", "p99_us", "max_us")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			for _, st := range p.Stages {
+				if _, err := fmt.Fprintf(w, "%-20s %6g %-20s %8d %10s %10s %10s %10s %10s\n",
+					s.Series.Name, p.RateMbps, st.Stage, st.Count,
+					telemetry.Micros(st.Mean), telemetry.Micros(st.P50),
+					telemetry.Micros(st.P95), telemetry.Micros(st.P99),
+					telemetry.Micros(st.Max)); err != nil {
+					return err
+				}
+			}
+			meas := p.measuredControllerService()
+			if meas != nil && meas.Count > 0 {
+				if _, err := fmt.Fprintf(w,
+					"%-20s %6g model: M/M/%d λ=%.0f/s µ=%.0f/s → sojourn %s µs (measured %s µs)\n",
+					s.Series.Name, p.RateMbps, p.Servers, p.Lambda, p.Mu,
+					telemetry.Micros(p.ModelSojourn), telemetry.Micros(meas.Mean)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the measured stage statistics as CSV rows:
+// series,rate_mbps,stage,count,mean_us,p50_us,p95_us,p99_us,max_us.
+// Output is byte-identical at any Parallelism.
+func (r *DelayDecompResult) WriteCSV(w io.Writer, includeHeader bool) error {
+	if includeHeader {
+		if _, err := fmt.Fprintln(w, "series,rate_mbps,stage,count,mean_us,p50_us,p95_us,p99_us,max_us"); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			for _, st := range p.Stages {
+				if _, err := fmt.Fprintf(w, "%s,%g,%s,%d,%s,%s,%s,%s,%s\n",
+					s.Series.Name, p.RateMbps, st.Stage, st.Count,
+					telemetry.Micros(st.Mean), telemetry.Micros(st.P50),
+					telemetry.Micros(st.P95), telemetry.Micros(st.P99),
+					telemetry.Micros(st.Max)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RunTraced executes one (series, rate) run with the telemetry recorder
+// wired in and returns the testbed for span and flow-record export — the
+// benchrunner -trace path.
+func RunTraced(s Series, opts DelayDecompOptions, rate float64, seed int64) (*testbed.Testbed, error) {
+	opts = opts.withDefaults()
+	cfg := testbed.DefaultConfig(s.Buffer, s.BufferCapacity)
+	cfg.Seed = seed
+	cfg.Telemetry = &telemetry.Config{SpanCapacity: opts.SpanCapacity}
+	tb, err := testbed.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := pktgen.InterleavedBursts(pktgen.Config{
+		FrameSize: opts.FrameSize,
+		RateMbps:  rate,
+		Jitter:    opts.Jitter,
+		Seed:      seed,
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+	}, opts.Flows, opts.PktsPerFlow, opts.Group)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := tb.Run(sched); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}

@@ -142,9 +142,23 @@ func (h *Histogram) Bucket(i int) int64 { return h.counts[i] }
 // NumBuckets reports the number of buckets including the overflow bucket.
 func (h *Histogram) NumBuckets() int { return len(h.counts) }
 
-// Quantile reports an upper-bound estimate for quantile q in [0, 1]: the
-// upper bound of the bucket containing the q-th ordered observation.
-// Observations in the overflow bucket report the max observed value.
+// Quantile reports an upper-bound estimate for quantile q: the upper bound
+// of the bucket containing the q-th ordered observation.
+//
+// Edge behavior, pinned by tests:
+//
+//   - Empty histogram: 0 for any q.
+//   - q <= 0 (including negative q): clamped to the first ordered
+//     observation, so the result is the upper bound of the lowest
+//     non-empty bucket.
+//   - q >= 1 (including q > 1): clamped to the last ordered observation;
+//     if that lands in the overflow bucket the result is the observed
+//     maximum.
+//   - Overflow bucket: the unbounded last bucket has no upper bound to
+//     report, so the estimate interpolates linearly between the last
+//     finite bound and the observed maximum by the rank's fraction within
+//     the bucket. (Bounded buckets deliberately do not interpolate: the
+//     upper bound keeps the estimate conservative and cheap.)
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.sum.Count() == 0 {
 		return 0
@@ -161,15 +175,41 @@ func (h *Histogram) Quantile(q float64) float64 {
 	}
 	var cum int64
 	for i, c := range h.counts {
-		cum += c
-		if cum >= rank {
+		if cum += c; cum >= rank {
 			if i < len(h.bounds) {
 				return h.bounds[i]
 			}
-			return h.sum.Max()
+			// Overflow: interpolate between the last finite bound and the
+			// observed max. frac is the rank's position within the bucket's
+			// c observations, in (0, 1].
+			lo := h.bounds[len(h.bounds)-1]
+			frac := float64(rank-(cum-c)) / float64(c)
+			return lo + frac*(h.sum.Max()-lo)
 		}
 	}
 	return h.sum.Max()
+}
+
+// Merge folds other into h bucket by bucket, as if every observation of
+// other had been observed by h. Both histograms must have identical bucket
+// bounds; merging is deterministic given a fixed merge order (the summary
+// tail is order-sensitive like Summary.Merge).
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("metrics: merging histograms with %d vs %d bounds",
+			len(h.bounds), len(other.bounds))
+	}
+	for i := range h.bounds {
+		if h.bounds[i] != other.bounds[i] {
+			return fmt.Errorf("metrics: merging histograms with different bound %d: %g vs %g",
+				i, h.bounds[i], other.bounds[i])
+		}
+	}
+	for i := range h.counts {
+		h.counts[i] += other.counts[i]
+	}
+	h.sum.Merge(&other.sum)
+	return nil
 }
 
 // Summary exposes the streaming summary of all observations.

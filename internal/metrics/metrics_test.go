@@ -129,6 +129,95 @@ func TestHistogramValidation(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdges(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 5, 10})
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 4, 6, 20} {
+		h.Observe(v)
+	}
+	// q <= 0 clamps to the first ordered observation: the upper bound of
+	// the lowest non-empty bucket.
+	if got := h.Quantile(-0.5); got != 1 {
+		t.Errorf("Quantile(-0.5) = %g, want 1", got)
+	}
+	// q >= 1 clamps to the last ordered observation; here that is the
+	// overflow bucket's only member, so interpolation lands on the max.
+	if got := h.Quantile(1.5); got != 20 {
+		t.Errorf("Quantile(1.5) = %g, want 20", got)
+	}
+}
+
+func TestHistogramQuantileOverflowInterpolation(t *testing.T) {
+	h, err := NewHistogram([]float64{10})
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	// Four overflow observations, max 30: ranks 1..4 interpolate linearly
+	// from the last finite bound (10) toward the max.
+	for _, v := range []float64{12, 15, 20, 30} {
+		h.Observe(v)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.25, 10 + 0.25*20}, // rank 1 of 4
+		{0.50, 10 + 0.50*20}, // rank 2 of 4
+		{0.75, 10 + 0.75*20}, // rank 3 of 4
+		{1.00, 30},           // rank 4 of 4: the observed max
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); !almostEqual(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	mk := func(vals ...float64) *Histogram {
+		h, err := NewHistogram([]float64{1, 10})
+		if err != nil {
+			t.Fatalf("NewHistogram: %v", err)
+		}
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		return h
+	}
+	a := mk(0.5, 5)
+	b := mk(5, 50)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != 4 {
+		t.Errorf("merged count = %d, want 4", a.Count())
+	}
+	wantCounts := []int64{1, 2, 1}
+	for i, want := range wantCounts {
+		if got := a.Bucket(i); got != want {
+			t.Errorf("Bucket(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if a.Summary().Max() != 50 {
+		t.Errorf("merged max = %g, want 50", a.Summary().Max())
+	}
+
+	other, err := NewHistogram([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if err := a.Merge(other); err == nil {
+		t.Error("merging histograms with different bounds succeeded")
+	}
+	sameLen := mk()
+	sameLen2, err := NewHistogram([]float64{1, 11})
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if err := sameLen.Merge(sameLen2); err == nil {
+		t.Error("merging histograms with different bound values succeeded")
+	}
+}
+
 func TestHistogramQuantileEmpty(t *testing.T) {
 	h, err := NewHistogram([]float64{1})
 	if err != nil {

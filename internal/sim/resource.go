@@ -28,10 +28,16 @@ type Resource struct {
 	waits      metrics.Summary
 	services   metrics.Summary
 	completed  int64
+
+	// trace, when set, observes every completed job (SetTraceFunc). It is a
+	// plain callback so sim stays independent of the telemetry layer; the
+	// nil check is the only cost when unset.
+	trace func(submitted, started, finished time.Duration)
 }
 
 type resourceJob struct {
 	submitted time.Duration
+	started   time.Duration
 	service   time.Duration
 	done      func()
 }
@@ -73,6 +79,7 @@ func (r *Resource) start(job resourceJob) {
 	r.busyGauge.Set(now, float64(r.busy))
 	r.waits.Observe((now - job.submitted).Seconds())
 	r.services.Observe(job.service.Seconds())
+	job.started = now
 	r.kernel.After(job.service, func() { r.finish(job) })
 }
 
@@ -81,6 +88,9 @@ func (r *Resource) finish(job resourceJob) {
 	r.busy--
 	r.busyGauge.Set(now, float64(r.busy))
 	r.completed++
+	if r.trace != nil {
+		r.trace(job.submitted, job.started, now)
+	}
 	if len(r.queue) > 0 {
 		next := r.queue[0]
 		copy(r.queue, r.queue[1:])
@@ -91,6 +101,15 @@ func (r *Resource) finish(job resourceJob) {
 	if job.done != nil {
 		job.done()
 	}
+}
+
+// SetTraceFunc installs an observer invoked once per completed job with the
+// job's submission, service-start and finish times. Passing nil removes the
+// observer. The callback runs on the kernel goroutine and must not schedule
+// kernel events; it exists so higher layers (telemetry) can decompose queueing
+// wait from service time without sim importing them.
+func (r *Resource) SetTraceFunc(fn func(submitted, started, finished time.Duration)) {
+	r.trace = fn
 }
 
 // QueueLen reports the number of jobs waiting (excluding in-service jobs).

@@ -12,6 +12,7 @@ import (
 
 	"sdnbuffer/internal/core"
 	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/telemetry"
 )
 
 // ErrEchoTimeout reports that the controller stopped answering keepalive
@@ -152,6 +153,17 @@ func (a *Agent) SetTransmit(fn func(port uint16, frame []byte)) {
 // agent's lock while the agent is connected; for concurrent inspection use
 // the locked accessors (BufferGranularity, TableLen, Stats) instead.
 func (a *Agent) Datapath() *Datapath { return a.dp }
+
+// SetTelemetry wires the packet-lifecycle recorder into the live agent's
+// datapath (table hits/misses, buffer enqueue/drain spans, NetFlow
+// records). The recorder is single-goroutine like the datapath it
+// observes: set it before traffic flows and read it only after Close. nil
+// disables (the default).
+func (a *Agent) SetTelemetry(rec *telemetry.Recorder) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.dp.SetTelemetry(rec)
+}
 
 // BufferGranularity reports the active buffer mechanism, safely.
 func (a *Agent) BufferGranularity() openflow.BufferGranularity {

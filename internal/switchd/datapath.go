@@ -15,6 +15,7 @@ import (
 	"sdnbuffer/internal/flowtable"
 	"sdnbuffer/internal/openflow"
 	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/telemetry"
 )
 
 // FailMode selects how the datapath behaves while the control channel is
@@ -153,6 +154,10 @@ type Datapath struct {
 	outScratch   []Output
 	missScratch  core.MissResult
 	resScratch   FrameResult
+
+	// tel is nil unless telemetry is wired (SetTelemetry); every hook below
+	// guards on the nil check so the default hot path pays nothing.
+	tel *telemetry.Recorder
 }
 
 // NewDatapath builds a datapath from the configuration.
@@ -188,6 +193,17 @@ func (d *Datapath) Table() *flowtable.Table { return d.table }
 
 // Mechanism exposes the buffer mechanism.
 func (d *Datapath) Mechanism() core.Mechanism { return d.mech }
+
+// SetTelemetry wires the packet-lifecycle recorder into the datapath and
+// its buffer mechanism: table hits/misses and NetFlow observations are
+// emitted here, buffer enqueues by the mechanism, and drain spans (with
+// per-flow residency credit) on release. nil disables (the default).
+func (d *Datapath) SetTelemetry(rec *telemetry.Recorder) {
+	d.tel = rec
+	if m, ok := d.mech.(interface{ SetTelemetry(*telemetry.Recorder) }); ok {
+		m.SetTelemetry(rec)
+	}
+}
 
 // SetControlDown flips the datapath in or out of its configured fail mode.
 // Restoring the channel clears any outage-learned MAC table: the controller
@@ -259,6 +275,9 @@ func (d *Datapath) HandleFrame(now time.Duration, inPort uint16, frame []byte) (
 	if err := packet.ParseEthernetInto(parsed, frame); err != nil {
 		return nil, fmt.Errorf("switchd: unparseable frame on port %d: %w", inPort, err)
 	}
+	if d.tel != nil {
+		d.tel.FlowObserve(now, parsed.Key(), len(frame))
+	}
 	if e := d.table.Lookup(now, inPort, parsed, len(frame)); e != nil {
 		outs, err := d.applyActions(now, inPort, frame, e.Actions, d.outScratch[:0])
 		if err != nil {
@@ -266,10 +285,16 @@ func (d *Datapath) HandleFrame(now time.Duration, inPort uint16, frame []byte) (
 		}
 		d.outScratch = outs
 		d.countTx(outs)
+		if d.tel != nil {
+			d.tel.Instant(telemetry.KindForward, now, telemetry.HashKey(parsed.Key()), uint32(inPort), uint32(len(frame)))
+		}
 		d.resScratch = FrameResult{Outputs: outs, Matched: e}
 		return &d.resScratch, nil
 	}
 	d.misses++
+	if d.tel != nil {
+		d.tel.Instant(telemetry.KindMiss, now, telemetry.HashKey(parsed.Key()), uint32(inPort), uint32(len(frame)))
+	}
 	if d.controlDown {
 		d.downMisses++
 		if d.cfg.FailMode == FailStandalone {
@@ -428,6 +453,16 @@ func (d *Datapath) releaseThrough(now time.Duration, bufferID uint32, actions []
 	}
 	var outs []Output
 	for _, r := range released {
+		if d.tel != nil {
+			// Buffer residency: stored-at to released-at, attributed to the
+			// packet's flow. Parsing the key back out of the stored bytes only
+			// happens on this telemetry-enabled path.
+			if key, err := packet.ParseKey(r.Data); err == nil {
+				d.tel.Span(telemetry.KindBufferDrain, r.BufferedAt, now,
+					telemetry.HashKey(key), bufferID, uint32(len(r.Data)))
+				d.tel.FlowResidency(key, now-r.BufferedAt)
+			}
+		}
 		o, err := d.applyActions(now, r.InPort, r.Data, actions, nil)
 		if err != nil {
 			return nil, err

@@ -9,6 +9,7 @@ import (
 	"sdnbuffer/internal/netem"
 	"sdnbuffer/internal/openflow"
 	"sdnbuffer/internal/sim"
+	"sdnbuffer/internal/telemetry"
 )
 
 // SimConfig is the resource model of the simulated switch. The defaults are
@@ -113,6 +114,11 @@ type SimSwitch struct {
 
 	parseErrors uint64
 	ctrlErrors  uint64
+
+	// tel is nil unless telemetry is wired (SetTelemetry). Every hook is
+	// guarded on the nil check; recording never schedules kernel events, so
+	// event order is identical with telemetry on or off (DESIGN.md §12).
+	tel *telemetry.Recorder
 }
 
 // NewSimSwitch builds the simulated switch on the kernel.
@@ -150,6 +156,23 @@ func NewSimSwitch(k *sim.Kernel, cfg SimConfig) (*SimSwitch, error) {
 // Datapath exposes the protocol core (flow table, mechanism, counters).
 func (s *SimSwitch) Datapath() *Datapath { return s.dp }
 
+// SetTelemetry wires the packet-lifecycle recorder through the switch: the
+// sim driver emits ingress/packet_in/controller-RTT/control-op/egress
+// spans, the datapath and mechanism emit lookup and buffer spans, and the
+// switch CPU reports each job's service interval via the sim resource trace
+// hook. nil disables (the default).
+func (s *SimSwitch) SetTelemetry(rec *telemetry.Recorder) {
+	s.tel = rec
+	s.dp.SetTelemetry(rec)
+	if rec == nil {
+		s.cpu.SetTraceFunc(nil)
+		return
+	}
+	s.cpu.SetTraceFunc(func(_, started, finished time.Duration) {
+		s.tel.Span(telemetry.KindSwitchCPU, started, finished, 0, 0, 0)
+	})
+}
+
 // SetControlSender wires the switch's uplink: fn is called with each
 // encoded control message to put on the control link.
 func (s *SimSwitch) SetControlSender(fn func(msg []byte)) { s.sendCtrl = fn }
@@ -175,11 +198,16 @@ func (s *SimSwitch) Ingest(inPort uint16, frame []byte) {
 		cost += s.cfg.WakeupCost
 		s.nextWakeup = now + s.cfg.BatchWindow
 	}
-	s.cpu.Submit(cost, func() { s.processFrame(inPort, frame) })
+	s.cpu.Submit(cost, func() { s.processFrame(now, inPort, frame) })
 }
 
-func (s *SimSwitch) processFrame(inPort uint16, frame []byte) {
+func (s *SimSwitch) processFrame(arrived time.Duration, inPort uint16, frame []byte) {
 	now := s.kernel.Now()
+	if s.tel != nil {
+		// Ingress span: port arrival to datapath pickup — switch CPU queueing
+		// plus the per-packet (and any wakeup) service demand.
+		s.tel.Span(telemetry.KindIngress, arrived, now, 0, uint32(inPort), uint32(len(frame)))
+	}
 	res, err := s.dp.HandleFrame(now, inPort, frame)
 	if err != nil {
 		s.parseErrors++
@@ -216,9 +244,16 @@ func (s *SimSwitch) processFrame(inPort uint16, frame []byte) {
 // shipControl moves a control message over the bus and onto the control
 // link, timestamping its departure for controller-delay measurement.
 func (s *SimSwitch) shipControl(xid uint32, msg []byte) {
+	shipped := s.kernel.Now()
 	s.bus.Send(msg, func() {
+		now := s.kernel.Now()
 		if xid != 0 {
-			s.sentAt[xid] = s.kernel.Now()
+			s.sentAt[xid] = now
+			if s.tel != nil {
+				// packet_in span: CPU handoff to control-link departure — the
+				// plane-to-CPU bus transfer the no-buffer mechanism saturates.
+				s.tel.Span(telemetry.KindPacketIn, shipped, now, 0, xid, uint32(len(msg)))
+			}
 		}
 		if s.sendCtrl != nil {
 			s.sendCtrl(msg)
@@ -238,6 +273,9 @@ func (s *SimSwitch) DeliverControl(msg []byte) {
 			xid := uint32(msg[4])<<24 | uint32(msg[5])<<16 | uint32(msg[6])<<8 | uint32(msg[7])
 			if sent, ok := s.sentAt[xid]; ok {
 				s.ctrlDelay.Observe((now - sent).Seconds())
+				if s.tel != nil {
+					s.tel.Span(telemetry.KindControllerRTT, sent, now, 0, xid, uint32(len(msg)))
+				}
 				delete(s.sentAt, xid)
 			}
 		}
@@ -258,8 +296,14 @@ func (s *SimSwitch) processControl(msg []byte) {
 	var res *ControlResult
 	switch t := m.(type) {
 	case *openflow.FlowMod:
+		if s.tel != nil {
+			s.tel.Instant(telemetry.KindFlowMod, now, 0, xid, uint32(len(msg)))
+		}
 		res, err = s.dp.HandleFlowMod(now, t)
 	case *openflow.PacketOut:
+		if s.tel != nil {
+			s.tel.Instant(telemetry.KindPacketOut, now, 0, xid, uint32(len(msg)))
+		}
 		res, err = s.dp.HandlePacketOut(now, t)
 	case *openflow.FeaturesRequest:
 		s.reply(s.dp.Features(), xid)
@@ -353,6 +397,9 @@ func (s *SimSwitch) reply(m openflow.Message, xid uint32) {
 }
 
 func (s *SimSwitch) emit(o Output) {
+	if s.tel != nil {
+		s.tel.Instant(telemetry.KindEgress, s.kernel.Now(), 0, uint32(o.Port), uint32(len(o.Frame)))
+	}
 	if s.transmitEx != nil {
 		s.transmitEx(o)
 		return

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"sdnbuffer/internal/metrics"
+)
+
+// decompKinds are the interval span kinds the decomposition aggregates —
+// the pipeline stages a packet's latency is spent in. Instant kinds carry
+// no duration and are counted only, not decomposed.
+var decompKinds = [...]SpanKind{
+	KindIngress,
+	KindPacketIn,
+	KindControllerService,
+	KindControllerRTT,
+	KindBufferDrain,
+	KindFlowSetup,
+}
+
+// DecompStages lists the stages of a Decomposition in report order.
+func DecompStages() []SpanKind {
+	out := make([]SpanKind, len(decompKinds))
+	copy(out, decompKinds[:])
+	return out
+}
+
+// DefaultDelayBounds returns the log-spaced histogram bucket bounds used
+// for stage delays: four buckets per decade from 1 µs to 10 s, covering
+// everything from a bus transfer to a re-request storm.
+func DefaultDelayBounds() []float64 {
+	var bounds []float64
+	for exp := -6; exp < 1; exp++ {
+		decade := math.Pow(10, float64(exp))
+		for _, m := range []float64{1, 1.78, 3.16, 5.62} {
+			bounds = append(bounds, m*decade)
+		}
+	}
+	bounds = append(bounds, 10)
+	return bounds
+}
+
+// Decomposition aggregates recorded spans into one delay histogram per
+// pipeline stage (seconds). It is a plain accumulator like the metrics
+// types: single-goroutine use, deterministic Merge for the parallel sweep's
+// index-ordered fold.
+type Decomposition struct {
+	hists [NumSpanKinds]*metrics.Histogram
+}
+
+// NewDecomposition builds a decomposition over the given histogram bounds
+// (nil uses DefaultDelayBounds).
+func NewDecomposition(bounds []float64) (*Decomposition, error) {
+	if bounds == nil {
+		bounds = DefaultDelayBounds()
+	}
+	d := &Decomposition{}
+	for _, k := range decompKinds {
+		h, err := metrics.NewHistogram(bounds)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: decomposition bounds: %w", err)
+		}
+		d.hists[k] = h
+	}
+	return d, nil
+}
+
+// Add folds one span into the decomposition; spans of kinds outside the
+// stage set are ignored.
+func (d *Decomposition) Add(s Span) {
+	if h := d.hists[s.Kind]; h != nil {
+		h.Observe(s.Duration().Seconds())
+	}
+}
+
+// AddSpans folds a span snapshot into the decomposition.
+func (d *Decomposition) AddSpans(spans []Span) {
+	for _, s := range spans {
+		d.Add(s)
+	}
+}
+
+// Stage exposes one stage's delay histogram (nil for non-stage kinds).
+func (d *Decomposition) Stage(k SpanKind) *metrics.Histogram { return d.hists[k] }
+
+// Merge folds other into d, stage by stage. Both decompositions must have
+// been built with identical bounds.
+func (d *Decomposition) Merge(other *Decomposition) error {
+	for _, k := range decompKinds {
+		if err := d.hists[k].Merge(other.hists[k]); err != nil {
+			return fmt.Errorf("telemetry: merging stage %v: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// StageStats is one stage's aggregated delay statistics, in seconds.
+type StageStats struct {
+	Stage SpanKind
+	Count int64
+	Mean  float64
+	P50   float64
+	P95   float64
+	P99   float64
+	Max   float64
+}
+
+// Stats reports every stage's statistics in DecompStages order, including
+// empty stages (Count 0) so report shapes are stable.
+func (d *Decomposition) Stats() []StageStats {
+	out := make([]StageStats, 0, len(decompKinds))
+	for _, k := range decompKinds {
+		h := d.hists[k]
+		out = append(out, StageStats{
+			Stage: k,
+			Count: h.Count(),
+			Mean:  h.Summary().Mean(),
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+			Max:   h.Summary().Max(),
+		})
+	}
+	return out
+}
+
+// Micros formats a seconds value as microseconds with one decimal, the
+// unit stage tables and CSVs report in.
+func Micros(v float64) string { return fmt.Sprintf("%.1f", v*1e6) }

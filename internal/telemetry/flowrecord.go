@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sdnbuffer/internal/packet"
+)
+
+// FlowRecord is one NetFlow-style per-5-tuple record, following the
+// OpenFlow-native monitoring design of "Reinventing NetFlow for OpenFlow
+// Software-Defined Networks" (Suárez-Varela & Barlet-Ros): the switch
+// aggregates per-flow counters and exports the record when the flow
+// expires, instead of mirroring per-packet state to a collector.
+//
+// Beyond the classic NetFlow fields (packets, bytes, first/last seen), a
+// record carries the buffer mechanism's view of the flow: cumulative buffer
+// residency of its packets, packet_in re-requests, and give-ups.
+type FlowRecord struct {
+	// Key is the flow's 5-tuple.
+	Key packet.FlowKey
+	// Packets and Bytes count the flow's frames observed at switch ingress.
+	Packets uint64
+	Bytes   uint64
+	// FirstSeen and LastSeen bound the flow's observation window (virtual
+	// time).
+	FirstSeen time.Duration
+	LastSeen  time.Duration
+	// BufferResidency is the cumulative time the flow's packets spent in
+	// the switch buffer before release.
+	BufferResidency time.Duration
+	// Rerequests counts packet_in re-transmissions for the flow; Giveups
+	// counts mechanism give-ups (both zero outside the flow-granularity
+	// mechanism under loss).
+	Rerequests uint64
+	Giveups    uint64
+}
+
+// FlowExporter is the switch's flow cache. Records accumulate per 5-tuple
+// and move to the export list when the flow expires; expiry is evaluated
+// lazily on the next observation of the same 5-tuple (and at FlushAll), so
+// the exporter needs no timers and can never perturb kernel event order.
+//
+// Export order is deterministic: records leave the cache in flow
+// first-seen order (insertion order of the live cache), never map
+// iteration order.
+type FlowExporter struct {
+	idle   time.Duration
+	active time.Duration
+
+	live     map[packet.FlowKey]*FlowRecord
+	order    []*FlowRecord // live records in first-seen order
+	exported []FlowRecord
+}
+
+// NewFlowExporter creates an exporter with the given inactive and active
+// timeouts (both must be positive; NewRecorder supplies NetFlow's
+// defaults).
+func NewFlowExporter(idle, active time.Duration) *FlowExporter {
+	return &FlowExporter{
+		idle:   idle,
+		active: active,
+		live:   make(map[packet.FlowKey]*FlowRecord),
+	}
+}
+
+// Observe accounts one packet of the flow at virtual time now. If the
+// flow's existing record has expired (idle or active timeout), it is
+// exported first and a fresh record started — NetFlow's expiry semantics,
+// evaluated lazily.
+func (e *FlowExporter) Observe(now time.Duration, key packet.FlowKey, bytes int) {
+	if e == nil {
+		return
+	}
+	r, ok := e.live[key]
+	if ok && (now-r.LastSeen >= e.idle || now-r.FirstSeen >= e.active) {
+		e.export(r)
+		ok = false
+	}
+	if !ok {
+		r = &FlowRecord{Key: key, FirstSeen: now}
+		e.live[key] = r
+		e.order = append(e.order, r)
+	}
+	r.Packets++
+	r.Bytes += uint64(bytes)
+	r.LastSeen = now
+}
+
+// AddResidency credits buffer residency to the flow's live record (a no-op
+// when the flow has no live record).
+func (e *FlowExporter) AddResidency(key packet.FlowKey, d time.Duration) {
+	if e == nil {
+		return
+	}
+	if r, ok := e.live[key]; ok {
+		r.BufferResidency += d
+	}
+}
+
+// AddRerequest counts a packet_in re-request against the flow's live
+// record.
+func (e *FlowExporter) AddRerequest(key packet.FlowKey) {
+	if e == nil {
+		return
+	}
+	if r, ok := e.live[key]; ok {
+		r.Rerequests++
+	}
+}
+
+// AddGiveup counts a mechanism give-up against the flow's live record.
+func (e *FlowExporter) AddGiveup(key packet.FlowKey) {
+	if e == nil {
+		return
+	}
+	if r, ok := e.live[key]; ok {
+		r.Giveups++
+	}
+}
+
+// export moves one record from the live cache to the export list,
+// preserving first-seen order in the live list.
+func (e *FlowExporter) export(r *FlowRecord) {
+	delete(e.live, r.Key)
+	for i, o := range e.order {
+		if o == r {
+			copy(e.order[i:], e.order[i+1:])
+			e.order[len(e.order)-1] = nil
+			e.order = e.order[:len(e.order)-1]
+			break
+		}
+	}
+	e.exported = append(e.exported, *r)
+}
+
+// FlushAll expires every live record at virtual time now, in first-seen
+// order. Call at end of run so short runs still export their flows.
+func (e *FlowExporter) FlushAll(now time.Duration) {
+	if e == nil {
+		return
+	}
+	for _, r := range e.order {
+		delete(e.live, r.Key)
+		e.exported = append(e.exported, *r)
+	}
+	e.order = e.order[:0]
+}
+
+// Live reports the number of flows currently held in the cache.
+func (e *FlowExporter) Live() int {
+	if e == nil {
+		return 0
+	}
+	return len(e.live)
+}
+
+// Records returns the exported records in export order. The slice is the
+// exporter's own; callers must not mutate it.
+func (e *FlowExporter) Records() []FlowRecord {
+	if e == nil {
+		return nil
+	}
+	return e.exported
+}
+
+// FlowCSVHeader is the column schema of WriteCSV.
+const FlowCSVHeader = "src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,first_seen_us,last_seen_us,buffer_residency_us,rerequests,giveups"
+
+// WriteCSV writes the exported records as CSV rows under FlowCSVHeader.
+// Times are microseconds of virtual time; output is deterministic (export
+// order).
+func (e *FlowExporter) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, FlowCSVHeader); err != nil {
+		return err
+	}
+	if e == nil {
+		return nil
+	}
+	for i := range e.exported {
+		r := &e.exported[i]
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+			r.Key.SrcIP, r.Key.DstIP, r.Key.SrcPort, r.Key.DstPort, r.Key.Proto,
+			r.Packets, r.Bytes,
+			r.FirstSeen.Microseconds(), r.LastSeen.Microseconds(),
+			r.BufferResidency.Microseconds(), r.Rerequests, r.Giveups)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

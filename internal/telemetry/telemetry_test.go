@@ -1,0 +1,313 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/packet"
+)
+
+// withTelemetry runs fn with the process-wide gate enabled, restoring the
+// prior state afterwards so tests compose.
+func withTelemetry(t *testing.T, fn func()) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	defer SetEnabled(prev)
+	fn()
+}
+
+func testKey(srcPort uint16) packet.FlowKey {
+	return packet.FlowKey{
+		SrcIP:   netip.MustParseAddr("10.1.0.1"),
+		DstIP:   netip.MustParseAddr("10.0.0.2"),
+		SrcPort: srcPort,
+		DstPort: 80,
+		Proto:   17,
+	}
+}
+
+func TestTracerDisabledRecordsNothing(t *testing.T) {
+	SetEnabled(false)
+	tr := NewTracer(8)
+	tr.Emit(Span{Kind: KindIngress, Start: 1, End: 2})
+	if tr.Len() != 0 || tr.Emitted() != 0 {
+		t.Fatalf("disabled tracer recorded: len=%d emitted=%d", tr.Len(), tr.Emitted())
+	}
+	// Nil receivers must be safe at every entry point.
+	var nilTracer *Tracer
+	nilTracer.Emit(Span{})
+	if nilTracer.Len() != 0 || nilTracer.Snapshot() != nil || nilTracer.Dropped() != 0 {
+		t.Fatal("nil tracer misbehaved")
+	}
+	var nilRec *Recorder
+	nilRec.Span(KindIngress, 0, 1, 0, 0, 0)
+	nilRec.Instant(KindMiss, 0, 0, 0, 0)
+	nilRec.FlowObserve(0, testKey(1), 10)
+	nilRec.FlowResidency(testKey(1), time.Millisecond)
+	nilRec.FlowRerequest(testKey(1))
+	nilRec.FlowGiveup(testKey(1))
+	nilRec.Finish(0)
+	if nilRec.Tracer() != nil || nilRec.Flows() != nil {
+		t.Fatal("nil recorder exposed non-nil parts")
+	}
+}
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	withTelemetry(t, func() {
+		tr := NewTracer(4)
+		for i := 0; i < 10; i++ {
+			tr.Emit(Span{Kind: KindIngress, Ref: uint32(i)})
+		}
+		if tr.Len() != 4 {
+			t.Fatalf("Len = %d, want 4", tr.Len())
+		}
+		if tr.Emitted() != 10 {
+			t.Fatalf("Emitted = %d, want 10", tr.Emitted())
+		}
+		if tr.Dropped() != 6 {
+			t.Fatalf("Dropped = %d, want 6", tr.Dropped())
+		}
+		snap := tr.Snapshot()
+		for i, s := range snap {
+			if want := uint32(6 + i); s.Ref != want {
+				t.Fatalf("snapshot[%d].Ref = %d, want %d (oldest-first order)", i, s.Ref, want)
+			}
+		}
+	})
+}
+
+func TestTracerSnapshotBeforeWrap(t *testing.T) {
+	withTelemetry(t, func() {
+		tr := NewTracer(8)
+		for i := 0; i < 3; i++ {
+			tr.Emit(Span{Ref: uint32(i)})
+		}
+		snap := tr.Snapshot()
+		if len(snap) != 3 || tr.Dropped() != 0 {
+			t.Fatalf("len=%d dropped=%d", len(snap), tr.Dropped())
+		}
+		for i, s := range snap {
+			if s.Ref != uint32(i) {
+				t.Fatalf("snapshot[%d].Ref = %d", i, s.Ref)
+			}
+		}
+	})
+}
+
+func TestHashKeyDeterministicAndSpread(t *testing.T) {
+	a := HashKey(testKey(1000))
+	if a != HashKey(testKey(1000)) {
+		t.Fatal("HashKey not deterministic")
+	}
+	if a == HashKey(testKey(1001)) {
+		t.Fatal("adjacent ports collided (FNV should spread)")
+	}
+}
+
+func TestFlowExporterAggregatesAndExpires(t *testing.T) {
+	withTelemetry(t, func() {
+		rec := NewRecorder(Config{FlowIdleTimeout: 10 * time.Millisecond})
+		k1, k2 := testKey(1), testKey(2)
+		rec.FlowObserve(0, k1, 100)
+		rec.FlowObserve(1*time.Millisecond, k2, 200)
+		rec.FlowObserve(2*time.Millisecond, k1, 100)
+		rec.FlowResidency(k1, 3*time.Millisecond)
+		rec.FlowRerequest(k1)
+		// k1 idle-expires lazily on its next observation: a new record starts.
+		rec.FlowObserve(50*time.Millisecond, k1, 100)
+		rec.Finish(60 * time.Millisecond)
+
+		recs := rec.Flows().Records()
+		if len(recs) != 3 {
+			t.Fatalf("got %d records, want 3: %+v", len(recs), recs)
+		}
+		// Export order: k1's expired record first, then flush in first-seen
+		// order (k2, then k1's second record).
+		r0 := recs[0]
+		if r0.Key != k1 || r0.Packets != 2 || r0.Bytes != 200 {
+			t.Fatalf("expired record wrong: %+v", r0)
+		}
+		if r0.BufferResidency != 3*time.Millisecond || r0.Rerequests != 1 {
+			t.Fatalf("buffer bookkeeping wrong: %+v", r0)
+		}
+		if r0.FirstSeen != 0 || r0.LastSeen != 2*time.Millisecond {
+			t.Fatalf("window wrong: %+v", r0)
+		}
+		if recs[1].Key != k2 || recs[2].Key != k1 || recs[2].Packets != 1 {
+			t.Fatalf("flush order wrong: %+v", recs[1:])
+		}
+	})
+}
+
+func TestFlowExporterActiveTimeout(t *testing.T) {
+	withTelemetry(t, func() {
+		rec := NewRecorder(Config{FlowActiveTimeout: 5 * time.Millisecond})
+		k := testKey(1)
+		rec.FlowObserve(0, k, 10)
+		rec.FlowObserve(1*time.Millisecond, k, 10)
+		rec.FlowObserve(6*time.Millisecond, k, 10) // active timer fires
+		rec.Finish(7 * time.Millisecond)
+		recs := rec.Flows().Records()
+		if len(recs) != 2 {
+			t.Fatalf("got %d records, want 2 (active-timeout split)", len(recs))
+		}
+		if recs[0].Packets != 2 || recs[1].Packets != 1 {
+			t.Fatalf("split wrong: %+v", recs)
+		}
+	})
+}
+
+func TestFlowCSVSchema(t *testing.T) {
+	withTelemetry(t, func() {
+		rec := NewRecorder(Config{})
+		rec.FlowObserve(1500*time.Microsecond, testKey(7), 999)
+		rec.Finish(2 * time.Millisecond)
+		var buf bytes.Buffer
+		if err := rec.Flows().WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("got %d lines, want header+1", len(lines))
+		}
+		if lines[0] != FlowCSVHeader {
+			t.Fatalf("header = %q", lines[0])
+		}
+		want := "10.1.0.1,10.0.0.2,7,80,17,1,999,1500,1500,0,0,0"
+		if lines[1] != want {
+			t.Fatalf("row = %q, want %q", lines[1], want)
+		}
+	})
+}
+
+func TestDecompositionStatsAndMerge(t *testing.T) {
+	a, err := NewDecomposition(nil)
+	if err != nil {
+		t.Fatalf("NewDecomposition: %v", err)
+	}
+	b, err := NewDecomposition(nil)
+	if err != nil {
+		t.Fatalf("NewDecomposition: %v", err)
+	}
+	a.Add(Span{Kind: KindControllerRTT, Start: 0, End: 2 * time.Millisecond})
+	a.Add(Span{Kind: KindForward}) // instant kind: ignored by the decomposition
+	b.Add(Span{Kind: KindControllerRTT, Start: 0, End: 4 * time.Millisecond})
+	b.Add(Span{Kind: KindIngress, Start: 0, End: 100 * time.Microsecond})
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	stats := a.Stats()
+	if len(stats) != len(DecompStages()) {
+		t.Fatalf("got %d stages", len(stats))
+	}
+	byStage := map[SpanKind]StageStats{}
+	for _, s := range stats {
+		byStage[s.Stage] = s
+	}
+	rtt := byStage[KindControllerRTT]
+	if rtt.Count != 2 || rtt.Mean != 3e-3 {
+		t.Fatalf("controller RTT stats wrong: %+v", rtt)
+	}
+	if byStage[KindIngress].Count != 1 {
+		t.Fatalf("ingress stats wrong: %+v", byStage[KindIngress])
+	}
+	if byStage[KindFlowSetup].Count != 0 {
+		t.Fatal("empty stage should report count 0")
+	}
+}
+
+func TestWriteTraceValidJSON(t *testing.T) {
+	spans := []Span{
+		{Kind: KindIngress, Start: 10 * time.Microsecond, End: 35 * time.Microsecond, Flow: 7, Bytes: 1000},
+		{Kind: KindMiss, Start: 35 * time.Microsecond, End: 35 * time.Microsecond, Flow: 7},
+		{Kind: KindControllerRTT, Start: 40 * time.Microsecond, End: 90 * time.Microsecond, Ref: 3},
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, spans); err != nil {
+		t.Fatalf("WriteTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			PID   int     `json:"pid"`
+			TID   int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	var x, i, m int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Phase {
+		case "X":
+			x++
+			if ev.Dur <= 0 {
+				t.Fatalf("duration event without dur: %+v", ev)
+			}
+		case "i":
+			i++
+		case "M":
+			m++
+		default:
+			t.Fatalf("unexpected phase %q", ev.Phase)
+		}
+		if ev.PID != 1 {
+			t.Fatalf("pid = %d", ev.PID)
+		}
+	}
+	if x != 2 || i != 1 || m == 0 {
+		t.Fatalf("event mix wrong: X=%d i=%d M=%d", x, i, m)
+	}
+	// The ingress duration event must carry 25 µs.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "ingress" && ev.Dur != 25 {
+			t.Fatalf("ingress dur = %g µs, want 25", ev.Dur)
+		}
+	}
+}
+
+// TestDisabledPathAllocsNothing is the hard half of the overhead contract:
+// with the gate off (and with a nil recorder, the default wiring), every
+// instrumented call site must allocate nothing.
+func TestDisabledPathAllocsNothing(t *testing.T) {
+	SetEnabled(false)
+	tr := NewTracer(16)
+	rec := NewRecorder(Config{SpanCapacity: 16})
+	var nilRec *Recorder
+	key := testKey(1)
+	cases := map[string]func(){
+		"tracer.Emit":        func() { tr.Emit(Span{Kind: KindIngress}) },
+		"recorder.Span":      func() { rec.Span(KindIngress, 0, 1, 0, 0, 0) },
+		"recorder.Flow":      func() { rec.FlowObserve(0, key, 100) },
+		"nil recorder span":  func() { nilRec.Span(KindIngress, 0, 1, 0, 0, 0) },
+		"nil recorder flow":  func() { nilRec.FlowObserve(0, key, 100) },
+		"nil recorder inst":  func() { nilRec.Instant(KindMiss, 0, 0, 0, 0) },
+		"nil recorder resid": func() { nilRec.FlowResidency(key, 1) },
+	}
+	for name, fn := range cases {
+		if allocs := testing.AllocsPerRun(1000, fn); allocs != 0 {
+			t.Errorf("%s: %g allocs/op with telemetry disabled, want 0", name, allocs)
+		}
+	}
+}
+
+// TestEnabledEmitAllocsNothing: even enabled, the ring write itself must
+// not allocate (the ring is pre-sized).
+func TestEnabledEmitAllocsNothing(t *testing.T) {
+	withTelemetry(t, func() {
+		tr := NewTracer(1 << 12)
+		if allocs := testing.AllocsPerRun(1000, func() {
+			tr.Emit(Span{Kind: KindIngress, Start: 1, End: 2})
+		}); allocs != 0 {
+			t.Errorf("enabled Emit allocates %g/op, want 0", allocs)
+		}
+	})
+}

@@ -1,0 +1,167 @@
+package testbed
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/telemetry"
+)
+
+// runWithTelemetry runs the Study A workload with a recorder wired in and
+// restores the process-wide gate afterwards so other tests see the default.
+func runWithTelemetry(t *testing.T, g openflow.BufferGranularity, rate float64, flows int) (*Testbed, *Result) {
+	t.Helper()
+	prev := telemetry.Enabled()
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+	buf := openflow.FlowBufferConfig{Granularity: g, RerequestTimeoutMs: 50}
+	cfg := DefaultConfig(buf, 256)
+	cfg.Telemetry = &telemetry.Config{}
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	sched, err := pktgen.SinglePacketFlows(pktgenConfig(rate), flows)
+	if err != nil {
+		t.Fatalf("SinglePacketFlows: %v", err)
+	}
+	res, err := tb.Run(sched)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return tb, res
+}
+
+func TestTelemetryObservesWithoutPerturbing(t *testing.T) {
+	// The determinism contract (DESIGN.md §12): recording schedules no kernel
+	// events and draws no randomness, so a telemetry run executes exactly the
+	// same event sequence — same event count, same results — as a bare run.
+	bare, err := New(DefaultConfig(openflow.FlowBufferConfig{
+		Granularity: openflow.GranularityFlow, RerequestTimeoutMs: 50}, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := pktgen.SinglePacketFlows(pktgenConfig(45), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareRes, err := bare.Run(sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tb, res := runWithTelemetry(t, openflow.GranularityFlow, 45, 400)
+
+	if got, want := tb.Kernel().Executed(), bare.Kernel().Executed(); got != want {
+		t.Errorf("kernel executed %d events with telemetry, %d without", got, want)
+	}
+	if res.FramesDelivered != bareRes.FramesDelivered ||
+		res.PacketIns != bareRes.PacketIns ||
+		res.CtrlLoadToControllerMbps != bareRes.CtrlLoadToControllerMbps ||
+		res.FlowSetupDelay.Mean() != bareRes.FlowSetupDelay.Mean() ||
+		res.BufferOccupancyMean != bareRes.BufferOccupancyMean ||
+		res.ControllerDelay.Mean() != bareRes.ControllerDelay.Mean() {
+		t.Error("telemetry run produced different results than bare run")
+	}
+	if tb.Telemetry().Tracer().Emitted() == 0 {
+		t.Error("telemetry run recorded no spans")
+	}
+}
+
+func TestTelemetrySpanTaxonomyCovered(t *testing.T) {
+	// Multi-packet flows exercise both the miss path (first packet of each
+	// flow) and the fast path (subsequent packets hitting the installed rule).
+	prev := telemetry.Enabled()
+	t.Cleanup(func() { telemetry.SetEnabled(prev) })
+	cfg := DefaultConfig(openflow.FlowBufferConfig{
+		Granularity: openflow.GranularityFlow, RerequestTimeoutMs: 50}, 256)
+	cfg.Telemetry = &telemetry.Config{}
+	tb, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := pktgen.InterleavedBursts(pktgenConfig(50), 50, 20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(sched); err != nil {
+		t.Fatal(err)
+	}
+	spans := tb.Telemetry().Tracer().Snapshot()
+	var seen [telemetry.NumSpanKinds]int
+	for _, s := range spans {
+		seen[s.Kind]++
+	}
+	// Every stage of the miss path must appear in a buffered-granularity run.
+	for _, k := range []telemetry.SpanKind{
+		telemetry.KindIngress, telemetry.KindForward, telemetry.KindMiss,
+		telemetry.KindBufferEnqueue, telemetry.KindPacketIn,
+		telemetry.KindControllerService, telemetry.KindControllerRTT,
+		telemetry.KindFlowMod, telemetry.KindBufferDrain,
+		telemetry.KindEgress, telemetry.KindFlowSetup,
+		telemetry.KindSwitchCPU, telemetry.KindControllerCPU,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("no %v spans recorded", k)
+		}
+	}
+	for _, s := range spans {
+		if s.End < s.Start {
+			t.Fatalf("span %v ends before it starts: %v > %v", s.Kind, s.Start, s.End)
+		}
+	}
+}
+
+func TestTelemetryFlowRecordsAccountEveryFrame(t *testing.T) {
+	const flows = 300
+	tb, res := runWithTelemetry(t, openflow.GranularityFlow, 50, flows)
+	recs := tb.Telemetry().Flows().Records()
+	if len(recs) != flows {
+		t.Fatalf("exported %d flow records, want %d", len(recs), flows)
+	}
+	var pkts, bytesTotal uint64
+	for _, r := range recs {
+		pkts += r.Packets
+		bytesTotal += r.Bytes
+		if r.LastSeen < r.FirstSeen {
+			t.Fatalf("record %v: last seen %v before first seen %v", r.Key, r.LastSeen, r.FirstSeen)
+		}
+	}
+	if pkts != uint64(res.FramesSent) {
+		t.Errorf("flow records account %d packets, testbed sent %d", pkts, res.FramesSent)
+	}
+	if bytesTotal == 0 {
+		t.Error("flow records account zero bytes")
+	}
+	var buf bytes.Buffer
+	if err := tb.Telemetry().Flows().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != telemetry.FlowCSVHeader {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if len(lines) != flows+1 {
+		t.Errorf("CSV has %d data rows, want %d", len(lines)-1, flows)
+	}
+}
+
+func TestTelemetryTraceExportLoadable(t *testing.T) {
+	tb, _ := runWithTelemetry(t, openflow.GranularityPacket, 40, 100)
+	var buf bytes.Buffer
+	if err := telemetry.WriteTrace(&buf, tb.Telemetry().Tracer().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty trace")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sdnbuffer/internal/pktgen"
 	"sdnbuffer/internal/sim"
 	"sdnbuffer/internal/switchd"
+	"sdnbuffer/internal/telemetry"
 )
 
 // Port numbers of the Fig. 1 topology.
@@ -76,6 +77,12 @@ type Config struct {
 	// Drain bounds how long the run may continue after the last emission to
 	// let in-flight work finish (default 2s of virtual time).
 	Drain time.Duration
+	// Telemetry, when non-nil, wires a packet-lifecycle recorder through the
+	// platform (switch, buffer mechanism, controller) and enables the
+	// process-wide telemetry gate. Recording is purely observational — it
+	// schedules no kernel events and draws no randomness — so results and
+	// event order are identical with or without it.
+	Telemetry *telemetry.Config
 }
 
 // DefaultConfig returns the paper's platform parameters with the given
@@ -221,6 +228,8 @@ type Testbed struct {
 	delivered int64
 	dups      int64
 	misorders int64
+
+	tel *telemetry.Recorder // nil unless Config.Telemetry is set
 }
 
 // New assembles a testbed.
@@ -269,6 +278,12 @@ func New(cfg Config) (*Testbed, error) {
 		index:   make(map[frameIdent]int),
 		flows:   make(map[int]*flowTrack),
 		emitted: make(map[frameIdent]int),
+	}
+	if cfg.Telemetry != nil {
+		tb.tel = telemetry.NewRecorder(*cfg.Telemetry)
+		telemetry.SetEnabled(true)
+		sw.SetTelemetry(tb.tel)
+		ctl.SetTelemetry(tb.tel)
 	}
 	if tb.h1ToSw, err = mkLink("h1->sw", cfg.HostLinkMbps, cfg.HostLinkPropagation); err != nil {
 		return nil, err
@@ -393,6 +408,11 @@ func (tb *Testbed) Controller() *controller.SimController { return tb.ctl }
 // Capture exposes the switch-side control-channel sniffers.
 func (tb *Testbed) Capture() *capture.ControlChannel { return tb.chans }
 
+// Telemetry exposes the packet-lifecycle recorder (nil unless
+// Config.Telemetry was set). After Run, the recorder holds the span ring
+// and the flushed flow records.
+func (tb *Testbed) Telemetry() *telemetry.Recorder { return tb.tel }
+
 // Injector exposes the controller-side fault injector (nil unless the chaos
 // plan configures controller faults).
 func (tb *Testbed) Injector() *chaos.Injector { return tb.inj }
@@ -428,6 +448,12 @@ func (tb *Testbed) onSwitchTransmit(port uint16, frame []byte) {
 			if !tr.haveLeave {
 				tr.leaveFirst = now
 				tr.haveLeave = true
+				if tb.tel != nil {
+					// The paper's flow setup delay, as a span: the flow's first
+					// packet entering the platform to its first packet leaving.
+					tb.tel.Span(telemetry.KindFlowSetup, tr.enterFirst, now,
+						telemetry.HashKey(ident.key), uint32(id), uint32(len(frame)))
+				}
 			}
 			if now > tr.leaveLast {
 				tr.leaveLast = now
@@ -494,6 +520,7 @@ func (tb *Testbed) Run(sched pktgen.Schedule) (*Result, error) {
 	for tb.kernel.Pending() > 0 && tb.kernel.Now() < deadline {
 		tb.kernel.Step()
 	}
+	tb.tel.Finish(tb.kernel.Now()) // flush live flow records (nil-safe)
 	return tb.collect(sched), nil
 }
 

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# telemetry_overhead.sh — measure the telemetry layer's hot-path cost and
+# emit the enabled-vs-disabled delta as JSON on stdout. Companion to
+# benchjson.sh; CI runs it (non-gating) and uploads the result as an
+# artifact so the "disabled telemetry costs one guard and zero allocations"
+# contract stays visible over time.
+#
+# Usage:
+#   scripts/telemetry_overhead.sh       # -count 1
+#   scripts/telemetry_overhead.sh 5     # -count 5 (awk keeps the last run)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count="${1:-1}"
+
+go test -run '^$' -bench 'BenchmarkTelemetry' -benchmem -count "$count" \
+    ./internal/telemetry/ | awk '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/^Benchmark/, "", name)
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    if (!(name in seen)) { order[n++] = name; seen[name] = 1 }
+    iters[name] = $2; ns[name] = $3; bytes[name] = $5; allocs[name] = $7
+}
+END {
+    printf "{\n"
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 0; i < n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, iters[name], ns[name], bytes[name], allocs[name], (i < n - 1 ? "," : "")
+    }
+    printf "  ],\n"
+    # The headline numbers: what one disabled-path call costs (the guard),
+    # and what enabling recording adds on top of it per span.
+    dis = ns["TelemetryDisabledGate"]
+    en  = ns["TelemetryEnabledSpan"]
+    printf "  \"delta\": {\n"
+    printf "    \"disabled_guard_ns\": %s,\n", dis
+    printf "    \"enabled_span_ns\": %s,\n", en
+    printf "    \"enabled_minus_disabled_ns\": %.2f,\n", en - dis
+    printf "    \"disabled_allocs_per_op\": %s,\n", allocs["TelemetryDisabledGate"]
+    printf "    \"disabled_nil_recorder_allocs_per_op\": %s\n", allocs["TelemetryDisabledNilRecorder"]
+    printf "  }\n}\n"
+}'
