@@ -11,6 +11,7 @@
 //	benchrunner -scenario resilience    # loss-rate × mechanism resilience sweep
 //	benchrunner -scenario outage        # control-blackout fail-mode scenario
 //	benchrunner -scenario delay-decomp  # per-stage delay decomposition vs M/M/c model
+//	benchrunner -scenario overload      # miss-storm sweep, unprotected vs protected
 //	benchrunner -trace out.json         # one traced run → Chrome trace_event JSON
 //	benchrunner -flowcsv flows.csv      # same run's NetFlow-style flow records
 //	benchrunner -csv results.csv        # also write CSV rows
@@ -46,7 +47,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		expList  = fs.String("experiments", "", "comma-separated figure ids (default: all)")
 		scenario = fs.String("scenario", "",
-			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp")
+			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp | overload")
 		tracePath = fs.String("trace", "",
 			"run one telemetry-instrumented workload and write its spans as Chrome trace_event JSON to this file")
 		flowCSVPath = fs.String("flowcsv", "",
@@ -268,8 +269,33 @@ func runScenario(name string, quick bool, repeats, parallel int, csv *os.File, s
 		}
 		fmt.Fprintf(stdout, "(delay-decomp in %v)\n", time.Since(start).Round(time.Millisecond))
 		return 0
+	case "overload":
+		opts := experiments.OverloadOptions{Repeats: repeats, Parallelism: parallel}
+		if quick {
+			opts.Repeats = 1
+			opts.FlowCounts = []int{32, 128}
+			opts.Rates = []float64{25, 100}
+		}
+		start := time.Now()
+		res, err := experiments.RunOverload(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: overload: %v\n", err)
+			return 1
+		}
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing table: %v\n", err)
+			return 1
+		}
+		if csv != nil {
+			if err := res.WriteCSV(csv, true); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "(overload in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	default:
-		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage or delay-decomp)\n", name)
+		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage, delay-decomp or overload)\n", name)
 		return 2
 	}
 }

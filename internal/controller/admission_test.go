@@ -1,0 +1,131 @@
+package controller
+
+import (
+	"testing"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/sim"
+)
+
+func admissionController(t *testing.T, bound int) (*sim.Kernel, *SimController, *[]openflow.Message) {
+	t.Helper()
+	k := sim.New(1)
+	f, err := NewReactiveForwarder(ForwarderConfig{Routes: defaultRoutes()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSimConfig()
+	cfg.Admission = AdmissionConfig{MaxPacketInQueue: bound}
+	ctl, err := NewSimController(k, cfg, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent []openflow.Message
+	ctl.SetSwitchSender(func(msg []byte) {
+		m, _, err := openflow.Decode(msg)
+		if err != nil {
+			t.Fatalf("controller emitted garbage: %v", err)
+		}
+		sent = append(sent, m)
+	})
+	return k, ctl, &sent
+}
+
+// TestAdmissionShedsPastBound pins the load-shedding rule: packet_ins past
+// the queue bound are refused before costing any CPU, a backpressure vendor
+// message goes out immediately, and the signal clears once the queue drains
+// below half the bound.
+func TestAdmissionShedsPastBound(t *testing.T) {
+	k, ctl, sent := admissionController(t, 2)
+	// Three packet_ins land back-to-back at t=0, before the CPU can run: two
+	// admitted, the third shed.
+	for i := 0; i < 3; i++ {
+		ctl.Deliver(openflow.MustEncode(testPacketIn(t, uint32(100+i), 128), uint32(i)))
+	}
+	if shed, shedBytes := ctl.AdmissionStats(); shed != 1 || shedBytes == 0 {
+		t.Fatalf("shed = %d (%d bytes), want 1 packet_in shed", shed, shedBytes)
+	}
+	if ctl.PacketInQueueDepth() != 2 {
+		t.Fatalf("queue depth = %d, want 2", ctl.PacketInQueueDepth())
+	}
+	// The backpressure assert bypasses the CPU: it is already on the wire.
+	var bp *openflow.BackpressureSignal
+	for _, m := range *sent {
+		if v, ok := m.(*openflow.Vendor); ok {
+			if p, err := openflow.ParseVendor(v); err == nil && p.Backpressure != nil {
+				bp = p.Backpressure
+			}
+		}
+	}
+	if bp == nil || bp.Level == 0 {
+		t.Fatal("no asserted backpressure signal sent on shed")
+	}
+
+	k.Run()
+	if ctl.PacketInQueueDepth() != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", ctl.PacketInQueueDepth())
+	}
+	// Draining to ≤ bound/2 clears the signal: the last vendor message on
+	// the wire must be level 0.
+	var last *openflow.BackpressureSignal
+	for _, m := range *sent {
+		if v, ok := m.(*openflow.Vendor); ok {
+			if p, err := openflow.ParseVendor(v); err == nil && p.Backpressure != nil {
+				last = p.Backpressure
+			}
+		}
+	}
+	if last == nil || last.Level != 0 {
+		t.Errorf("backpressure not cleared after drain: %+v", last)
+	}
+	// Admitted packet_ins were still answered (flow_mod + packet_out each).
+	if h, e := ctl.Handled(); h != 2 || e != 0 {
+		t.Errorf("handled/errors = %d/%d, want 2/0", h, e)
+	}
+}
+
+// TestAdmissionDisabledByDefault pins the legacy path: the zero config
+// queues without bound and never sheds or signals.
+func TestAdmissionDisabledByDefault(t *testing.T) {
+	k, ctl, sent := admissionController(t, 0)
+	for i := 0; i < 50; i++ {
+		ctl.Deliver(openflow.MustEncode(testPacketIn(t, uint32(100+i), 128), uint32(i)))
+	}
+	if shed, _ := ctl.AdmissionStats(); shed != 0 {
+		t.Fatalf("shed = %d with admission disabled", shed)
+	}
+	k.Run()
+	for _, m := range *sent {
+		if v, ok := m.(*openflow.Vendor); ok {
+			if p, err := openflow.ParseVendor(v); err == nil && p.Backpressure != nil {
+				t.Fatal("backpressure sent with admission disabled")
+			}
+		}
+	}
+	if h, _ := ctl.Handled(); h != 50 {
+		t.Errorf("handled = %d, want 50", h)
+	}
+}
+
+// TestAdmissionIgnoresNonPacketIn pins that the bound applies to packet_ins
+// only — echo traffic flows regardless of queue state.
+func TestAdmissionIgnoresNonPacketIn(t *testing.T) {
+	k, ctl, sent := admissionController(t, 1)
+	ctl.Deliver(openflow.MustEncode(testPacketIn(t, 100, 128), 1))
+	for i := 0; i < 5; i++ {
+		ctl.Deliver(openflow.MustEncode(&openflow.EchoRequest{Data: []byte("x")}, uint32(10+i)))
+	}
+	if shed, _ := ctl.AdmissionStats(); shed != 0 {
+		t.Fatalf("echo traffic shed: %d", shed)
+	}
+	k.Run()
+	echoes := 0
+	for _, m := range *sent {
+		if _, ok := m.(*openflow.EchoReply); ok {
+			echoes++
+		}
+	}
+	if echoes != 5 {
+		t.Errorf("echo replies = %d, want 5", echoes)
+	}
+}

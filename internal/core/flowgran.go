@@ -93,6 +93,21 @@ func NewFlowGranularity(capacity, missSendLen int, rerequestTimeout time.Duratio
 	if err != nil {
 		return nil, err
 	}
+	return newFlowGranularityOn(pool, missSendLen, rerequestTimeout, maxPerFlow)
+}
+
+// newFlowGranularityOn builds the mechanism over an existing pool, so the
+// degradation ladder can share one pool across granularities.
+func newFlowGranularityOn(pool *Pool, missSendLen int, rerequestTimeout time.Duration, maxPerFlow int) (*FlowGranularity, error) {
+	if missSendLen <= 0 {
+		return nil, fmt.Errorf("core: miss_send_len must be positive, got %d", missSendLen)
+	}
+	if rerequestTimeout <= 0 {
+		return nil, fmt.Errorf("core: re-request timeout must be positive, got %v", rerequestTimeout)
+	}
+	if maxPerFlow < 0 {
+		return nil, fmt.Errorf("core: negative max packets per flow %d", maxPerFlow)
+	}
 	return &FlowGranularity{
 		pool:             pool,
 		missSendLen:      missSendLen,
@@ -131,7 +146,9 @@ func (*FlowGranularity) Granularity() openflow.BufferGranularity {
 // flowBufferID derives the flow's buffer_id from its 5-tuple, as the paper
 // specifies ("calculated based on the tuple of (src_ip, src_port, dst_ip,
 // dst_port, protocol)"), probing past ids already held by other live flows
-// and the NoBuffer sentinel.
+// and the NoBuffer sentinel. With a private pool, probing the pool's units
+// is redundant with byID; under the degradation ladder the pool is shared
+// with the packet-granularity path, whose units must be probed past too.
 func (m *FlowGranularity) flowBufferID(key packet.FlowKey) uint32 {
 	h := fnv.New32a()
 	src := key.SrcIP.As4()
@@ -147,7 +164,9 @@ func (m *FlowGranularity) flowBufferID(key packet.FlowKey) uint32 {
 	for {
 		if id != openflow.NoBuffer {
 			if _, taken := m.byID[id]; !taken {
-				return id
+				if _, live := m.pool.units[id]; !live {
+					return id
+				}
 			}
 		}
 		id++
@@ -190,6 +209,7 @@ func (m *FlowGranularity) HandleMiss(now time.Duration, inPort uint16, data []by
 		}
 		if m.tel != nil {
 			m.tel.Instant(telemetry.KindBufferEnqueue, now, telemetry.HashKey(key), st.bufferID, uint32(len(data)))
+			m.tel.FlowBuffered(key, len(data))
 		}
 		return MissResult{Buffered: true}
 	}
@@ -222,6 +242,7 @@ func (m *FlowGranularity) HandleMiss(now time.Duration, inPort uint16, data []by
 	m.packetIns++
 	if m.tel != nil {
 		m.tel.Instant(telemetry.KindBufferEnqueue, now, telemetry.HashKey(key), id, uint32(len(data)))
+		m.tel.FlowBuffered(key, len(data))
 	}
 	return MissResult{PacketIn: st.header, Buffered: true}
 }
@@ -371,6 +392,9 @@ func (m *FlowGranularity) Stats(now time.Duration) openflow.FlowBufferStats {
 		Rerequests:      m.rerequests,
 		DroppedNoBuffer: m.fallbacks,
 		Giveups:         m.giveups,
+		BytesInUse:      uint64(m.pool.BytesInUse()),
+		BytesHighWater:  uint64(m.pool.BytesHighWater()),
+		RejectedBytes:   m.pool.RejectedBytes(),
 	}
 }
 

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/telemetry"
+)
+
+// OverloadConfig enables the overload-protection layer on a pool-backed
+// mechanism. The zero value disables everything, which keeps legacy runs
+// byte-identical: no byte budget, no per-flow admission threshold, no
+// degradation ladder.
+type OverloadConfig struct {
+	// ByteBudget caps the bytes the buffer pool may hold across all units
+	// (0 = unlimited, units-only accounting as before).
+	ByteBudget int64
+	// AdmitFraction is the BShare-style dynamic-threshold α: one flow's
+	// queue may grow only to α·(budget − bytes in use). 0 disables.
+	AdmitFraction float64
+	// Ladder, when non-nil, wraps the flow-granularity mechanism in the
+	// automatic degradation ladder. Requires GranularityFlow.
+	Ladder *LadderConfig
+}
+
+// LadderConfig tunes the degradation ladder's hysteresis. Pressure is the
+// worst of the pool's unit fraction, its byte fraction, and the controller
+// backpressure signal (which pins pressure to 1 while asserted).
+type LadderConfig struct {
+	// UpThreshold: pressure at or above it, sustained for HoldUp, climbs
+	// one rung. Default 0.9.
+	UpThreshold float64
+	// DownThreshold: pressure at or below it, sustained for HoldDown,
+	// descends one rung. Default 0.5. Must stay below UpThreshold; the
+	// dead band between them is what prevents level flapping.
+	DownThreshold float64
+	// HoldUp / HoldDown are the sustain times before a transition.
+	// Defaults 5ms and 25ms (recovery deliberately slower than escalation).
+	HoldUp   time.Duration
+	HoldDown time.Duration
+}
+
+func (c *LadderConfig) withDefaults() LadderConfig {
+	out := *c
+	if out.UpThreshold == 0 {
+		out.UpThreshold = 0.9
+	}
+	if out.DownThreshold == 0 {
+		out.DownThreshold = 0.5
+	}
+	if out.HoldUp == 0 {
+		out.HoldUp = 5 * time.Millisecond
+	}
+	if out.HoldDown == 0 {
+		out.HoldDown = 25 * time.Millisecond
+	}
+	return out
+}
+
+func (c LadderConfig) validate() error {
+	if c.UpThreshold <= 0 || c.UpThreshold > 1 {
+		return fmt.Errorf("core: ladder up threshold %v outside (0,1]", c.UpThreshold)
+	}
+	if c.DownThreshold < 0 || c.DownThreshold >= c.UpThreshold {
+		return fmt.Errorf("core: ladder down threshold %v not below up threshold %v", c.DownThreshold, c.UpThreshold)
+	}
+	if c.HoldUp < 0 || c.HoldDown < 0 {
+		return fmt.Errorf("core: negative ladder hold time")
+	}
+	return nil
+}
+
+// DegradeLevel is a rung of the degradation ladder, ordered from full
+// service to last-resort local forwarding.
+type DegradeLevel uint8
+
+const (
+	// LevelFlow: normal operation, the paper's flow-granularity buffering.
+	LevelFlow DegradeLevel = iota
+	// LevelPacket: per-packet buffering — no per-flow queues to grow, each
+	// unit is bounded by one MTU.
+	LevelPacket
+	// LevelNoBuffer: buffering off; misses travel in full inside packet_in
+	// and the pool gets to drain.
+	LevelNoBuffer
+	// LevelStandalone: the switch stops consulting the controller for new
+	// misses and falls back to fail-standalone L2 learning.
+	LevelStandalone
+)
+
+// String names the rung for tables and logs.
+func (l DegradeLevel) String() string {
+	switch l {
+	case LevelFlow:
+		return "flow"
+	case LevelPacket:
+		return "packet"
+	case LevelNoBuffer:
+		return "no-buffer"
+	case LevelStandalone:
+		return "standalone"
+	default:
+		return fmt.Sprintf("level-%d", uint8(l))
+	}
+}
+
+// LadderTransition records one rung change.
+type LadderTransition struct {
+	At       time.Duration
+	From, To DegradeLevel
+}
+
+// Ladder is the automatic degradation ladder: a Mechanism that dispatches
+// each miss to flow-granularity, packet-granularity, no-buffer, or the
+// datapath's standalone path depending on sustained pool/queue pressure.
+// All buffering rungs share ONE pool, so buffered state survives rung
+// changes and drains through its original path (a flow buffered at
+// LevelFlow still re-requests and releases while the ladder sits at
+// LevelNoBuffer).
+type Ladder struct {
+	cfg  LadderConfig
+	pool *Pool
+	flow *FlowGranularity
+	pkt  *PacketGranularity
+	none *NoBuffer
+
+	level    DegradeLevel
+	maxLevel DegradeLevel
+
+	backpressure bool // controller admission signal; pins pressure to 1
+
+	// Hysteresis state: a threshold crossing arms a hold timer; the
+	// transition happens only if the condition survives the hold.
+	hiArmed, loArmed bool
+	hiSince, loSince time.Duration
+	lastEval         time.Duration
+
+	transitions      []LadderTransition
+	standaloneMisses uint64
+
+	tel *telemetry.Recorder
+}
+
+var _ Mechanism = (*Ladder)(nil)
+
+// NewLadder builds the ladder from the wire-level flow-buffer config plus
+// the overload config. cfg.Granularity must be GranularityFlow: the ladder
+// is a protection wrapper for the paper's mechanism, not a mode of its own.
+func NewLadder(cfg openflow.FlowBufferConfig, capacity, missSendLen int, expiry time.Duration, ov OverloadConfig) (*Ladder, error) {
+	if cfg.Granularity != openflow.GranularityFlow {
+		return nil, fmt.Errorf("core: degradation ladder requires flow granularity, got %d", uint8(cfg.Granularity))
+	}
+	if ov.Ladder == nil {
+		return nil, fmt.Errorf("core: nil ladder config")
+	}
+	lcfg := ov.Ladder.withDefaults()
+	if err := lcfg.validate(); err != nil {
+		return nil, err
+	}
+	pool, err := NewPool(capacity, expiry)
+	if err != nil {
+		return nil, err
+	}
+	if err := pool.SetByteBudget(ov.ByteBudget); err != nil {
+		return nil, err
+	}
+	if err := pool.SetAdmitFraction(ov.AdmitFraction); err != nil {
+		return nil, err
+	}
+	timeout := time.Duration(cfg.RerequestTimeoutMs) * time.Millisecond
+	flow, err := newFlowGranularityOn(pool, missSendLen, timeout, int(cfg.MaxPacketsPerFlow))
+	if err != nil {
+		return nil, err
+	}
+	if err := flow.SetRetryPolicy(RetryPolicy{
+		MaxRerequests: int(cfg.MaxRerequests),
+		BackoffPct:    int(cfg.RerequestBackoffPct),
+	}); err != nil {
+		return nil, err
+	}
+	pkt, err := newPacketGranularityOn(pool, missSendLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Ladder{
+		cfg:  lcfg,
+		pool: pool,
+		flow: flow,
+		pkt:  pkt,
+		none: NewNoBuffer(),
+	}, nil
+}
+
+// SetTelemetry wires the recorder into the ladder and its inner mechanisms.
+func (l *Ladder) SetTelemetry(rec *telemetry.Recorder) {
+	l.tel = rec
+	l.flow.SetTelemetry(rec)
+	l.pkt.SetTelemetry(rec)
+}
+
+// Granularity implements Mechanism: the configured (top-rung) mode.
+func (*Ladder) Granularity() openflow.BufferGranularity { return openflow.GranularityFlow }
+
+// Level reports the current rung; MaxLevel the worst rung ever reached.
+func (l *Ladder) Level() DegradeLevel    { return l.level }
+func (l *Ladder) MaxLevel() DegradeLevel { return l.maxLevel }
+
+// Transitions returns a copy of every rung change in order.
+func (l *Ladder) Transitions() []LadderTransition {
+	out := make([]LadderTransition, len(l.transitions))
+	copy(out, l.transitions)
+	return out
+}
+
+// StandaloneMisses reports misses routed to the datapath's standalone path.
+func (l *Ladder) StandaloneMisses() uint64 { return l.standaloneMisses }
+
+// Backpressure reports whether the controller signal is asserted.
+func (l *Ladder) Backpressure() bool { return l.backpressure }
+
+// SetBackpressure records the controller's admission signal. While on, the
+// ladder sees pressure 1 regardless of pool state.
+func (l *Ladder) SetBackpressure(on bool, now time.Duration) {
+	if l.backpressure == on {
+		return
+	}
+	l.backpressure = on
+	l.evaluate(now)
+}
+
+// pressure is the worst of the unit fraction, the byte fraction, and the
+// backpressure signal.
+func (l *Ladder) pressure(now time.Duration) float64 {
+	l.pool.sweep(now)
+	p := float64(l.pool.occupied()) / float64(l.pool.capacity)
+	if l.pool.byteBudget > 0 {
+		if bf := float64(l.pool.bytesLive) / float64(l.pool.byteBudget); bf > p {
+			p = bf
+		}
+	}
+	if l.backpressure && p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// evaluate runs the hysteresis state machine at now. Crossing a threshold
+// arms a hold timer; the rung changes only once the condition has been
+// sustained for the hold, and each further rung requires a fresh hold.
+func (l *Ladder) evaluate(now time.Duration) {
+	l.lastEval = now
+	p := l.pressure(now)
+	switch {
+	case p >= l.cfg.UpThreshold && l.level < LevelStandalone:
+		l.loArmed = false
+		if !l.hiArmed {
+			l.hiArmed, l.hiSince = true, now
+		}
+		if now-l.hiSince >= l.cfg.HoldUp {
+			l.shift(now, l.level+1)
+			l.hiSince = now
+		}
+	case p <= l.cfg.DownThreshold && l.level > LevelFlow:
+		l.hiArmed = false
+		if !l.loArmed {
+			l.loArmed, l.loSince = true, now
+		}
+		if now-l.loSince >= l.cfg.HoldDown {
+			l.shift(now, l.level-1)
+			l.loSince = now
+		}
+	default:
+		l.hiArmed, l.loArmed = false, false
+	}
+}
+
+func (l *Ladder) shift(now time.Duration, to DegradeLevel) {
+	from := l.level
+	l.level = to
+	if to > l.maxLevel {
+		l.maxLevel = to
+	}
+	l.transitions = append(l.transitions, LadderTransition{At: now, From: from, To: to})
+	if l.tel != nil {
+		l.tel.Instant(telemetry.KindDegrade, now, 0, uint32(from)<<8|uint32(to), 0)
+	}
+}
+
+// HandleMiss implements Mechanism: dispatch by rung, then feed the
+// resulting pool state back into the hysteresis.
+func (l *Ladder) HandleMiss(now time.Duration, inPort uint16, data []byte, key packet.FlowKey) MissResult {
+	var res MissResult
+	switch l.level {
+	case LevelFlow:
+		res = l.flow.HandleMiss(now, inPort, data, key)
+	case LevelPacket:
+		res = l.pkt.HandleMiss(now, inPort, data, key)
+	case LevelNoBuffer:
+		res = l.none.HandleMiss(now, inPort, data, key)
+	default: // LevelStandalone
+		l.standaloneMisses++
+		res = MissResult{Standalone: true}
+	}
+	l.evaluate(now)
+	return res
+}
+
+// Release implements Mechanism, routing by which inner path owns the id.
+// Flow and packet units share one pool with disjoint ids, so membership in
+// the flow mechanism's id map decides.
+func (l *Ladder) Release(now time.Duration, bufferID uint32) ([]Released, error) {
+	var out []Released
+	var err error
+	if _, isFlow := l.flow.byID[bufferID]; isFlow {
+		out, err = l.flow.Release(now, bufferID)
+	} else {
+		out, err = l.pkt.Release(now, bufferID)
+	}
+	l.evaluate(now)
+	return out, err
+}
+
+// Drop implements Mechanism.
+func (l *Ladder) Drop(now time.Duration, bufferID uint32) error {
+	var err error
+	if _, isFlow := l.flow.byID[bufferID]; isFlow {
+		err = l.flow.Drop(now, bufferID)
+	} else {
+		err = l.pkt.Drop(now, bufferID)
+	}
+	l.evaluate(now)
+	return err
+}
+
+// NextDeadline implements Mechanism: the earliest of the inner mechanisms'
+// deadlines, any armed hysteresis hold, and — while degraded with no hold
+// armed — a re-evaluation heartbeat. The heartbeat is what guarantees
+// recovery: pool pressure can decay purely by time (slot reclamation,
+// expiry) with no traffic to trigger an evaluate, so a degraded ladder
+// keeps a Tick scheduled until it is back at LevelFlow.
+func (l *Ladder) NextDeadline() (time.Duration, bool) {
+	next := time.Duration(0)
+	found := false
+	consider := func(d time.Duration) {
+		if !found || d < next {
+			next, found = d, true
+		}
+	}
+	if d, ok := l.flow.NextDeadline(); ok {
+		consider(d)
+	}
+	if d, ok := l.pkt.NextDeadline(); ok {
+		consider(d)
+	}
+	if l.hiArmed {
+		consider(l.hiSince + l.cfg.HoldUp)
+	}
+	if l.level > LevelFlow {
+		if l.loArmed {
+			consider(l.loSince + l.cfg.HoldDown)
+		} else {
+			consider(l.lastEval + l.cfg.HoldDown)
+		}
+	}
+	return next, found
+}
+
+// Tick implements Mechanism: run both buffering rungs' timer work (flows
+// keep re-requesting and expiring whatever the current rung), then
+// re-evaluate the hysteresis.
+func (l *Ladder) Tick(now time.Duration) []*openflow.PacketIn {
+	out := l.flow.Tick(now)
+	l.pkt.Tick(now)
+	l.evaluate(now)
+	return out
+}
+
+// Stats implements Mechanism, merging the inner mechanisms' counters over
+// the shared pool.
+func (l *Ladder) Stats(now time.Duration) openflow.FlowBufferStats {
+	return openflow.FlowBufferStats{
+		UnitsInUse:      uint32(l.pool.InUse(now)),
+		UnitsCapacity:   uint32(l.pool.Capacity()),
+		FlowsBuffered:   uint32(len(l.flow.flows)),
+		PacketIns:       l.flow.packetIns + l.pkt.packetIns + l.none.packetIns,
+		Rerequests:      l.flow.rerequests,
+		DroppedNoBuffer: l.flow.fallbacks + l.pkt.fallbacks,
+		Giveups:         l.flow.giveups,
+		BytesInUse:      uint64(l.pool.BytesInUse()),
+		BytesHighWater:  uint64(l.pool.BytesHighWater()),
+		RejectedBytes:   l.pool.RejectedBytes(),
+	}
+}
+
+// OccupancyMean implements Mechanism.
+func (l *Ladder) OccupancyMean(now time.Duration) float64 { return l.pool.OccupancyMean(now) }
+
+// OccupancyMax implements Mechanism.
+func (l *Ladder) OccupancyMax() float64 { return l.pool.OccupancyMax() }
+
+// Pool exposes the shared pool for stats collection and tests.
+func (l *Ladder) Pool() *Pool { return l.pool }
+
+// NewOverloadMechanism builds a mechanism from the wire config plus an
+// overload config: the full ladder when one is requested, otherwise the
+// plain mechanism with the byte budget and admission threshold applied to
+// its pool. With a zero OverloadConfig it is NewMechanism exactly.
+func NewOverloadMechanism(cfg openflow.FlowBufferConfig, capacity, missSendLen int, expiry time.Duration, ov OverloadConfig) (Mechanism, error) {
+	if ov.Ladder != nil {
+		return NewLadder(cfg, capacity, missSendLen, expiry, ov)
+	}
+	mech, err := NewMechanism(cfg, capacity, missSendLen, expiry)
+	if err != nil {
+		return nil, err
+	}
+	if pm, ok := mech.(interface{ Pool() *Pool }); ok {
+		if err := pm.Pool().SetByteBudget(ov.ByteBudget); err != nil {
+			return nil, err
+		}
+		if err := pm.Pool().SetAdmitFraction(ov.AdmitFraction); err != nil {
+			return nil, err
+		}
+	} else if ov.ByteBudget > 0 || ov.AdmitFraction > 0 {
+		return nil, fmt.Errorf("core: byte budget requires a pool-backed mechanism, got granularity %d", uint8(cfg.Granularity))
+	}
+	return mech, nil
+}

@@ -1,0 +1,407 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+)
+
+func TestPoolByteBudgetRejectsStore(t *testing.T) {
+	p := mustPool(t, 16, 0)
+	if err := p.SetByteBudget(-1); err == nil {
+		t.Error("accepted negative byte budget")
+	}
+	if err := p.SetByteBudget(2500); err != nil {
+		t.Fatal(err)
+	}
+	u1, err := p.Store(0, 1, testData(0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1.Bytes != 1000 || p.BytesInUse() != 1000 {
+		t.Fatalf("Bytes = %d, BytesInUse = %d, want 1000/1000", u1.Bytes, p.BytesInUse())
+	}
+	if _, err := p.Store(0, 1, testData(1, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Store(0, 1, testData(2, 1000)); !errors.Is(err, ErrByteBudgetExhausted) {
+		t.Fatalf("third store err = %v, want ErrByteBudgetExhausted", err)
+	}
+	if p.RejectedBytes() != 1000 {
+		t.Errorf("RejectedBytes = %d, want 1000", p.RejectedBytes())
+	}
+	if p.BytesHighWater() != 2000 {
+		t.Errorf("BytesHighWater = %d, want 2000", p.BytesHighWater())
+	}
+	// Releasing frees the bytes immediately: the reclaim delay models the
+	// slot, not the packet memory.
+	if _, err := p.Release(time.Millisecond, u1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.BytesInUse() != 1000 {
+		t.Errorf("BytesInUse after release = %d, want 1000", p.BytesInUse())
+	}
+	if _, err := p.Store(time.Millisecond, 1, testData(3, 1000)); err != nil {
+		t.Errorf("store after release rejected: %v", err)
+	}
+}
+
+func TestPoolAdmitFractionThrottlesElephant(t *testing.T) {
+	p := mustPool(t, 16, 0)
+	if err := p.SetAdmitFraction(1.5); err == nil {
+		t.Error("accepted admit fraction above 1")
+	}
+	if err := p.SetByteBudget(4000); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetAdmitFraction(0.5); err != nil {
+		t.Fatal(err)
+	}
+	u, err := p.Store(0, 1, testData(0, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// threshold = 0.5·(4000−600) = 1700; unit grows to 1200 ≤ 1700: admitted.
+	if err := p.Append(0, u.ID, 1, testData(1, 600)); err != nil {
+		t.Fatal(err)
+	}
+	// threshold = 0.5·(4000−1200) = 1400; unit would grow to 1800: rejected.
+	if err := p.Append(0, u.ID, 1, testData(2, 600)); !errors.Is(err, ErrFlowOverThreshold) {
+		t.Fatalf("append err = %v, want ErrFlowOverThreshold", err)
+	}
+	if p.ThresholdRejections() != 1 {
+		t.Errorf("ThresholdRejections = %d, want 1", p.ThresholdRejections())
+	}
+	// A new flow's first packet is still admitted — the threshold throttles
+	// elephants, not mice.
+	if _, err := p.Store(0, 1, testData(3, 600)); err != nil {
+		t.Errorf("mouse store rejected while elephant throttled: %v", err)
+	}
+}
+
+// TestPoolByteAccountingProperty drives randomized Store/Append/Release/
+// Expire interleavings and checks after every operation that the pool's
+// byte counter equals the sum over live units, never exceeds the budget,
+// and drains to exactly zero with the units.
+func TestPoolByteAccountingProperty(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := mustPool(t, 24, 50*time.Millisecond)
+		if err := p.SetByteBudget(16000); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.SetAdmitFraction(0.5); err != nil {
+			t.Fatal(err)
+		}
+		p.SetReclaimDelay(5 * time.Millisecond)
+
+		liveIDs := func() []uint32 {
+			ids := make([]uint32, 0, len(p.units))
+			for id := range p.units {
+				ids = append(ids, id)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			return ids
+		}
+		check := func(op string) {
+			t.Helper()
+			var sum int64
+			for _, u := range p.units {
+				sum += int64(u.Bytes)
+			}
+			if p.BytesInUse() != sum {
+				t.Fatalf("seed %d after %s: BytesInUse = %d, live units sum %d", seed, op, p.BytesInUse(), sum)
+			}
+			if p.BytesInUse() > p.ByteBudget() {
+				t.Fatalf("seed %d after %s: BytesInUse %d over budget %d", seed, op, p.BytesInUse(), p.ByteBudget())
+			}
+		}
+
+		now := time.Duration(0)
+		for i := 0; i < 2000; i++ {
+			now += time.Duration(rng.Intn(2000)) * time.Microsecond
+			switch rng.Intn(5) {
+			case 0, 1:
+				_, _ = p.Store(now, 1, testData(i, 200+rng.Intn(1200)))
+				check("store")
+			case 2:
+				if ids := liveIDs(); len(ids) > 0 {
+					_ = p.Append(now, ids[rng.Intn(len(ids))], 1, testData(i, 100+rng.Intn(500)))
+					check("append")
+				}
+			case 3:
+				if ids := liveIDs(); len(ids) > 0 {
+					_, _ = p.Release(now, ids[rng.Intn(len(ids))])
+					check("release")
+				}
+			case 4:
+				p.Expire(now)
+				check("expire")
+			}
+		}
+		// Drain: everything left expires.
+		now += time.Hour
+		p.Expire(now)
+		if p.Live() != 0 {
+			t.Fatalf("seed %d: %d units leaked after drain", seed, p.Live())
+		}
+		if p.BytesInUse() != 0 {
+			t.Fatalf("seed %d: %d bytes leaked after drain", seed, p.BytesInUse())
+		}
+	}
+}
+
+// TestFlowGiveUpInterleavingsLeakNothing drives the flow mechanism with a
+// bounded retry policy through randomized miss/release/timer interleavings
+// over a byte-budgeted pool: whatever order gives-ups, releases and expiry
+// land in, the pool must drain to zero units AND zero bytes.
+func TestFlowGiveUpInterleavingsLeakNothing(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := NewFlowGranularity(16, 128, 10*time.Millisecond, 4, 40*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.SetRetryPolicy(RetryPolicy{MaxRerequests: 2, BackoffPct: 100}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Pool().SetByteBudget(8000); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Pool().SetAdmitFraction(0.5); err != nil {
+			t.Fatal(err)
+		}
+
+		now := time.Duration(0)
+		var buffered []uint32
+		for i := 0; i < 600; i++ {
+			now += time.Duration(rng.Intn(3000)) * time.Microsecond
+			switch rng.Intn(4) {
+			case 0, 1: // miss: reuse a few keys so flows grow multi-packet queues
+				res := m.HandleMiss(now, 1, testData(i, 400+rng.Intn(800)), testKey(rng.Intn(20)))
+				if res.Buffered && res.PacketIn != nil {
+					buffered = append(buffered, res.PacketIn.BufferID)
+				}
+			case 2: // controller answers a random outstanding flow
+				if len(buffered) > 0 {
+					j := rng.Intn(len(buffered))
+					_, _ = m.Release(now, buffered[j])
+					buffered = append(buffered[:j], buffered[j+1:]...)
+				}
+			case 3: // timers: re-requests, give-ups, expiry
+				if d, ok := m.NextDeadline(); ok && d <= now {
+					m.Tick(now)
+				}
+			}
+		}
+		// Drain: run every remaining deadline (give-ups and expiry fire), then
+		// one final far-future tick.
+		for guard := 0; ; guard++ {
+			if guard > 10000 {
+				t.Fatalf("seed %d: deadlines never drained", seed)
+			}
+			d, ok := m.NextDeadline()
+			if !ok {
+				break
+			}
+			now = d
+			m.Tick(now)
+		}
+		m.Tick(now + time.Hour)
+		if live := m.Pool().Live(); live != 0 {
+			t.Fatalf("seed %d: %d units leaked", seed, live)
+		}
+		if b := m.Pool().BytesInUse(); b != 0 {
+			t.Fatalf("seed %d: %d bytes leaked", seed, b)
+		}
+		if m.FlowsBuffered() != 0 {
+			t.Fatalf("seed %d: %d flow records leaked", seed, m.FlowsBuffered())
+		}
+	}
+}
+
+func ladderForTest(t *testing.T, budget int64) *Ladder {
+	t.Helper()
+	lad, err := NewLadder(openflow.FlowBufferConfig{
+		Granularity:        openflow.GranularityFlow,
+		RerequestTimeoutMs: 50,
+	}, 64, 128, 0, OverloadConfig{
+		ByteBudget:    budget,
+		AdmitFraction: 1,
+		Ladder: &LadderConfig{
+			UpThreshold:   0.9,
+			DownThreshold: 0.5,
+			HoldUp:        time.Millisecond,
+			HoldDown:      2 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lad
+}
+
+// TestLadderDegradesAndRecovers pins the ladder's rung sequence: a miss
+// storm worth twice the byte budget climbs flow → packet → no-buffer, and
+// once the controller answers everything the ladder walks back down to
+// flow granularity with nothing left in the pool.
+func TestLadderDegradesAndRecovers(t *testing.T) {
+	lad := ladderForTest(t, 4000)
+	now := time.Duration(0)
+	var ids []uint32
+	for i := 0; lad.Level() < LevelNoBuffer; i++ {
+		if i > 1000 {
+			t.Fatal("ladder never reached no-buffer")
+		}
+		res := lad.HandleMiss(now, 1, testData(i, 1000), testKey(i))
+		if res.Buffered && res.PacketIn != nil {
+			ids = append(ids, res.PacketIn.BufferID)
+		}
+		now += 200 * time.Microsecond
+	}
+	tr := lad.Transitions()
+	if len(tr) != 2 ||
+		tr[0].From != LevelFlow || tr[0].To != LevelPacket ||
+		tr[1].From != LevelPacket || tr[1].To != LevelNoBuffer {
+		t.Fatalf("transitions = %+v, want flow→packet→no-buffer", tr)
+	}
+	if lad.MaxLevel() != LevelNoBuffer {
+		t.Errorf("MaxLevel = %v, want no-buffer", lad.MaxLevel())
+	}
+
+	// Pressure subsides: the controller releases every buffered unit.
+	for _, id := range ids {
+		if _, err := lad.Release(now, id); err != nil {
+			t.Fatalf("release %d: %v", id, err)
+		}
+	}
+	// The heartbeat deadline drives recovery with zero further traffic.
+	for guard := 0; lad.Level() != LevelFlow; guard++ {
+		if guard > 100 {
+			t.Fatalf("ladder never recovered, stuck at %v", lad.Level())
+		}
+		d, ok := lad.NextDeadline()
+		if !ok {
+			t.Fatalf("degraded ladder at %v has no deadline", lad.Level())
+		}
+		now = d
+		lad.Tick(now)
+	}
+	if got := len(lad.Transitions()); got != 4 {
+		t.Errorf("transitions after recovery = %d, want 4 (two up, two down)", got)
+	}
+	if lad.Pool().Live() != 0 || lad.Pool().BytesInUse() != 0 {
+		t.Errorf("pool leaked: %d units, %d bytes", lad.Pool().Live(), lad.Pool().BytesInUse())
+	}
+}
+
+// TestLadderStandaloneRung pins the last rung: sustained pressure past
+// no-buffer routes misses to the datapath's standalone path.
+func TestLadderStandaloneRung(t *testing.T) {
+	lad := ladderForTest(t, 4000)
+	now := time.Duration(0)
+	for i := 0; lad.Level() < LevelStandalone; i++ {
+		if i > 1000 {
+			t.Fatal("ladder never reached standalone")
+		}
+		lad.HandleMiss(now, 1, testData(i, 1000), testKey(i))
+		now += 200 * time.Microsecond
+	}
+	res := lad.HandleMiss(now, 1, testData(0, 1000), testKey(0))
+	if !res.Standalone || res.PacketIn != nil {
+		t.Errorf("standalone rung returned %+v, want Standalone with no packet_in", res)
+	}
+	if lad.StandaloneMisses() == 0 {
+		t.Error("StandaloneMisses not counted")
+	}
+}
+
+// TestLadderBackpressurePinsPressure pins the controller admission signal:
+// backpressure alone (an empty pool) escalates, and clearing it lets the
+// ladder recover.
+func TestLadderBackpressurePinsPressure(t *testing.T) {
+	lad := ladderForTest(t, 4000)
+	now := time.Duration(0)
+	lad.SetBackpressure(true, now)
+	for i := 0; lad.Level() == LevelFlow; i++ {
+		if i > 100 {
+			t.Fatal("backpressure never escalated the ladder")
+		}
+		d, ok := lad.NextDeadline()
+		if !ok {
+			// Nothing armed yet: the first evaluate arms the hold.
+			now += time.Millisecond
+			lad.Tick(now)
+			continue
+		}
+		now = d
+		lad.Tick(now)
+	}
+	if lad.Level() != LevelPacket {
+		t.Fatalf("level = %v, want packet after one hold", lad.Level())
+	}
+	lad.SetBackpressure(false, now)
+	for guard := 0; lad.Level() != LevelFlow; guard++ {
+		if guard > 100 {
+			t.Fatal("ladder never recovered after backpressure cleared")
+		}
+		d, ok := lad.NextDeadline()
+		if !ok {
+			t.Fatal("degraded ladder has no deadline")
+		}
+		now = d
+		lad.Tick(now)
+	}
+}
+
+func TestNewOverloadMechanismBridging(t *testing.T) {
+	// Zero overload config on a pooled mechanism: plain NewMechanism.
+	mech, err := NewOverloadMechanism(openflow.FlowBufferConfig{
+		Granularity: openflow.GranularityPacket,
+	}, 16, 128, 0, OverloadConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mech.(*PacketGranularity); !ok {
+		t.Errorf("mechanism = %T, want *PacketGranularity", mech)
+	}
+	// Budget on a pooled mechanism lands on its pool.
+	mech, err = NewOverloadMechanism(openflow.FlowBufferConfig{
+		Granularity: openflow.GranularityPacket,
+	}, 16, 128, 0, OverloadConfig{ByteBudget: 1234})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mech.(*PacketGranularity).Pool().ByteBudget(); got != 1234 {
+		t.Errorf("ByteBudget = %d, want 1234", got)
+	}
+	// Budget on a pool-less mechanism is a config error, not a silent no-op.
+	if _, err := NewOverloadMechanism(openflow.FlowBufferConfig{
+		Granularity: openflow.GranularityNone,
+	}, 16, 128, 0, OverloadConfig{ByteBudget: 1}); err == nil {
+		t.Error("byte budget accepted on no-buffer mechanism")
+	}
+	// A ladder demands flow granularity.
+	if _, err := NewOverloadMechanism(openflow.FlowBufferConfig{
+		Granularity: openflow.GranularityPacket,
+	}, 16, 128, 0, OverloadConfig{Ladder: &LadderConfig{}}); err == nil {
+		t.Error("ladder accepted on packet granularity")
+	}
+}
+
+func TestLadderConfigValidate(t *testing.T) {
+	cases := []LadderConfig{
+		{UpThreshold: 1.2, DownThreshold: 0.5, HoldUp: 1, HoldDown: 1},
+		{UpThreshold: 0.9, DownThreshold: 0.9, HoldUp: 1, HoldDown: 1},
+		{UpThreshold: 0.9, DownThreshold: 0.5, HoldUp: -1, HoldDown: 1},
+	}
+	for i, c := range cases {
+		if err := c.validate(); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, c)
+		}
+	}
+}

@@ -43,6 +43,15 @@ func NewPacketGranularity(capacity, missSendLen int, expiry time.Duration) (*Pac
 	return &PacketGranularity{pool: pool, missSendLen: missSendLen}, nil
 }
 
+// newPacketGranularityOn builds the mechanism over an existing pool, so the
+// degradation ladder can share one pool across granularities.
+func newPacketGranularityOn(pool *Pool, missSendLen int) (*PacketGranularity, error) {
+	if missSendLen <= 0 {
+		return nil, fmt.Errorf("core: miss_send_len must be positive, got %d", missSendLen)
+	}
+	return &PacketGranularity{pool: pool, missSendLen: missSendLen}, nil
+}
+
 // Granularity implements Mechanism.
 func (*PacketGranularity) Granularity() openflow.BufferGranularity {
 	return openflow.GranularityPacket
@@ -73,6 +82,7 @@ func (m *PacketGranularity) HandleMiss(now time.Duration, inPort uint16, data []
 	}
 	if m.tel != nil {
 		m.tel.Instant(telemetry.KindBufferEnqueue, now, telemetry.HashKey(key), u.ID, uint32(len(data)))
+		m.tel.FlowBuffered(key, len(data))
 	}
 	return MissResult{
 		PacketIn: &openflow.PacketIn{
@@ -139,6 +149,9 @@ func (m *PacketGranularity) Stats(now time.Duration) openflow.FlowBufferStats {
 		UnitsCapacity:   uint32(m.pool.Capacity()),
 		PacketIns:       m.packetIns,
 		DroppedNoBuffer: m.fallbacks,
+		BytesInUse:      uint64(m.pool.BytesInUse()),
+		BytesHighWater:  uint64(m.pool.BytesHighWater()),
+		RejectedBytes:   m.pool.RejectedBytes(),
 	}
 }
 

@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/core"
+	"sdnbuffer/internal/metrics"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/switchd"
+	"sdnbuffer/internal/testbed"
+)
+
+// OverloadOptions scale the miss-storm sweep: unique-flow count × sending
+// rate, each cell run once without and once with the overload-protection
+// stack (byte budget + admission threshold + degradation ladder + packet_in
+// pacer + controller admission queue). The zero value is filled with the
+// defaults the report quotes.
+type OverloadOptions struct {
+	// FlowCounts are the unique-flow counts swept (default 64, 128, 256).
+	FlowCounts []int
+	// Rates are the sending rates in Mbps (default 25, 50, 100).
+	Rates []float64
+	// PktsPerFlow is the per-mouse packet count (default 4); ElephantPkts,
+	// when above it, turns flow 0 into an elephant (default 64).
+	PktsPerFlow  int
+	ElephantPkts int
+	// Repeats is the number of seeds per cell (default 2).
+	Repeats int
+	// FrameSize and Jitter shape the frames (default 1000 bytes, 0.5).
+	FrameSize int
+	Jitter    float64
+	// BufferCapacity is the pool's unit cap (default 128).
+	BufferCapacity int
+	// ByteBudget / AdmitFraction configure the protected series' pool
+	// (defaults 96000 bytes, 0.25).
+	ByteBudget    int64
+	AdmitFraction float64
+	// PacerRatePerSec / PacerBurst configure the protected series'
+	// packet_in token bucket (defaults 4000/s, burst 32).
+	PacerRatePerSec float64
+	PacerBurst      int
+	// CtrlQueue bounds the protected series' controller packet_in queue
+	// (default 64).
+	CtrlQueue int
+	// BufferExpiry bounds buffered-packet lifetime (default 250ms) — it is
+	// also what lets the ladder recover, since expiry drains pressure.
+	BufferExpiry time.Duration
+	// Parallelism fans the (series, flows, rate, repeat) grid across
+	// workers (default GOMAXPROCS). Results fold in a fixed order, so
+	// output is byte-identical at any setting.
+	Parallelism int
+}
+
+func (o OverloadOptions) withDefaults() OverloadOptions {
+	if len(o.FlowCounts) == 0 {
+		o.FlowCounts = []int{64, 128, 256}
+	}
+	if len(o.Rates) == 0 {
+		o.Rates = []float64{25, 50, 100}
+	}
+	if o.PktsPerFlow == 0 {
+		o.PktsPerFlow = 4
+	}
+	if o.ElephantPkts == 0 {
+		o.ElephantPkts = 64
+	}
+	if o.Repeats == 0 {
+		o.Repeats = 2
+	}
+	if o.FrameSize == 0 {
+		o.FrameSize = 1000
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.5
+	}
+	if o.BufferCapacity == 0 {
+		o.BufferCapacity = 128
+	}
+	if o.ByteBudget == 0 {
+		o.ByteBudget = 96000
+	}
+	if o.AdmitFraction == 0 {
+		o.AdmitFraction = 0.25
+	}
+	if o.PacerRatePerSec == 0 {
+		o.PacerRatePerSec = 4000
+	}
+	if o.PacerBurst == 0 {
+		o.PacerBurst = 32
+	}
+	if o.CtrlQueue == 0 {
+		o.CtrlQueue = 64
+	}
+	if o.BufferExpiry == 0 {
+		o.BufferExpiry = 250 * time.Millisecond
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// overloadCell is the raw metric set of one (series, flows, rate, seed) run.
+type overloadCell struct {
+	delivered, sent int64
+	packetIns       int64
+	pacerDrops      uint64
+	ctrlShed        uint64
+	rejectedBytes   uint64
+	bytesHigh       uint64
+	maxLevel        uint8
+	levelEnd        uint8
+	transitions     int
+	giveups         uint64
+	leakedUnits     int
+	leakedBytes     int64
+}
+
+// OverloadPoint aggregates one (flows, rate) cell of one series across
+// repeats.
+type OverloadPoint struct {
+	Flows    int
+	RateMbps float64
+	// Delivery is the per-repeat delivered/sent ratio.
+	Delivery metrics.Summary
+	// PacketIns, PacerDrops, CtrlShed, RejectedBytes and Giveups are summed
+	// across repeats.
+	PacketIns     int64
+	PacerDrops    uint64
+	CtrlShed      uint64
+	RejectedBytes uint64
+	Giveups       uint64
+	// BytesHighWater is the worst pool byte occupancy across repeats.
+	BytesHighWater uint64
+	// MaxLevel is the deepest ladder rung reached across repeats;
+	// LevelEndWorst the worst rung left at quiescence (acceptance demands
+	// LevelFlow); Transitions sums rung changes.
+	MaxLevel      core.DegradeLevel
+	LevelEndWorst core.DegradeLevel
+	Transitions   int
+	// LeakedUnits / LeakedBytes are the worst pool occupancy left at
+	// quiescence across repeats — acceptance demands zero for both.
+	LeakedUnits int
+	LeakedBytes int64
+}
+
+// OverloadSeriesResult is one protection mode's surface.
+type OverloadSeriesResult struct {
+	Name      string
+	Protected bool
+	Points    []OverloadPoint
+}
+
+// OverloadResult is a completed miss-storm sweep.
+type OverloadResult struct {
+	Options OverloadOptions
+	Series  []OverloadSeriesResult
+}
+
+// overloadConfig builds the testbed for one cell: §V platform over the
+// hardened flow mechanism, with the full protection stack layered on for
+// the protected series.
+func overloadConfig(protected bool, opts OverloadOptions, seed int64) testbed.Config {
+	cfg := testbed.DefaultConfig(SeriesFlowHardened.Buffer, opts.BufferCapacity)
+	cfg.Seed = seed
+	cfg.Switch.Datapath.BufferExpiry = opts.BufferExpiry
+	cfg.Forwarder.CombinedFlowMod = true
+	if protected {
+		cfg.Switch.Datapath.Overload = &core.OverloadConfig{
+			ByteBudget:    opts.ByteBudget,
+			AdmitFraction: opts.AdmitFraction,
+			Ladder:        &core.LadderConfig{},
+		}
+		cfg.Switch.PacketInPacer = switchd.PacerConfig{
+			RatePerSec: opts.PacerRatePerSec,
+			Burst:      opts.PacerBurst,
+		}
+		cfg.Controller.Admission = controller.AdmissionConfig{
+			MaxPacketInQueue: opts.CtrlQueue,
+		}
+	}
+	return cfg
+}
+
+func runOverloadCell(protected bool, opts OverloadOptions, flows int, rate float64, seed int64) (overloadCell, error) {
+	tb, err := testbed.New(overloadConfig(protected, opts, seed))
+	if err != nil {
+		return overloadCell{}, err
+	}
+	sched, err := pktgen.MissStorm(pktgen.Config{
+		FrameSize: opts.FrameSize,
+		RateMbps:  rate,
+		Jitter:    opts.Jitter,
+		Seed:      seed,
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+	}, flows, opts.PktsPerFlow, opts.ElephantPkts)
+	if err != nil {
+		return overloadCell{}, err
+	}
+	res, err := tb.Run(sched)
+	if err != nil {
+		return overloadCell{}, err
+	}
+	return overloadCell{
+		delivered:     res.FramesDelivered,
+		sent:          int64(res.FramesSent),
+		packetIns:     res.PacketIns,
+		pacerDrops:    res.PacerDrops,
+		ctrlShed:      res.CtrlShedPacketIns,
+		rejectedBytes: res.BufferRejectedBytes,
+		bytesHigh:     res.BufferBytesHighWater,
+		maxLevel:      res.LadderMaxLevel,
+		levelEnd:      res.LadderLevelEnd,
+		transitions:   res.LadderTransitions,
+		giveups:       res.Giveups,
+		leakedUnits:   res.BufferUnitsLeaked,
+		leakedBytes:   res.BufferBytesLeaked,
+	}, nil
+}
+
+// RunOverload executes the miss-storm sweep, fanning the (series, flows,
+// rate, repeat) grid across Parallelism workers and folding the per-cell
+// metrics in a fixed order — the same determinism contract as Run: the
+// result (and hence the CSV) is byte-identical at any Parallelism.
+func RunOverload(opts OverloadOptions) (*OverloadResult, error) {
+	opts = opts.withDefaults()
+	protection := []bool{false, true}
+	type ocell struct{ p, f, r, rep int }
+	var cells []ocell
+	for pi := range protection {
+		for fi := range opts.FlowCounts {
+			for ri := range opts.Rates {
+				for rep := 0; rep < opts.Repeats; rep++ {
+					cells = append(cells, ocell{p: pi, f: fi, r: ri, rep: rep})
+				}
+			}
+		}
+	}
+	vals := make([]overloadCell, len(cells))
+	errs := make([]error, len(cells))
+	workers := opts.Parallelism
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cells) {
+					return
+				}
+				if failed.Load() {
+					continue
+				}
+				c := cells[i]
+				v, err := runOverloadCell(protection[c.p], opts,
+					opts.FlowCounts[c.f], opts.Rates[c.r], int64(c.rep)+1)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					continue
+				}
+				vals[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c := cells[i]
+			return nil, fmt.Errorf("experiments: overload %s at %d flows %g Mbps rep %d: %w",
+				overloadSeriesName(protection[c.p]), opts.FlowCounts[c.f], opts.Rates[c.r], c.rep, err)
+		}
+	}
+
+	out := &OverloadResult{Options: opts}
+	i := 0
+	for _, prot := range protection {
+		sr := OverloadSeriesResult{Name: overloadSeriesName(prot), Protected: prot}
+		for _, flows := range opts.FlowCounts {
+			for _, rate := range opts.Rates {
+				p := OverloadPoint{Flows: flows, RateMbps: rate}
+				for rep := 0; rep < opts.Repeats; rep++ {
+					v := vals[i]
+					i++
+					if v.sent > 0 {
+						p.Delivery.Observe(float64(v.delivered) / float64(v.sent))
+					}
+					p.PacketIns += v.packetIns
+					p.PacerDrops += v.pacerDrops
+					p.CtrlShed += v.ctrlShed
+					p.RejectedBytes += v.rejectedBytes
+					p.Giveups += v.giveups
+					if v.bytesHigh > p.BytesHighWater {
+						p.BytesHighWater = v.bytesHigh
+					}
+					if lv := core.DegradeLevel(v.maxLevel); lv > p.MaxLevel {
+						p.MaxLevel = lv
+					}
+					if lv := core.DegradeLevel(v.levelEnd); lv > p.LevelEndWorst {
+						p.LevelEndWorst = lv
+					}
+					p.Transitions += v.transitions
+					if v.leakedUnits > p.LeakedUnits {
+						p.LeakedUnits = v.leakedUnits
+					}
+					if v.leakedBytes > p.LeakedBytes {
+						p.LeakedBytes = v.leakedBytes
+					}
+				}
+				sr.Points = append(sr.Points, p)
+			}
+		}
+		out.Series = append(out.Series, sr)
+	}
+	return out, nil
+}
+
+func overloadSeriesName(protected bool) string {
+	if protected {
+		return "protected"
+	}
+	return "unprotected"
+}
+
+// WriteTable renders the sweep as a fixed-width text table, one row per
+// (series, flows, rate).
+func (r *OverloadResult) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "overload — miss storm, %d pkts/flow + %d-pkt elephant, %d repeats\n",
+		r.Options.PktsPerFlow, r.Options.ElephantPkts, r.Options.Repeats); err != nil {
+		return err
+	}
+	header := fmt.Sprintf("%-12s %6s %6s %9s %9s %8s %8s %9s %9s %-10s %5s %8s %6s",
+		"series", "flows", "rate", "delivery", "pkt_ins", "paced", "shed", "rej_bytes", "byte_hw", "max-level", "trans", "giveups", "leak")
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header))); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%-12s %6d %6g %9.4f %9d %8d %8d %9d %9d %-10s %5d %8d %3d/%d\n",
+				s.Name, p.Flows, p.RateMbps, p.Delivery.Mean(), p.PacketIns,
+				p.PacerDrops, p.CtrlShed, p.RejectedBytes, p.BytesHighWater,
+				p.MaxLevel, p.Transitions, p.Giveups, p.LeakedUnits, p.LeakedBytes); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the sweep as CSV rows:
+// series,flows,rate_mbps,delivery_mean,delivery_stddev,packet_ins,pacer_drops,ctrl_shed,rejected_bytes,bytes_high_water,max_level,level_end,transitions,giveups,leaked_units,leaked_bytes.
+func (r *OverloadResult) WriteCSV(w io.Writer, includeHeader bool) error {
+	if includeHeader {
+		if _, err := fmt.Fprintln(w, "series,flows,rate_mbps,delivery_mean,delivery_stddev,packet_ins,pacer_drops,ctrl_shed,rejected_bytes,bytes_high_water,max_level,level_end,transitions,giveups,leaked_units,leaked_bytes"); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%d,%g,%g,%g,%d,%d,%d,%d,%d,%s,%s,%d,%d,%d,%d\n",
+				s.Name, p.Flows, p.RateMbps, p.Delivery.Mean(), p.Delivery.StdDev(),
+				p.PacketIns, p.PacerDrops, p.CtrlShed, p.RejectedBytes, p.BytesHighWater,
+				p.MaxLevel, p.LevelEndWorst, p.Transitions, p.Giveups,
+				p.LeakedUnits, p.LeakedBytes); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

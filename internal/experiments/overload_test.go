@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"sdnbuffer/internal/core"
+)
+
+func smallOverloadOptions(parallelism int) OverloadOptions {
+	return OverloadOptions{
+		FlowCounts:  []int{32, 128},
+		Rates:       []float64{25, 100},
+		Repeats:     2,
+		Parallelism: parallelism,
+	}
+}
+
+// TestOverloadDeterministicCSV pins the acceptance criterion: the same
+// seeds produce byte-identical CSV output, at any parallelism.
+func TestOverloadDeterministicCSV(t *testing.T) {
+	csv := func(parallelism int) string {
+		res, err := RunOverload(smallOverloadOptions(parallelism))
+		if err != nil {
+			t.Fatalf("RunOverload: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf, true); err != nil {
+			t.Fatalf("WriteCSV: %v", err)
+		}
+		return buf.String()
+	}
+	serial := csv(1)
+	if again := csv(1); again != serial {
+		t.Errorf("serial reruns diverged:\n%s\n---\n%s", serial, again)
+	}
+	if par := csv(8); par != serial {
+		t.Errorf("parallel run diverged from serial:\n%s\n---\n%s", serial, par)
+	}
+}
+
+// TestOverloadSweepAcceptance pins the sweep's invariants: every cell of
+// both series ends with an empty pool and a ladder back at flow
+// granularity, and the heaviest protected cell actually engaged the
+// protection stack (ladder transitions plus byte rejections).
+func TestOverloadSweepAcceptance(t *testing.T) {
+	res, err := RunOverload(smallOverloadOptions(0))
+	if err != nil {
+		t.Fatalf("RunOverload: %v", err)
+	}
+	if len(res.Series) != 2 || res.Series[0].Protected || !res.Series[1].Protected {
+		t.Fatalf("series = %+v, want unprotected then protected", res.Series)
+	}
+	engaged := false
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			if p.LeakedUnits != 0 || p.LeakedBytes != 0 {
+				t.Errorf("%s %d flows %g Mbps: leaked %d units / %d bytes",
+					s.Name, p.Flows, p.RateMbps, p.LeakedUnits, p.LeakedBytes)
+			}
+			if p.LevelEndWorst != core.LevelFlow {
+				t.Errorf("%s %d flows %g Mbps: ladder ended at %v, want flow",
+					s.Name, p.Flows, p.RateMbps, p.LevelEndWorst)
+			}
+			if !s.Protected && (p.MaxLevel != core.LevelFlow || p.PacerDrops != 0 || p.CtrlShed != 0) {
+				t.Errorf("unprotected series shows protection activity: %+v", p)
+			}
+			if s.Protected && p.MaxLevel > core.LevelFlow && p.RejectedBytes > 0 {
+				engaged = true
+			}
+		}
+	}
+	if !engaged {
+		t.Error("no protected cell engaged the ladder — sweep not reaching overload?")
+	}
+}

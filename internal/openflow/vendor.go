@@ -20,6 +20,10 @@ const (
 	FlowBufSubtypeConfigReply  uint16 = 2
 	FlowBufSubtypeStatsRequest uint16 = 3
 	FlowBufSubtypeStatsReply   uint16 = 4
+	// FlowBufSubtypeBackpressure carries the controller's admission signal
+	// (controller-to-switch): level 1 asserts backpressure (the packet_in
+	// queue shed load), level 0 clears it.
+	FlowBufSubtypeBackpressure uint16 = 5
 )
 
 // Buffer granularity modes carried by FlowBufferConfig.
@@ -130,7 +134,13 @@ func EncodeFlowBufferConfig(c FlowBufferConfig) (*Vendor, error) {
 // (switch-to-controller, answering a stats request). Giveups counts flows
 // abandoned after exhausting the re-request budget; their queued packets are
 // reported through the mechanism's fallback counter, not lost. A legacy
-// 36-byte stats body decodes with Giveups == 0.
+// 36-byte stats body decodes with Giveups == 0, and a 44-byte body with the
+// byte-occupancy fields zero — older peers keep interoperating.
+//
+// BytesInUse / BytesHighWater / RejectedBytes report the pool's byte
+// accounting (the paper's Fig. 10 utilization axis): current buffered
+// bytes, the peak, and bytes turned away by the byte budget or the dynamic
+// per-flow admission threshold.
 type FlowBufferStats struct {
 	UnitsInUse      uint32
 	UnitsCapacity   uint32
@@ -139,11 +149,15 @@ type FlowBufferStats struct {
 	Rerequests      uint64
 	DroppedNoBuffer uint64
 	Giveups         uint64
+	BytesInUse      uint64
+	BytesHighWater  uint64
+	RejectedBytes   uint64
 }
 
 const (
 	flowBufferStatsLenV1 = 4 + 36
-	flowBufferStatsLen   = 4 + 44
+	flowBufferStatsLenV2 = 4 + 44
+	flowBufferStatsLen   = 4 + 68
 )
 
 // EncodeFlowBufferStatsRequest builds the stats request Vendor message.
@@ -164,6 +178,26 @@ func EncodeFlowBufferStats(s FlowBufferStats) *Vendor {
 	binary.BigEndian.PutUint64(data[24:32], s.Rerequests)
 	binary.BigEndian.PutUint64(data[32:40], s.DroppedNoBuffer)
 	binary.BigEndian.PutUint64(data[40:48], s.Giveups)
+	binary.BigEndian.PutUint64(data[48:56], s.BytesInUse)
+	binary.BigEndian.PutUint64(data[56:64], s.BytesHighWater)
+	binary.BigEndian.PutUint64(data[64:72], s.RejectedBytes)
+	return &Vendor{Vendor: VendorID, Data: data}
+}
+
+// BackpressureSignal is the controller's admission signal: Level > 0 means
+// the controller is shedding packet_ins and the switch should relieve
+// pressure (the degradation ladder treats it as saturation).
+type BackpressureSignal struct {
+	Level uint8
+}
+
+const flowBufferBackpressureLen = 4 + 4
+
+// EncodeBackpressure wraps the admission signal into a Vendor message.
+func EncodeBackpressure(level uint8) *Vendor {
+	data := make([]byte, flowBufferBackpressureLen)
+	binary.BigEndian.PutUint16(data[0:2], FlowBufSubtypeBackpressure)
+	data[4] = level
 	return &Vendor{Vendor: VendorID, Data: data}
 }
 
@@ -173,6 +207,7 @@ type VendorPayload struct {
 	Config       *FlowBufferConfig
 	StatsRequest bool
 	Stats        *FlowBufferStats
+	Backpressure *BackpressureSignal
 }
 
 // ErrForeignVendor reports a vendor message from a different experimenter.
@@ -222,10 +257,20 @@ func ParseVendor(v *Vendor) (*VendorPayload, error) {
 			Rerequests:      binary.BigEndian.Uint64(v.Data[24:32]),
 			DroppedNoBuffer: binary.BigEndian.Uint64(v.Data[32:40]),
 		}
-		if len(v.Data) >= flowBufferStatsLen {
+		if len(v.Data) >= flowBufferStatsLenV2 {
 			s.Giveups = binary.BigEndian.Uint64(v.Data[40:48])
 		}
+		if len(v.Data) >= flowBufferStatsLen {
+			s.BytesInUse = binary.BigEndian.Uint64(v.Data[48:56])
+			s.BytesHighWater = binary.BigEndian.Uint64(v.Data[56:64])
+			s.RejectedBytes = binary.BigEndian.Uint64(v.Data[64:72])
+		}
 		return &VendorPayload{Stats: s}, nil
+	case FlowBufSubtypeBackpressure:
+		if len(v.Data) < flowBufferBackpressureLen {
+			return nil, fmt.Errorf("%w: backpressure payload %d bytes", ErrTruncated, len(v.Data))
+		}
+		return &VendorPayload{Backpressure: &BackpressureSignal{Level: v.Data[4]}}, nil
 	default:
 		return nil, fmt.Errorf("openflow: unknown flow buffer subtype %d", subtype)
 	}

@@ -72,6 +72,10 @@ type Config struct {
 	BufferExpiry time.Duration
 	// FailMode selects control-channel-loss behavior (default FailSecure).
 	FailMode FailMode
+	// Overload, when non-nil, enables the overload-protection layer: pool
+	// byte accounting and (if Overload.Ladder is set) the automatic
+	// degradation ladder. nil keeps the legacy mechanism untouched.
+	Overload *core.OverloadConfig
 }
 
 func (c *Config) withDefaults() Config {
@@ -170,9 +174,15 @@ func NewDatapath(cfg Config) (*Datapath, error) {
 	if err != nil {
 		return nil, fmt.Errorf("switchd: building flow table: %w", err)
 	}
-	mech, err := core.NewMechanism(cfg.Buffer, cfg.BufferCapacity, cfg.MissSendLen, cfg.BufferExpiry)
-	if err != nil {
-		return nil, fmt.Errorf("switchd: building buffer mechanism: %w", err)
+	var mech core.Mechanism
+	var err2 error
+	if cfg.Overload != nil {
+		mech, err2 = core.NewOverloadMechanism(cfg.Buffer, cfg.BufferCapacity, cfg.MissSendLen, cfg.BufferExpiry, *cfg.Overload)
+	} else {
+		mech, err2 = core.NewMechanism(cfg.Buffer, cfg.BufferCapacity, cfg.MissSendLen, cfg.BufferExpiry)
+	}
+	if err2 != nil {
+		return nil, fmt.Errorf("switchd: building buffer mechanism: %w", err2)
 	}
 	return &Datapath{
 		cfg:          cfg,
@@ -305,6 +315,18 @@ func (d *Datapath) HandleFrame(now time.Duration, inPort uint16, frame []byte) (
 		// and the re-request timer recovers the flow after restore.
 	}
 	d.missScratch = d.mech.HandleMiss(now, inPort, frame, parsed.Key())
+	if d.missScratch.Standalone {
+		// The degradation ladder's last rung: stop consulting the controller
+		// and handle the miss locally, reusing the fail-standalone path.
+		return d.standaloneForward(inPort, parsed, frame)
+	}
+	if d.macTable != nil && !d.controlDown {
+		// First normally-routed miss after the ladder stepped back down:
+		// discard overload-learned MACs so stale learning cannot shadow the
+		// controller's rules (outage-learned tables are cleared on restore
+		// by SetControlDown).
+		d.macTable = nil
+	}
 	d.resScratch = FrameResult{Miss: &d.missScratch}
 	return &d.resScratch, nil
 }

@@ -1,0 +1,58 @@
+package switchd
+
+import "time"
+
+// PacerConfig bounds the switch's packet_in rate toward the controller
+// with a token bucket. The zero value disables pacing entirely (no state,
+// no extra events — legacy runs are untouched).
+type PacerConfig struct {
+	// RatePerSec is the sustained packet_in rate; 0 disables the pacer.
+	RatePerSec float64
+	// Burst is the bucket depth (messages that may go back-to-back).
+	// Defaults to 8 when pacing is enabled.
+	Burst int
+}
+
+// packetInPacer is a deterministic token bucket over virtual time: tokens
+// refill continuously from the kernel clock, so equal schedules produce
+// equal admit/drop decisions — no RNG, no timers.
+type packetInPacer struct {
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Duration
+
+	drops     uint64
+	dropBytes uint64
+}
+
+func newPacketInPacer(cfg PacerConfig) *packetInPacer {
+	burst := cfg.Burst
+	if burst <= 0 {
+		burst = 8
+	}
+	return &packetInPacer{
+		rate:   cfg.RatePerSec,
+		burst:  float64(burst),
+		tokens: float64(burst), // start full: the first burst is free
+	}
+}
+
+// allow consumes one token if available, refilling from the elapsed
+// virtual time first. A refused packet_in is counted against the pacer.
+func (p *packetInPacer) allow(now time.Duration, bytes int) bool {
+	if now > p.last {
+		p.tokens += p.rate * (now - p.last).Seconds()
+		if p.tokens > p.burst {
+			p.tokens = p.burst
+		}
+		p.last = now
+	}
+	if p.tokens >= 1 {
+		p.tokens--
+		return true
+	}
+	p.drops++
+	p.dropBytes += uint64(bytes)
+	return false
+}

@@ -1,0 +1,77 @@
+package switchd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPacerBurstThenRefill(t *testing.T) {
+	p := newPacketInPacer(PacerConfig{RatePerSec: 1000, Burst: 4})
+	// The bucket starts full: the first burst goes back-to-back.
+	for i := 0; i < 4; i++ {
+		if !p.allow(0, 100) {
+			t.Fatalf("burst packet %d refused", i)
+		}
+	}
+	if p.allow(0, 100) {
+		t.Fatal("fifth back-to-back packet admitted past the burst")
+	}
+	if p.drops != 1 || p.dropBytes != 100 {
+		t.Errorf("drops = %d (%d bytes), want 1 (100)", p.drops, p.dropBytes)
+	}
+	// 1000 tokens/s: after 1ms exactly one token is back.
+	if !p.allow(time.Millisecond, 100) {
+		t.Error("refilled token refused")
+	}
+	if p.allow(time.Millisecond, 100) {
+		t.Error("second packet admitted on one refilled token")
+	}
+	// A long idle period refills to the burst, never past it.
+	for i := 0; i < 4; i++ {
+		if !p.allow(time.Second, 100) {
+			t.Fatalf("post-idle packet %d refused", i)
+		}
+	}
+	if p.allow(time.Second, 100) {
+		t.Error("bucket refilled past the burst cap")
+	}
+}
+
+func TestPacerDeterministicAcrossRuns(t *testing.T) {
+	run := func() (admitted uint64, drops uint64) {
+		p := newPacketInPacer(PacerConfig{RatePerSec: 2500, Burst: 8})
+		now := time.Duration(0)
+		for i := 0; i < 1000; i++ {
+			if p.allow(now, 1000) {
+				admitted++
+			}
+			now += 173 * time.Microsecond
+		}
+		return admitted, p.drops
+	}
+	a1, d1 := run()
+	a2, d2 := run()
+	if a1 != a2 || d1 != d2 {
+		t.Fatalf("pacer not deterministic: %d/%d vs %d/%d", a1, d1, a2, d2)
+	}
+	if a1+d1 != 1000 {
+		t.Fatalf("admitted %d + drops %d != 1000", a1, d1)
+	}
+	// ~5780 packets/s offered against a 2500/s bucket: roughly half admitted.
+	if a1 < 400 || a1 > 600 {
+		t.Errorf("admitted = %d, want ≈ 2500/s of a 173µs-spaced offered load", a1)
+	}
+}
+
+func TestPacerConfigValidation(t *testing.T) {
+	cfg := DefaultSimConfig()
+	cfg.Datapath = Config{DatapathID: 1, NumPorts: 2, BufferCapacity: 16}
+	cfg.PacketInPacer = PacerConfig{RatePerSec: -1}
+	if err := cfg.validate(); err == nil {
+		t.Error("negative pacer rate accepted")
+	}
+	cfg.PacketInPacer = PacerConfig{RatePerSec: 100, Burst: -1}
+	if err := cfg.validate(); err == nil {
+		t.Error("negative pacer burst accepted")
+	}
+}

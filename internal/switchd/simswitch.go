@@ -53,6 +53,9 @@ type SimConfig struct {
 	// cleanup frees it. This models the batched buffer expiry of a real
 	// software switch and produces the occupancy levels of Figs. 8/13.
 	ReclaimDelay time.Duration
+	// PacketInPacer bounds the packet_in rate toward the controller
+	// (overload protection). Zero value = no pacing.
+	PacketInPacer PacerConfig
 }
 
 // DefaultSimConfig returns the calibrated resource model.
@@ -87,6 +90,12 @@ func (c *SimConfig) validate() error {
 			return fmt.Errorf("switchd: negative cost in sim config")
 		}
 	}
+	if c.PacketInPacer.RatePerSec < 0 {
+		return fmt.Errorf("switchd: negative packet_in pacer rate %g", c.PacketInPacer.RatePerSec)
+	}
+	if c.PacketInPacer.Burst < 0 {
+		return fmt.Errorf("switchd: negative packet_in pacer burst %d", c.PacketInPacer.Burst)
+	}
 	return nil
 }
 
@@ -104,6 +113,8 @@ type SimSwitch struct {
 	sendCtrl   func(msg []byte)
 	transmit   func(port uint16, frame []byte)
 	transmitEx func(out Output)
+
+	pacer *packetInPacer // nil unless PacketInPacer is configured
 
 	nextXid     uint32
 	sentAt      map[uint32]time.Duration
@@ -143,12 +154,12 @@ func NewSimSwitch(k *sim.Kernel, cfg SimConfig) (*SimSwitch, error) {
 		sentAt: make(map[uint32]time.Duration),
 	}
 	if cfg.ReclaimDelay > 0 {
-		switch m := dp.Mechanism().(type) {
-		case *core.PacketGranularity:
-			m.Pool().SetReclaimDelay(cfg.ReclaimDelay)
-		case *core.FlowGranularity:
+		if m, ok := dp.Mechanism().(interface{ Pool() *core.Pool }); ok {
 			m.Pool().SetReclaimDelay(cfg.ReclaimDelay)
 		}
+	}
+	if cfg.PacketInPacer.RatePerSec > 0 {
+		s.pacer = newPacketInPacer(cfg.PacketInPacer)
 	}
 	return s, nil
 }
@@ -224,6 +235,19 @@ func (s *SimSwitch) processFrame(arrived time.Duration, inPort uint16, frame []b
 	extra := time.Duration(0)
 	if miss.Buffered {
 		extra += s.cfg.BufferOpCost
+	}
+	if miss.PacketIn != nil && s.pacer != nil && !s.pacer.allow(now, len(miss.PacketIn.Data)) {
+		// Pacer refused the packet_in. A buffered packet stays buffered and
+		// recovers through the re-request timer; an unbuffered one is shed
+		// load — the cost of protecting the controller.
+		if s.tel != nil {
+			s.tel.Instant(telemetry.KindPacerDrop, now, 0, 0, uint32(len(miss.PacketIn.Data)))
+		}
+		if extra > 0 {
+			s.cpu.Submit(extra, nil)
+		}
+		s.armMechTimer()
+		return
 	}
 	if miss.PacketIn != nil {
 		s.nextXid++
@@ -382,6 +406,14 @@ func (s *SimSwitch) handleVendor(v *openflow.Vendor, xid uint32) {
 		stats := s.dp.Mechanism().Stats(s.kernel.Now())
 		s.reply(openflow.EncodeFlowBufferStats(stats), xid)
 	}
+	if payload.Backpressure != nil {
+		// Controller admission signal: feed it into the degradation ladder
+		// (the caller re-arms the mechanism timer after processControl, so
+		// any hold deadline the signal arms gets scheduled).
+		if lad, ok := s.dp.Mechanism().(*core.Ladder); ok {
+			lad.SetBackpressure(payload.Backpressure.Level > 0, s.kernel.Now())
+		}
+	}
 	// Runtime reconfiguration (payload.Config) is a live-mode feature; the
 	// sim switch is configured at construction.
 }
@@ -426,6 +458,12 @@ func (s *SimSwitch) armMechTimer() {
 		s.mechTimer = nil
 		resend := s.dp.Mechanism().Tick(s.kernel.Now())
 		for _, pi := range resend {
+			if s.pacer != nil && !s.pacer.allow(s.kernel.Now(), len(pi.Data)) {
+				if s.tel != nil {
+					s.tel.Instant(telemetry.KindPacerDrop, s.kernel.Now(), 0, 0, uint32(len(pi.Data)))
+				}
+				continue
+			}
 			s.nextXid++
 			xid := s.nextXid
 			msg, err := openflow.Encode(pi, xid)
@@ -481,3 +519,12 @@ func (s *SimSwitch) BusUtilizationPercent(now time.Duration) float64 {
 // Errors reports frames dropped for parse errors and control messages
 // dropped for protocol errors.
 func (s *SimSwitch) Errors() (parse, control uint64) { return s.parseErrors, s.ctrlErrors }
+
+// PacerDrops reports packet_in messages (and their payload bytes) refused
+// by the token-bucket pacer; both zero when pacing is disabled.
+func (s *SimSwitch) PacerDrops() (msgs, bytes uint64) {
+	if s.pacer == nil {
+		return 0, 0
+	}
+	return s.pacer.drops, s.pacer.dropBytes
+}

@@ -35,6 +35,10 @@ type FlowRecord struct {
 	// mechanism under loss).
 	Rerequests uint64
 	Giveups    uint64
+	// BufferedBytes is the cumulative bytes of the flow's packets admitted
+	// into the switch buffer pool — the paper's Fig. 10 utilization axis
+	// attributed per flow.
+	BufferedBytes uint64
 }
 
 // FlowExporter is the switch's flow cache. Records accumulate per 5-tuple
@@ -120,6 +124,17 @@ func (e *FlowExporter) AddGiveup(key packet.FlowKey) {
 	}
 }
 
+// AddBufferedBytes credits bytes admitted into the buffer pool to the
+// flow's live record (a no-op when the flow has no live record).
+func (e *FlowExporter) AddBufferedBytes(key packet.FlowKey, bytes int) {
+	if e == nil {
+		return
+	}
+	if r, ok := e.live[key]; ok {
+		r.BufferedBytes += uint64(bytes)
+	}
+}
+
 // export moves one record from the live cache to the export list,
 // preserving first-seen order in the live list.
 func (e *FlowExporter) export(r *FlowRecord) {
@@ -166,7 +181,7 @@ func (e *FlowExporter) Records() []FlowRecord {
 }
 
 // FlowCSVHeader is the column schema of WriteCSV.
-const FlowCSVHeader = "src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,first_seen_us,last_seen_us,buffer_residency_us,rerequests,giveups"
+const FlowCSVHeader = "src_ip,dst_ip,src_port,dst_port,proto,packets,bytes,first_seen_us,last_seen_us,buffer_residency_us,rerequests,giveups,buffered_bytes"
 
 // WriteCSV writes the exported records as CSV rows under FlowCSVHeader.
 // Times are microseconds of virtual time; output is deterministic (export
@@ -180,11 +195,12 @@ func (e *FlowExporter) WriteCSV(w io.Writer) error {
 	}
 	for i := range e.exported {
 		r := &e.exported[i]
-		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
+		_, err := fmt.Fprintf(w, "%s,%s,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d\n",
 			r.Key.SrcIP, r.Key.DstIP, r.Key.SrcPort, r.Key.DstPort, r.Key.Proto,
 			r.Packets, r.Bytes,
 			r.FirstSeen.Microseconds(), r.LastSeen.Microseconds(),
-			r.BufferResidency.Microseconds(), r.Rerequests, r.Giveups)
+			r.BufferResidency.Microseconds(), r.Rerequests, r.Giveups,
+			r.BufferedBytes)
 		if err != nil {
 			return err
 		}

@@ -91,6 +91,15 @@ const (
 	// KindControllerCPU spans one controller-CPU job's service interval,
 	// fed by the sim resource trace hook.
 	KindControllerCPU
+	// KindDegrade marks a degradation-ladder rung change (instant; Ref
+	// packs the transition as from<<8|to).
+	KindDegrade
+	// KindPacerDrop marks a packet_in suppressed by the switch's
+	// token-bucket pacer (instant; Bytes is the message size).
+	KindPacerDrop
+	// KindPacketInShed marks a packet_in refused by the controller's
+	// bounded admission queue (instant; Bytes is the message size).
+	KindPacketInShed
 
 	numSpanKinds // sentinel: keep last
 )
@@ -115,6 +124,9 @@ var spanKindNames = [...]string{
 	KindFlowSetup:         "flow_setup",
 	KindSwitchCPU:         "switch_cpu",
 	KindControllerCPU:     "controller_cpu",
+	KindDegrade:           "degrade",
+	KindPacerDrop:         "pacer_drop",
+	KindPacketInShed:      "packet_in_shed",
 }
 
 // String names the kind as it appears in CSV and trace output.
@@ -350,6 +362,15 @@ func (r *Recorder) FlowResidency(key packet.FlowKey, d time.Duration) {
 		return
 	}
 	r.flows.AddResidency(key, d)
+}
+
+// FlowBuffered credits bytes admitted into the buffer pool to a flow's
+// record.
+func (r *Recorder) FlowBuffered(key packet.FlowKey, bytes int) {
+	if r == nil || !on.Load() {
+		return
+	}
+	r.flows.AddBufferedBytes(key, bytes)
 }
 
 // FlowRerequest counts one packet_in re-request against a flow's record.

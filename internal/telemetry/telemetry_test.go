@@ -178,7 +178,7 @@ func TestFlowCSVSchema(t *testing.T) {
 		if lines[0] != FlowCSVHeader {
 			t.Fatalf("header = %q", lines[0])
 		}
-		want := "10.1.0.1,10.0.0.2,7,80,17,1,999,1500,1500,0,0,0"
+		want := "10.1.0.1,10.0.0.2,7,80,17,1,999,1500,1500,0,0,0,0"
 		if lines[1] != want {
 			t.Fatalf("row = %q, want %q", lines[1], want)
 		}

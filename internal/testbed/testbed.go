@@ -184,6 +184,27 @@ type Result struct {
 	CtrlStalled        int64
 	CtrlDropped        int64
 	CtrlCrashed        int64
+
+	// Overload bookkeeping (all zero unless overload protection is
+	// configured and under pressure).
+	//
+	// PacerDrops counts packet_ins refused by the switch-side token bucket;
+	// CtrlShedPacketIns counts packet_ins shed at the controller's admission
+	// queue. Ladder fields mirror the degradation ladder: the deepest rung
+	// reached, the rung at quiescence (must equal zero — flow granularity —
+	// after pressure subsides), and the transition count. Byte fields mirror
+	// the pool's byte accounting; BufferBytesLeaked is the pool's byte
+	// occupancy at quiescence and must be zero.
+	PacerDrops           uint64
+	PacerDropBytes       uint64
+	CtrlShedPacketIns    uint64
+	CtrlShedBytes        uint64
+	LadderMaxLevel       uint8
+	LadderLevelEnd       uint8
+	LadderTransitions    int
+	BufferBytesHighWater uint64
+	BufferRejectedBytes  uint64
+	BufferBytesLeaked    int64
 }
 
 // frameIdent identifies a workload frame by flow key and IP id (pktgen sets
@@ -569,7 +590,17 @@ func (tb *Testbed) collect(sched pktgen.Schedule) *Result {
 	res.Giveups = st.Giveups
 	if pm, ok := mech.(interface{ Pool() *core.Pool }); ok {
 		res.BufferUnitsLeaked = pm.Pool().Live()
+		res.BufferBytesHighWater = uint64(pm.Pool().BytesHighWater())
+		res.BufferRejectedBytes = pm.Pool().RejectedBytes()
+		res.BufferBytesLeaked = pm.Pool().BytesInUse()
 	}
+	if lad, ok := mech.(*core.Ladder); ok {
+		res.LadderMaxLevel = uint8(lad.MaxLevel())
+		res.LadderLevelEnd = uint8(lad.Level())
+		res.LadderTransitions = len(lad.Transitions())
+	}
+	res.PacerDrops, res.PacerDropBytes = tb.sw.PacerDrops()
+	res.CtrlShedPacketIns, res.CtrlShedBytes = tb.ctl.AdmissionStats()
 	res.DupEmissions = tb.dups
 	res.OrderViolations = tb.misorders
 	res.StandaloneForwards, res.ControlDownMisses = tb.sw.Datapath().FailStats()

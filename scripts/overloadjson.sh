@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# overloadjson.sh — run the miss-storm overload sweep and emit its CSV as
+# JSON on stdout. This is the machine-readable form of
+# `benchrunner -scenario overload -csv ...`; the committed BENCH_overload.json
+# baseline was produced with this script, and CI's overload-soak job uploads
+# a fresh run as an artifact for a non-gating comparison.
+#
+# Usage:
+#   scripts/overloadjson.sh            # full sweep (repeats from benchrunner default)
+#   scripts/overloadjson.sh -quick     # reduced 2×2 grid, 1 repeat
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/benchrunner" ./cmd/benchrunner
+"$tmp/benchrunner" -scenario overload "$@" -csv "$tmp/overload.csv" >/dev/null
+
+awk -F, '
+NR == 1 { for (i = 1; i <= NF; i++) col[i] = $i; ncol = NF; next }
+{
+    rows[++n] = $0
+}
+END {
+    printf "{\n  \"command\": \"benchrunner -scenario overload\",\n  \"rows\": [\n"
+    for (r = 1; r <= n; r++) {
+        split(rows[r], f, ",")
+        printf "    {"
+        for (i = 1; i <= ncol; i++) {
+            # series, max_level and level_end are strings; the rest numeric.
+            if (col[i] == "series" || col[i] == "max_level" || col[i] == "level_end")
+                printf "\"%s\": \"%s\"", col[i], f[i]
+            else
+                printf "\"%s\": %s", col[i], f[i]
+            if (i < ncol) printf ", "
+        }
+        printf "}%s\n", (r < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$tmp/overload.csv"
