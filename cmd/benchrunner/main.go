@@ -12,6 +12,7 @@
 //	benchrunner -scenario outage        # control-blackout fail-mode scenario
 //	benchrunner -scenario delay-decomp  # per-stage delay decomposition vs M/M/c model
 //	benchrunner -scenario overload      # miss-storm sweep, unprotected vs protected
+//	benchrunner -scenario fabric        # multi-switch topology × mechanism × install sweep
 //	benchrunner -trace out.json         # one traced run → Chrome trace_event JSON
 //	benchrunner -flowcsv flows.csv      # same run's NetFlow-style flow records
 //	benchrunner -csv results.csv        # also write CSV rows
@@ -47,7 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		expList  = fs.String("experiments", "", "comma-separated figure ids (default: all)")
 		scenario = fs.String("scenario", "",
-			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp | overload")
+			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp | overload | fabric")
 		tracePath = fs.String("trace", "",
 			"run one telemetry-instrumented workload and write its spans as Chrome trace_event JSON to this file")
 		flowCSVPath = fs.String("flowcsv", "",
@@ -294,8 +295,35 @@ func runScenario(name string, quick bool, repeats, parallel int, csv *os.File, s
 		}
 		fmt.Fprintf(stdout, "(overload in %v)\n", time.Since(start).Round(time.Millisecond))
 		return 0
+	case "fabric":
+		opts := experiments.FabricOptions{Repeats: repeats, Parallelism: parallel}
+		if quick {
+			opts.Repeats = 1
+			opts.Topos = []string{"line:2", "leafspine:leaves=2,spines=1"}
+			opts.Mechanisms = []experiments.Series{experiments.SeriesNoBuffer, experiments.SeriesFlowGranularity}
+			opts.Flows, opts.PktsPerFlow = 12, 4
+			opts.NoScale = true
+		}
+		start := time.Now()
+		res, err := experiments.RunFabric(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: fabric: %v\n", err)
+			return 1
+		}
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing table: %v\n", err)
+			return 1
+		}
+		if csv != nil {
+			if err := res.WriteCSV(csv, true); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "(fabric in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	default:
-		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage, delay-decomp or overload)\n", name)
+		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage, delay-decomp, overload or fabric)\n", name)
 		return 2
 	}
 }

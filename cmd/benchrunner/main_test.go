@@ -109,6 +109,20 @@ func TestScenarioCSVDeterminism(t *testing.T) {
 	}
 }
 
+// TestFabricScenario extends the determinism gate to the multi-switch
+// fabric sweep: byte-identical CSV at -parallel 1 vs 8 (the CI gate runs
+// the same comparison from the built binary).
+func TestFabricScenario(t *testing.T) {
+	serial := runScenarioCSV(t, "fabric", "-parallel", "1")
+	parallel := runScenarioCSV(t, "fabric", "-parallel", "8")
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("fabric CSV differs serial vs parallel:\n%s\nvs\n%s", serial, parallel)
+	}
+	if !strings.HasPrefix(string(serial), "topo,switches,hops,") {
+		t.Errorf("fabric CSV header missing: %q", string(serial[:40]))
+	}
+}
+
 // TestDelayDecompScenario extends the determinism gate to the telemetry
 // scenario: the per-stage delay CSV must be byte-identical at any -parallel.
 func TestDelayDecompScenario(t *testing.T) {

@@ -26,6 +26,22 @@ type App interface {
 	HandlePacketIn(pi *openflow.PacketIn, xid uint32) ([]openflow.Message, error)
 }
 
+// Directed is one reply aimed at a specific attached switch connection.
+type Directed struct {
+	Conn int
+	Msg  openflow.Message
+}
+
+// ConnApp is an App that sees which connection each packet_in arrived on
+// and may direct replies at any connection — what a fabric controller needs
+// to install a whole path: the miss switch gets its flow_mod and packet_out,
+// the downstream switches get their flow_mods, all in one batched decision.
+// SimController prefers this interface when the app implements it.
+type ConnApp interface {
+	App
+	HandlePacketInConn(conn int, pi *openflow.PacketIn, xid uint32) ([]Directed, error)
+}
+
 // Route maps a destination prefix to an output port.
 type Route struct {
 	Prefix netip.Prefix
@@ -107,45 +123,66 @@ func (f *ReactiveForwarder) HandlePacketIn(pi *openflow.PacketIn, xid uint32) ([
 	if err != nil {
 		return nil, fmt.Errorf("controller: parsing packet_in payload: %w", err)
 	}
-	outPort := f.lookupPort(frame.DstIP)
-	actions := []openflow.Action{&openflow.ActionOutput{Port: outPort, MaxLen: 0xffff}}
+	return f.cfg.InstallMessages(pi, frame, f.lookupPort(frame.DstIP)), nil
+}
 
-	var match openflow.Match
-	if f.cfg.MatchFlowOnly {
-		match = openflow.FlowMatch(frame.Key())
-	} else {
-		match = openflow.ExactMatch(pi.InPort, frame)
-	}
+// RuleFor builds the flow_mod installing the config's rule shape for the
+// given match and output port (no buffer release). Fabric controllers use
+// it to install rules on downstream path switches whose miss hasn't
+// happened yet.
+func (cfg ForwarderConfig) RuleFor(match openflow.Match, outPort uint16) *openflow.FlowMod {
 	var flags uint16
-	if f.cfg.RequestFlowRemoved {
+	if cfg.RequestFlowRemoved {
 		flags |= openflow.FlowModFlagSendFlowRem
 	}
-	fm := &openflow.FlowMod{
+	prio := cfg.Priority
+	if prio == 0 {
+		prio = 100
+	}
+	return &openflow.FlowMod{
 		Match:       match,
 		Command:     openflow.FlowModAdd,
-		IdleTimeout: f.cfg.IdleTimeout,
-		HardTimeout: f.cfg.HardTimeout,
-		Priority:    f.cfg.Priority,
+		IdleTimeout: cfg.IdleTimeout,
+		HardTimeout: cfg.HardTimeout,
+		Priority:    prio,
 		BufferID:    openflow.NoBuffer,
 		OutPort:     openflow.PortNone,
 		Flags:       flags,
-		Actions:     actions,
+		Actions:     []openflow.Action{&openflow.ActionOutput{Port: outPort, MaxLen: 0xffff}},
 	}
-	if f.cfg.CombinedFlowMod && pi.BufferID != openflow.NoBuffer {
+}
+
+// MatchFor builds the config's match shape for a miss: exact-match on the
+// full headers plus in-port, or the 5-tuple flow match.
+func (cfg ForwarderConfig) MatchFor(inPort uint16, frame *packet.Frame) openflow.Match {
+	if cfg.MatchFlowOnly {
+		return openflow.FlowMatch(frame.Key())
+	}
+	return openflow.ExactMatch(inPort, frame)
+}
+
+// InstallMessages answers one miss the standard reactive way: a flow_mod
+// installing the forwarding rule and a packet_out releasing the miss-match
+// packet (or, with CombinedFlowMod, one flow_mod doing both). It is shared
+// between the single-switch ReactiveForwarder and the fabric PathForwarder
+// so both produce byte-identical control traffic for the same decision.
+func (cfg ForwarderConfig) InstallMessages(pi *openflow.PacketIn, frame *packet.Frame, outPort uint16) []openflow.Message {
+	fm := cfg.RuleFor(cfg.MatchFor(pi.InPort, frame), outPort)
+	if cfg.CombinedFlowMod && pi.BufferID != openflow.NoBuffer {
 		// Ablation: one message installs the rule and releases the buffer.
 		fm.BufferID = pi.BufferID
-		return []openflow.Message{fm}, nil
+		return []openflow.Message{fm}
 	}
 	po := &openflow.PacketOut{
 		BufferID: pi.BufferID,
 		InPort:   pi.InPort,
-		Actions:  actions,
+		Actions:  fm.Actions,
 	}
 	if pi.BufferID == openflow.NoBuffer {
 		// Not buffered: the controller must carry the whole packet back.
 		po.Data = pi.Data
 	}
-	return []openflow.Message{fm, po}, nil
+	return []openflow.Message{fm, po}
 }
 
 // Stats reports requests handled and flood decisions.

@@ -106,9 +106,17 @@ func (c *SimController) SetTelemetry(rec *telemetry.Recorder) {
 // function for its uplink. All attached switches share the controller's CPU
 // — one Floodlight process serving a multi-switch topology.
 func (c *SimController) Attach(send func(msg []byte)) func(msg []byte) {
+	_, deliver := c.AttachConn(send)
+	return deliver
+}
+
+// AttachConn is Attach exposing the connection index alongside the deliver
+// function, so fabric testbeds can tell a ConnApp which switch each
+// connection belongs to.
+func (c *SimController) AttachConn(send func(msg []byte)) (int, func(msg []byte)) {
 	c.senders = append(c.senders, send)
 	conn := len(c.senders) - 1
-	return func(msg []byte) { c.deliverFrom(conn, msg) }
+	return conn, func(msg []byte) { c.deliverFrom(conn, msg) }
 }
 
 // Deliver is called when a control message arrives from the default switch
@@ -183,6 +191,15 @@ func (c *SimController) process(conn int, msg []byte, arrived time.Duration) {
 	c.handled++
 	switch t := m.(type) {
 	case *openflow.PacketIn:
+		if ca, ok := c.app.(ConnApp); ok {
+			replies, err := ca.HandlePacketInConn(conn, t, xid)
+			if err != nil {
+				c.appErrors++
+				return
+			}
+			c.sendDirected(replies, xid, arrived)
+			break
+		}
 		replies, err := c.app.HandlePacketIn(t, xid)
 		if err != nil {
 			c.appErrors++
@@ -234,6 +251,48 @@ func (c *SimController) sendAll(conn int, replies []openflow.Message, xid uint32
 		}
 		for _, b := range encoded {
 			sender(b)
+		}
+	})
+}
+
+// sendDirected is sendAll for ConnApp decisions: every reply of one
+// decision is appended into a single backing buffer (the zero-alloc
+// AppendEncode batch path) and shipped by one egress CPU job, whatever mix
+// of connections the replies target. This is what makes path installation a
+// batch: the whole route's flow_mods cost one controller wakeup and leave
+// back-to-back.
+func (c *SimController) sendDirected(replies []Directed, xid uint32, arrived time.Duration) {
+	if len(replies) == 0 {
+		return
+	}
+	buf := make([]byte, 0, 64*len(replies))
+	offs := make([]int, len(replies)+1)
+	for i, r := range replies {
+		var err error
+		buf, err = openflow.AppendEncode(buf, r.Msg, xid)
+		if err != nil {
+			c.appErrors++
+			return
+		}
+		offs[i+1] = len(buf)
+	}
+	total := len(buf)
+	outCost := c.cfg.Cost.Cost(0, total) - c.cfg.Cost.Base // egress share only
+	if outCost < 0 {
+		outCost = 0
+	}
+	c.cpu.Submit(outCost, func() {
+		if c.tel != nil {
+			c.tel.Span(telemetry.KindControllerService, arrived, c.kernel.Now(), 0, xid, uint32(total))
+		}
+		for i, r := range replies {
+			if r.Conn < 0 || r.Conn >= len(c.senders) {
+				c.appErrors++
+				continue
+			}
+			if sender := c.senders[r.Conn]; sender != nil {
+				sender(buf[offs[i]:offs[i+1]])
+			}
 		}
 	})
 }

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"sdnbuffer/internal/topo"
+)
+
+// quickFabricOpts is a small grid that still exercises every axis.
+func quickFabricOpts(parallelism int) FabricOptions {
+	return FabricOptions{
+		Topos:       []string{"line:2", "leafspine:leaves=2,spines=1"},
+		Mechanisms:  []Series{SeriesNoBuffer, SeriesFlowGranularity},
+		Installs:    []topo.InstallMode{topo.InstallHopByHop, topo.InstallPath},
+		Shards:      []int{1, 2},
+		Flows:       12,
+		Repeats:     1,
+		NoScale:     true,
+		Parallelism: parallelism,
+	}
+}
+
+func TestRunFabricDeterministicAcrossParallelism(t *testing.T) {
+	// The hard guarantee the CI gate enforces on the full scenario: the CSV
+	// must be byte-identical whether cells run serially or fanned out.
+	var serial, parallel bytes.Buffer
+	r1, err := RunFabric(quickFabricOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.WriteCSV(&serial, true); err != nil {
+		t.Fatal(err)
+	}
+	r8, err := RunFabric(quickFabricOpts(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r8.WriteCSV(&parallel, true); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), parallel.Bytes()) {
+		t.Errorf("CSV differs between -parallel 1 and 8:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestRunFabricSweepInvariants(t *testing.T) {
+	res, err := RunFabric(quickFabricOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2*2*2*2 {
+		t.Fatalf("points = %d, want 16", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Delivery.Mean() != 1 {
+			t.Errorf("%s/%s/%s/%d: delivery %g", p.Topo, p.Series, p.Install, p.Shards, p.Delivery.Mean())
+		}
+		if p.LeakedUnits != 0 || p.LeakedBytes != 0 || p.Dups != 0 || p.Misdelivered != 0 {
+			t.Errorf("%s/%s/%s/%d: leak/dup/misdeliver nonzero: %+v", p.Topo, p.Series, p.Install, p.Shards, p)
+		}
+		// Only flow granularity promises in-order delivery: the whole flow
+		// queues behind its first packet at every hop. Under no-buffer the
+		// controller round trip re-emits early packets behind later fast-path
+		// ones — the reordering is the paper's motivation, not a harness bug.
+		if p.Series == SeriesFlowGranularity.Name && p.Misorders != 0 {
+			t.Errorf("%s/%s/%s/%d: flow granularity misordered %d frames", p.Topo, p.Series, p.Install, p.Shards, p.Misorders)
+		}
+		if p.Unroutable != 0 {
+			t.Errorf("%s/%s/%s/%d: %d unroutable", p.Topo, p.Series, p.Install, p.Shards, p.Unroutable)
+		}
+	}
+	// Path install on the single-shard line:2 must cost fewer packet_ins
+	// than hop-by-hop on the same cell.
+	byKey := map[string]FabricPoint{}
+	for _, p := range res.Points {
+		byKey[p.Topo+"/"+p.Series+"/"+p.Install.String()+"/"+string(rune('0'+p.Shards))] = p
+	}
+	hop := byKey["line:2/flow-granularity/hop/1"]
+	path := byKey["line:2/flow-granularity/path/1"]
+	if path.PacketIns >= hop.PacketIns {
+		t.Errorf("path install packet_ins %d not below hop-by-hop %d", path.PacketIns, hop.PacketIns)
+	}
+	// The table renderer must not error.
+	var tbl bytes.Buffer
+	if err := res.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+}

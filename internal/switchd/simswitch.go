@@ -123,6 +123,10 @@ type SimSwitch struct {
 	mechTimer   *sim.Event
 	expiryTimer *sim.Event
 
+	portSeq  map[uint16]uint64 // per-port arrival sequence assigned at ingest
+	portNext map[uint16]uint64 // next per-port sequence the datapath may pick up
+	portHeld map[uint16]map[uint64]func()
+
 	parseErrors uint64
 	ctrlErrors  uint64
 
@@ -146,12 +150,15 @@ func NewSimSwitch(k *sim.Kernel, cfg SimConfig) (*SimSwitch, error) {
 		return nil, err
 	}
 	s := &SimSwitch{
-		kernel: k,
-		cfg:    cfg,
-		dp:     dp,
-		cpu:    sim.NewResource(k, "switch-cpu", cfg.CPUCores),
-		bus:    bus,
-		sentAt: make(map[uint32]time.Duration),
+		kernel:   k,
+		cfg:      cfg,
+		dp:       dp,
+		cpu:      sim.NewResource(k, "switch-cpu", cfg.CPUCores),
+		bus:      bus,
+		sentAt:   make(map[uint32]time.Duration),
+		portSeq:  make(map[uint16]uint64),
+		portNext: make(map[uint16]uint64),
+		portHeld: make(map[uint16]map[uint64]func()),
 	}
 	if cfg.ReclaimDelay > 0 {
 		if m, ok := dp.Mechanism().(interface{ Pool() *core.Pool }); ok {
@@ -209,7 +216,44 @@ func (s *SimSwitch) Ingest(inPort uint16, frame []byte) {
 		cost += s.cfg.WakeupCost
 		s.nextWakeup = now + s.cfg.BatchWindow
 	}
-	s.cpu.Submit(cost, func() { s.processFrame(now, inPort, frame) })
+	seq := s.portSeq[inPort]
+	s.portSeq[inPort] = seq + 1
+	s.cpu.Submit(cost, func() {
+		s.admitInOrder(inPort, seq, func() { s.processFrame(now, inPort, frame) })
+	})
+}
+
+// admitInOrder hands frame-processing completions to the datapath in per-port
+// arrival order. The CPU model runs jobs on parallel cores with unequal
+// demands — a batch's first packet also pays the wakeup cost — so a later
+// packet's job can finish first. A real datapath drains one port's RX queue
+// in order: the wakeup latency delays the whole poll batch, not only the
+// packet that triggered it. An out-of-order completion is therefore held (at
+// no extra CPU cost) until every earlier packet on the same port has been
+// processed; when completions are already in order this is a straight
+// pass-through with identical timing.
+func (s *SimSwitch) admitInOrder(inPort uint16, seq uint64, fn func()) {
+	if seq != s.portNext[inPort] {
+		held := s.portHeld[inPort]
+		if held == nil {
+			held = make(map[uint64]func())
+			s.portHeld[inPort] = held
+		}
+		held[seq] = fn
+		return
+	}
+	fn()
+	s.portNext[inPort] = seq + 1
+	held := s.portHeld[inPort]
+	for {
+		next, ok := held[s.portNext[inPort]]
+		if !ok {
+			return
+		}
+		delete(held, s.portNext[inPort])
+		next()
+		s.portNext[inPort]++
+	}
 }
 
 func (s *SimSwitch) processFrame(arrived time.Duration, inPort uint16, frame []byte) {

@@ -100,6 +100,13 @@ const (
 	// KindPacketInShed marks a packet_in refused by the controller's
 	// bounded admission queue (instant; Bytes is the message size).
 	KindPacketInShed
+	// KindHopResidency spans a tracked frame's ingress at one fabric switch
+	// to its egress from the same switch (Ref is the path position).
+	KindHopResidency
+	// KindHopLink spans a tracked frame's egress from one fabric switch to
+	// its ingress at the next path switch — the inter-hop link leg (Ref is
+	// the upstream path position).
+	KindHopLink
 
 	numSpanKinds // sentinel: keep last
 )
@@ -127,6 +134,8 @@ var spanKindNames = [...]string{
 	KindDegrade:           "degrade",
 	KindPacerDrop:         "pacer_drop",
 	KindPacketInShed:      "packet_in_shed",
+	KindHopResidency:      "hop_residency",
+	KindHopLink:           "hop_link",
 }
 
 // String names the kind as it appears in CSV and trace output.

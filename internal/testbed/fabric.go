@@ -1,0 +1,687 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"sdnbuffer/internal/capture"
+	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/core"
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/sim"
+	"sdnbuffer/internal/switchd"
+	"sdnbuffer/internal/telemetry"
+	"sdnbuffer/internal/topo"
+)
+
+// FabricOptions shapes a multi-switch fabric instance on top of the shared
+// per-switch Config.
+type FabricOptions struct {
+	// Graph is the built topology (required).
+	Graph *topo.Graph
+	// Shards is the controller count (default 1). Switch i is mastered by
+	// controller i mod Shards; with Shards > 1 its backup is the next shard,
+	// and a crash window hands the switch over deterministically.
+	Shards int
+	// Install selects hop-by-hop or whole-path rule installation.
+	Install topo.InstallMode
+	// SrcHost / DstHost select the workload's endpoints (defaults 0 and 1).
+	SrcHost, DstHost int
+	// CrashWindows takes each listed controller down over the given windows:
+	// control messages to and from it are lost, and switches it masters fail
+	// over to their backup shard for the duration.
+	CrashWindows map[int][]netem.Window
+	// TrackHops records per-hop ingress/egress times for each flow's first
+	// packet (schedule sequence 0), feeding the hop-sum oracle and the hop
+	// telemetry spans. Leave it off for scale runs.
+	TrackHops bool
+}
+
+func (o FabricOptions) withDefaults() (FabricOptions, error) {
+	if o.Graph == nil {
+		return o, fmt.Errorf("testbed: fabric needs a topology graph")
+	}
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Shards < 1 {
+		return o, fmt.Errorf("testbed: shard count must be positive, got %d", o.Shards)
+	}
+	if o.SrcHost == 0 && o.DstHost == 0 {
+		o.DstHost = 1
+	}
+	hosts := len(o.Graph.Hosts())
+	if o.SrcHost < 0 || o.SrcHost >= hosts || o.DstHost < 0 || o.DstHost >= hosts {
+		return o, fmt.Errorf("testbed: host pair (%d, %d) out of range [0, %d)", o.SrcHost, o.DstHost, hosts)
+	}
+	if o.SrcHost == o.DstHost {
+		return o, fmt.Errorf("testbed: src and dst host are both %d", o.SrcHost)
+	}
+	for c, ws := range o.CrashWindows {
+		if c < 0 || c >= o.Shards {
+			return o, fmt.Errorf("testbed: crash window for controller %d, have %d shards", c, o.Shards)
+		}
+		for _, w := range ws {
+			if w.Start < 0 || w.End <= w.Start {
+				return o, fmt.Errorf("testbed: controller %d crash window [%v, %v) invalid", c, w.Start, w.End)
+			}
+		}
+	}
+	return o, nil
+}
+
+// FabricResult extends the paper's metric set with fabric bookkeeping.
+type FabricResult struct {
+	Result
+
+	// Switches, Shards and PathHops describe the instance: fabric size,
+	// controller count, and the workload path's switch-hop length.
+	Switches int
+	Shards   int
+	PathHops int
+
+	// Handoffs counts switch→backup failovers triggered by crash windows;
+	// CtlDropped counts control messages lost to a crashed controller.
+	Handoffs   int64
+	CtlDropped int64
+	// Misdelivered counts workload frames emitted toward a host that is not
+	// the workload destination (must stay zero: routing is loop-free and the
+	// fabric never floods).
+	Misdelivered int64
+	// Unroutable counts misses the controllers dropped for lack of a route;
+	// PathInstalls counts downstream flow_mods pushed by path installation;
+	// RemoteSkips counts path hops skipped because another shard masters
+	// them (the sharding dilution the sweep measures).
+	Unroutable   uint64
+	PathInstalls uint64
+	RemoteSkips  uint64
+}
+
+// hopTrack is the per-hop time record for one tracked frame.
+type hopTrack struct {
+	enters []time.Duration
+	exits  []time.Duration
+	seenIn []bool
+	seenEx []bool
+}
+
+// Fabric is a multi-switch platform instance: the Graph realized as
+// simulated switches and links, driven by a sharded control plane running
+// the PathForwarder application.
+type Fabric struct {
+	cfg    Config
+	opts   FabricOptions
+	g      *topo.Graph
+	kernel *sim.Kernel
+	sws    []*switchd.SimSwitch
+	ctls   []*controller.SimController
+	apps   []*topo.PathForwarder
+	chans  []*capture.ControlChannel
+
+	dataLinks [][]*netem.Link // [switch][port-1]; nil entries are host ports
+	hostUp    []*netem.Link   // host -> attachment switch
+	hostDown  []*netem.Link   // attachment switch -> host
+
+	ctlDown    []bool // controller currently crashed
+	useBackup  []bool // switch currently failed over to its backup shard
+	handoffs   int64
+	ctlDropped int64
+
+	path       []topo.Hop  // the src→dst switch chain
+	pathIndex  map[int]int // switch -> position on path
+	hops       map[frameIdent]*hopTrack
+	firstIdent map[int]frameIdent // flow -> its first packet's identity
+
+	index        map[frameIdent]int
+	flows        map[int]*flowTrack
+	emitted      map[frameIdent]int
+	delivered    int64
+	misdelivered int64
+	dups         int64
+	misorders    int64
+
+	tel *telemetry.Recorder
+}
+
+// NewFabric assembles a fabric. The per-switch Config carries the same
+// resource models as the single-switch platform; a fabric of one line switch
+// is bit-identical to the Fig. 1 testbed. Chaos plans and the authority
+// proxy are single-switch features — fabric fault injection goes through
+// FabricOptions.CrashWindows.
+func NewFabric(cfg Config, opts FabricOptions) (*Fabric, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Chaos != nil || cfg.UseAuthorityProxy {
+		return nil, fmt.Errorf("testbed: fabric does not support chaos plans or the authority proxy")
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	g := opts.Graph
+	k := sim.New(cfg.Seed)
+	if cfg.Switch.CPUCores == 0 {
+		dp := cfg.Switch.Datapath
+		cfg.Switch = switchd.DefaultSimConfig()
+		cfg.Switch.Datapath = dp
+	}
+	if cfg.Controller.CPUCores == 0 {
+		cfg.Controller = controller.DefaultSimConfig()
+	}
+
+	fb := &Fabric{
+		cfg:       cfg,
+		opts:      opts,
+		g:         g,
+		kernel:    k,
+		ctlDown:   make([]bool, opts.Shards),
+		useBackup: make([]bool, g.NumSwitches()),
+		index:     make(map[frameIdent]int),
+		flows:     make(map[int]*flowTrack),
+		emitted:   make(map[frameIdent]int),
+	}
+	if cfg.Telemetry != nil {
+		fb.tel = telemetry.NewRecorder(*cfg.Telemetry)
+		telemetry.SetEnabled(true)
+	}
+	fb.path, err = g.HostPath(opts.SrcHost, opts.DstHost)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: fabric workload path: %w", err)
+	}
+	fb.pathIndex = make(map[int]int, len(fb.path))
+	for pos, hop := range fb.path {
+		fb.pathIndex[hop.Switch] = pos
+	}
+	if opts.TrackHops {
+		fb.hops = make(map[frameIdent]*hopTrack)
+		fb.firstIdent = make(map[int]frameIdent)
+	}
+
+	mkLink := func(name string, mbps float64, prop time.Duration) (*netem.Link, error) {
+		l, err := netem.NewLink(k, name, mbps, prop)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: link %s: %w", name, err)
+		}
+		return l, nil
+	}
+
+	// Control plane: one PathForwarder per shard over the shared graph.
+	for j := 0; j < opts.Shards; j++ {
+		app := topo.NewPathForwarder(g, opts.Install, cfg.Forwarder)
+		ctl, err := controller.NewSimController(k, cfg.Controller, app)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: building controller %d: %w", j, err)
+		}
+		if fb.tel != nil {
+			ctl.SetTelemetry(fb.tel)
+		}
+		fb.apps = append(fb.apps, app)
+		fb.ctls = append(fb.ctls, ctl)
+	}
+
+	// attach wires switch i to controller j and returns the uplink entry
+	// point (what the switch's control sender calls for this role). A
+	// crashed controller loses messages in both directions.
+	attach := func(i, j int, sw *switchd.SimSwitch, role string, standby bool) (func(msg []byte), error) {
+		up, err := mkLink(fmt.Sprintf("sw%d->ctl%d(%s)", i, j, role), cfg.ControlLinkMbps, cfg.ControlLinkPropagation)
+		if err != nil {
+			return nil, err
+		}
+		down, err := mkLink(fmt.Sprintf("ctl%d->sw%d(%s)", j, i, role), cfg.ControlLinkMbps, cfg.ControlLinkPropagation)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.ControlLossRate > 0 {
+			if err := up.SetLossRate(cfg.ControlLossRate); err != nil {
+				return nil, err
+			}
+			if err := down.SetLossRate(cfg.ControlLossRate); err != nil {
+				return nil, err
+			}
+		}
+		fb.chans = append(fb.chans, capture.NewControlChannel(up, down))
+		conn, deliver := fb.ctls[j].AttachConn(func(msg []byte) {
+			if fb.ctlDown[j] {
+				fb.ctlDropped++
+				return
+			}
+			down.Send(msg, func() { sw.DeliverControl(msg) })
+		})
+		if standby {
+			fb.apps[j].RegisterStandbyConn(conn, i)
+		} else {
+			fb.apps[j].RegisterConn(conn, i)
+		}
+		return func(msg []byte) {
+			up.Send(msg, func() {
+				if fb.ctlDown[j] {
+					fb.ctlDropped++
+					return
+				}
+				deliver(msg)
+			})
+		}, nil
+	}
+
+	// Switches, each wired to its master shard (and backup, when sharded).
+	for i := 0; i < g.NumSwitches(); i++ {
+		swCfg := cfg.Switch
+		swCfg.Datapath.DatapathID = uint64(i + 1)
+		swCfg.Datapath.NumPorts = g.NumPorts(i)
+		sw, err := switchd.NewSimSwitch(k, swCfg)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: building switch %d: %w", i, err)
+		}
+		if fb.tel != nil {
+			sw.SetTelemetry(fb.tel)
+		}
+		master := i % opts.Shards
+		sendMaster, err := attach(i, master, sw, "m", false)
+		if err != nil {
+			return nil, err
+		}
+		sendBackup := sendMaster
+		if opts.Shards > 1 {
+			backup := (master + 1) % opts.Shards
+			if sendBackup, err = attach(i, backup, sw, "b", true); err != nil {
+				return nil, err
+			}
+		}
+		i := i
+		sw.SetControlSender(func(msg []byte) {
+			if fb.useBackup[i] {
+				sendBackup(msg)
+				return
+			}
+			sendMaster(msg)
+		})
+		fb.sws = append(fb.sws, sw)
+	}
+
+	// Crash windows: deterministic handoff at the window edges.
+	for j := 0; j < opts.Shards; j++ {
+		for _, w := range opts.CrashWindows[j] {
+			j, w := j, w
+			k.At(w.Start, func() {
+				fb.ctlDown[j] = true
+				if opts.Shards > 1 {
+					for i := range fb.sws {
+						if i%opts.Shards == j && !fb.useBackup[i] {
+							fb.useBackup[i] = true
+							fb.handoffs++
+						}
+					}
+				}
+			})
+			k.At(w.End, func() {
+				fb.ctlDown[j] = false
+				for i := range fb.sws {
+					if i%opts.Shards == j {
+						fb.useBackup[i] = false
+					}
+				}
+			})
+		}
+	}
+
+	// Data plane: one link per directed switch-switch edge plus the host
+	// access links, all created in switch/port order for determinism.
+	fb.dataLinks = make([][]*netem.Link, g.NumSwitches())
+	for i := 0; i < g.NumSwitches(); i++ {
+		fb.dataLinks[i] = make([]*netem.Link, g.NumPorts(i))
+		for p := 1; p <= g.NumPorts(i); p++ {
+			peer, _ := g.PeerOf(i, uint16(p))
+			if peer.Switch < 0 {
+				continue
+			}
+			l, err := mkLink(fmt.Sprintf("sw%d:%d->sw%d", i, p, peer.Switch), cfg.HostLinkMbps, cfg.HostLinkPropagation)
+			if err != nil {
+				return nil, err
+			}
+			fb.dataLinks[i][p-1] = l
+		}
+	}
+	for hIdx, h := range g.Hosts() {
+		up, err := mkLink(fmt.Sprintf("h%d->sw%d", hIdx, h.Switch), cfg.HostLinkMbps, cfg.HostLinkPropagation)
+		if err != nil {
+			return nil, err
+		}
+		down, err := mkLink(fmt.Sprintf("sw%d->h%d", h.Switch, hIdx), cfg.HostLinkMbps, cfg.HostLinkPropagation)
+		if err != nil {
+			return nil, err
+		}
+		fb.hostUp = append(fb.hostUp, up)
+		fb.hostDown = append(fb.hostDown, down)
+	}
+	for i := range fb.sws {
+		i := i
+		fb.sws[i].SetTransmit(func(port uint16, frame []byte) { fb.onTransmit(i, port, frame) })
+	}
+	return fb, nil
+}
+
+// onTransmit routes every frame leaving switch i onto the proper egress
+// link: the next path switch, a host, or (misrouted) anywhere else.
+func (fb *Fabric) onTransmit(i int, port uint16, frame []byte) {
+	peer, ok := fb.g.PeerOf(i, port)
+	if !ok {
+		return
+	}
+	if peer.Host >= 0 {
+		if peer.Host == fb.opts.DstHost {
+			fb.observeExit(i, frame)
+			fb.hostDown[peer.Host].Send(frame, func() { fb.delivered++ })
+			return
+		}
+		// A workload frame leaving toward any other host took a wrong turn.
+		if _, _, ok := fb.identify(frame); ok {
+			fb.misdelivered++
+		}
+		fb.hostDown[peer.Host].Send(frame, nil)
+		return
+	}
+	fb.hopExit(i, frame)
+	next, nextPort := peer.Switch, peer.Port
+	fb.dataLinks[i][port-1].Send(frame, func() {
+		fb.hopEnter(next, frame)
+		fb.sws[next].Ingest(nextPort, frame)
+	})
+}
+
+// identify maps a frame to its workload flow id.
+func (fb *Fabric) identify(frame []byte) (frameIdent, int, bool) {
+	f, err := packet.ParseHeaders(frame)
+	if err != nil {
+		return frameIdent{}, 0, false
+	}
+	ident := frameIdent{key: f.Key(), ipid: f.IPID}
+	id, ok := fb.index[ident]
+	return ident, id, ok
+}
+
+// observeExit is the exactly-once-in-order oracle at the destination edge,
+// identical to the single-switch platform's transmit tap.
+func (fb *Fabric) observeExit(sw int, frame []byte) {
+	now := fb.kernel.Now()
+	ident, id, ok := fb.identify(frame)
+	if !ok {
+		return
+	}
+	fb.hopExit(sw, frame)
+	fb.emitted[ident]++
+	if fb.emitted[ident] > 1 {
+		fb.dups++
+	}
+	tr := fb.flows[id]
+	if tr == nil || !tr.haveEnter {
+		return
+	}
+	if seq := int(ident.ipid); seq < tr.lastSeq {
+		fb.misorders++
+	} else {
+		tr.lastSeq = seq
+	}
+	if !tr.haveLeave {
+		tr.leaveFirst = now
+		tr.haveLeave = true
+		if fb.tel != nil {
+			fb.tel.Span(telemetry.KindFlowSetup, tr.enterFirst, now,
+				telemetry.HashKey(ident.key), uint32(id), uint32(len(frame)))
+		}
+	}
+	if now > tr.leaveLast {
+		tr.leaveLast = now
+	}
+	tr.leaves++
+}
+
+// hopEnter records a tracked frame's ingress time at a path switch and
+// emits the inter-hop link span.
+func (fb *Fabric) hopEnter(sw int, frame []byte) {
+	if fb.hops == nil {
+		return
+	}
+	pos, ok := fb.pathIndex[sw]
+	if !ok {
+		return
+	}
+	ident, _, ok := fb.identify(frame)
+	if !ok {
+		return
+	}
+	ht := fb.hops[ident]
+	if ht == nil || ht.seenIn[pos] {
+		return
+	}
+	now := fb.kernel.Now()
+	ht.enters[pos] = now
+	ht.seenIn[pos] = true
+	if fb.tel != nil && pos > 0 && ht.seenEx[pos-1] {
+		fb.tel.Span(telemetry.KindHopLink, ht.exits[pos-1], now,
+			telemetry.HashKey(ident.key), uint32(pos-1), uint32(len(frame)))
+	}
+}
+
+// hopExit records a tracked frame's egress time at a path switch and emits
+// the hop-residency span.
+func (fb *Fabric) hopExit(sw int, frame []byte) {
+	if fb.hops == nil {
+		return
+	}
+	pos, ok := fb.pathIndex[sw]
+	if !ok {
+		return
+	}
+	ident, _, ok := fb.identify(frame)
+	if !ok {
+		return
+	}
+	ht := fb.hops[ident]
+	if ht == nil || ht.seenEx[pos] {
+		return
+	}
+	now := fb.kernel.Now()
+	ht.exits[pos] = now
+	ht.seenEx[pos] = true
+	if fb.tel != nil && ht.seenIn[pos] {
+		fb.tel.Span(telemetry.KindHopResidency, ht.enters[pos], now,
+			telemetry.HashKey(ident.key), uint32(pos), uint32(len(frame)))
+	}
+}
+
+// Kernel exposes the event kernel.
+func (fb *Fabric) Kernel() *sim.Kernel { return fb.kernel }
+
+// Graph exposes the topology.
+func (fb *Fabric) Graph() *topo.Graph { return fb.g }
+
+// Switches exposes the simulated switches in topology order.
+func (fb *Fabric) Switches() []*switchd.SimSwitch { return fb.sws }
+
+// Controllers exposes the controller shards.
+func (fb *Fabric) Controllers() []*controller.SimController { return fb.ctls }
+
+// Forwarders exposes the per-shard PathForwarder applications.
+func (fb *Fabric) Forwarders() []*topo.PathForwarder { return fb.apps }
+
+// Capture exposes every control channel in wiring order (per switch: master,
+// then backup when sharded).
+func (fb *Fabric) Capture() []*capture.ControlChannel { return fb.chans }
+
+// Telemetry exposes the recorder (nil unless Config.Telemetry was set).
+func (fb *Fabric) Telemetry() *telemetry.Recorder { return fb.tel }
+
+// Path exposes the workload's src→dst switch chain.
+func (fb *Fabric) Path() []topo.Hop { return fb.path }
+
+// HopRecord reports the recorded per-hop ingress and egress times of a
+// flow's first packet (requires TrackHops). The slices index path positions;
+// ok is false until the packet traversed the whole path.
+func (fb *Fabric) HopRecord(flowID int) (enters, exits []time.Duration, ok bool) {
+	ident, ok := fb.firstIdent[flowID]
+	if !ok {
+		return nil, nil, false
+	}
+	ht := fb.hops[ident]
+	if ht == nil {
+		return nil, nil, false
+	}
+	for pos := range fb.path {
+		if !ht.seenIn[pos] || !ht.seenEx[pos] {
+			return nil, nil, false
+		}
+	}
+	return ht.enters, ht.exits, true
+}
+
+// Run replays a schedule from the source host and runs the fabric to
+// quiescence. Delay metrics are measured source-edge ingress to
+// destination-edge egress, i.e. across all hops.
+func (fb *Fabric) Run(sched pktgen.Schedule) (*FabricResult, error) {
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("testbed: empty schedule")
+	}
+	for _, e := range sched {
+		f, err := packet.ParseHeaders(e.Frame)
+		if err != nil {
+			return nil, fmt.Errorf("testbed: schedule frame unparseable: %w", err)
+		}
+		ident := frameIdent{key: f.Key(), ipid: f.IPID}
+		fb.index[ident] = e.FlowID
+		if _, ok := fb.flows[e.FlowID]; !ok {
+			fb.flows[e.FlowID] = &flowTrack{lastSeq: -1}
+		}
+		if fb.hops != nil && e.Seq == 0 {
+			if _, dup := fb.firstIdent[e.FlowID]; !dup {
+				fb.firstIdent[e.FlowID] = ident
+				n := len(fb.path)
+				fb.hops[ident] = &hopTrack{
+					enters: make([]time.Duration, n),
+					exits:  make([]time.Duration, n),
+					seenIn: make([]bool, n),
+					seenEx: make([]bool, n),
+				}
+			}
+		}
+	}
+	src := fb.g.Hosts()[fb.opts.SrcHost]
+	for _, e := range sched {
+		e := e
+		fb.kernel.At(e.At, func() {
+			fb.hostUp[fb.opts.SrcHost].Send(e.Frame, func() {
+				now := fb.kernel.Now()
+				if _, id, ok := fb.identify(e.Frame); ok {
+					tr := fb.flows[id]
+					if !tr.haveEnter {
+						tr.enterFirst = now
+						tr.haveEnter = true
+					}
+				}
+				fb.hopEnter(src.Switch, e.Frame)
+				fb.sws[src.Switch].Ingest(src.Port, e.Frame)
+			})
+		})
+	}
+	deadline := sched.Duration() + fb.cfg.Drain
+	for fb.kernel.Pending() > 0 && fb.kernel.Now() < deadline {
+		fb.kernel.Step()
+	}
+	fb.tel.Finish(fb.kernel.Now()) // nil-safe
+	return fb.collect(sched), nil
+}
+
+func (fb *Fabric) collect(sched pktgen.Schedule) *FabricResult {
+	now := fb.kernel.Now()
+	res := &FabricResult{
+		Switches: fb.g.NumSwitches(),
+		Shards:   fb.opts.Shards,
+		PathHops: len(fb.path),
+	}
+	res.Elapsed = now
+	res.SendingWindow = sched.Duration()
+	res.FramesSent = len(sched)
+
+	for _, ch := range fb.chans {
+		res.CtrlLoadToControllerMbps += ch.ToController.LoadMbps(now)
+		res.CtrlLoadToSwitchMbps += ch.ToSwitch.LoadMbps(now)
+		pi, _ := ch.ToController.ByType(openflow.TypePacketIn)
+		fm, _ := ch.ToSwitch.ByType(openflow.TypeFlowMod)
+		po, _ := ch.ToSwitch.ByType(openflow.TypePacketOut)
+		res.PacketIns += pi
+		res.FlowMods += fm
+		res.PacketOuts += po
+	}
+	for _, ctl := range fb.ctls {
+		res.ControllerUsagePercent += ctl.CPUUtilizationPercent()
+		shed, shedBytes := ctl.AdmissionStats()
+		res.CtrlShedPacketIns += shed
+		res.CtrlShedBytes += shedBytes
+	}
+	res.ControllerUsagePercent /= float64(len(fb.ctls))
+	for _, app := range fb.apps {
+		_, installs, skips, unroutable := app.Stats()
+		res.PathInstalls += installs
+		res.RemoteSkips += skips
+		res.Unroutable += unroutable
+	}
+	for _, sw := range fb.sws {
+		res.SwitchUsagePercent += sw.CPUUtilizationPercent()
+		mech := sw.Datapath().Mechanism()
+		st := mech.Stats(now)
+		res.Rerequests += st.Rerequests
+		res.BufferFallbacks += st.DroppedNoBuffer
+		res.Giveups += st.Giveups
+		res.BufferOccupancyMean += mech.OccupancyMean(now)
+		if m := mech.OccupancyMax(); m > res.BufferOccupancyMax {
+			res.BufferOccupancyMax = m
+		}
+		if pm, ok := mech.(interface{ Pool() *core.Pool }); ok {
+			res.BufferUnitsLeaked += pm.Pool().Live()
+			res.BufferBytesHighWater += uint64(pm.Pool().BytesHighWater())
+			res.BufferRejectedBytes += pm.Pool().RejectedBytes()
+			res.BufferBytesLeaked += pm.Pool().BytesInUse()
+		}
+		drops, dropBytes := sw.PacerDrops()
+		res.PacerDrops += drops
+		res.PacerDropBytes += dropBytes
+		sf, cdm := sw.Datapath().FailStats()
+		res.StandaloneForwards += sf
+		res.ControlDownMisses += cdm
+		res.ControllerDelay.Merge(sw.ControllerDelay())
+	}
+	res.SwitchUsagePercent /= float64(len(fb.sws))
+
+	ids := make([]int, 0, len(fb.flows))
+	for id := range fb.flows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		tr := fb.flows[id]
+		if !tr.haveEnter {
+			continue
+		}
+		res.FlowsObserved++
+		if tr.haveLeave {
+			res.FlowSetupDelay.Observe((tr.leaveFirst - tr.enterFirst).Seconds())
+			res.FlowForwardingDelay.Observe((tr.leaveLast - tr.enterFirst).Seconds())
+		}
+	}
+	res.SwitchDelayMean = res.FlowSetupDelay.Mean() - res.ControllerDelay.Mean()
+	if res.SwitchDelayMean < 0 {
+		res.SwitchDelayMean = 0
+	}
+	res.FramesDelivered = fb.delivered
+	res.DupEmissions = fb.dups
+	res.OrderViolations = fb.misorders
+	res.Handoffs = fb.handoffs
+	res.CtlDropped = fb.ctlDropped
+	res.Misdelivered = fb.misdelivered
+	return res
+}

@@ -1,0 +1,70 @@
+package topo
+
+import "testing"
+
+// FuzzParseTopo throws arbitrary strings at the spec parser. Anything that
+// parses must round-trip through String, and small specs must build into a
+// structurally sound graph — ParseSpec's bounds are the only thing standing
+// between a CLI flag and an unbounded allocation.
+func FuzzParseTopo(f *testing.F) {
+	for _, s := range []string{
+		"line:1",
+		"line:4",
+		"line:switches=9",
+		"leafspine:leaves=8,spines=4",
+		"leafspine:leaves=2,spines=2,hosts=6",
+		"fattree:pods=2,leaves=2,spines=2,cores=2",
+		"fattree:pods=4,leaves=4,spines=4,cores=16,hosts=8",
+		"random:nodes=12,extra=4,seed=7",
+		"random:nodes=1,extra=0,seed=0,hosts=2",
+		"line:",
+		"mesh:nodes=4",
+		"random:nodes=999999999",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		reparsed, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("String() of parsed %q does not re-parse: %v", s, err)
+		}
+		if reparsed != spec {
+			t.Fatalf("round trip of %q: %+v vs %+v", s, spec, reparsed)
+		}
+		if spec.NumSwitches() > 512 {
+			return // parseable and bounded; building huge fabrics is the sweep's job
+		}
+		g, err := Build(spec)
+		if err != nil {
+			t.Fatalf("validated spec %q does not build: %v", s, err)
+		}
+		for i := 0; i < g.NumSwitches(); i++ {
+			for p := 1; p <= g.NumPorts(i); p++ {
+				peer, ok := g.PeerOf(i, uint16(p))
+				if !ok {
+					t.Fatalf("%q: sw%d port %d missing", s, i, p)
+				}
+				if peer.Switch >= 0 {
+					back, ok := g.PeerOf(peer.Switch, peer.Port)
+					if !ok || back.Switch != i || int(back.Port) != p {
+						t.Fatalf("%q: asymmetric edge sw%d:%d", s, i, p)
+					}
+				}
+			}
+		}
+		for src := range g.Hosts() {
+			for dst := range g.Hosts() {
+				if src == dst {
+					continue
+				}
+				if _, err := g.HostPath(src, dst); err != nil {
+					t.Fatalf("%q: HostPath(%d, %d): %v", s, src, dst, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package topo
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the textual topology spec format used by benchrunner
+// flags, experiment options and test corpora:
+//
+//	line:4
+//	line:switches=4
+//	leafspine:leaves=8,spines=4
+//	leafspine:leaves=8,spines=4,hosts=6
+//	fattree:pods=2,leaves=2,spines=2,cores=2
+//	random:nodes=12,extra=4,seed=7
+//
+// The kind comes before the colon; parameters are comma-separated key=value
+// pairs. A line accepts the bare switch count as shorthand. Parsed specs are
+// validated with the same bounds Build enforces, so a parseable spec always
+// builds (MaxSwitches caps hostile sizes).
+func ParseSpec(s string) (Spec, error) {
+	kindStr, rest, found := strings.Cut(s, ":")
+	if !found {
+		return Spec{}, fmt.Errorf("topo: spec %q: want kind:params", s)
+	}
+	var spec Spec
+	switch kindStr {
+	case "line":
+		spec.Kind = KindLine
+	case "leafspine":
+		spec.Kind = KindLeafSpine
+	case "fattree":
+		spec.Kind = KindFatTree
+	case "random":
+		spec.Kind = KindRandom
+	default:
+		return Spec{}, fmt.Errorf("topo: unknown topology kind %q", kindStr)
+	}
+	if rest == "" {
+		return Spec{}, fmt.Errorf("topo: spec %q has no parameters", s)
+	}
+	for _, field := range strings.Split(rest, ",") {
+		key, valStr, found := strings.Cut(field, "=")
+		if !found {
+			if spec.Kind == KindLine {
+				// Bare-count shorthand: line:4.
+				key, valStr = "switches", field
+			} else {
+				return Spec{}, fmt.Errorf("topo: spec %q: field %q is not key=value", s, field)
+			}
+		}
+		val, err := strconv.ParseInt(valStr, 10, 64)
+		if err != nil {
+			return Spec{}, fmt.Errorf("topo: spec %q: field %q: %v", s, field, err)
+		}
+		if key != "seed" && (val < 0 || val > MaxSwitches) {
+			return Spec{}, fmt.Errorf("topo: spec %q: %s=%d out of range [0, %d]", s, key, val, MaxSwitches)
+		}
+		n := int(val)
+		switch {
+		case key == "switches" && spec.Kind == KindLine:
+			spec.Switches = n
+		case key == "leaves" && spec.Kind == KindLeafSpine:
+			spec.Leaves = n
+		case key == "spines" && spec.Kind == KindLeafSpine:
+			spec.Spines = n
+		case key == "pods" && spec.Kind == KindFatTree:
+			spec.Pods = n
+		case key == "leaves" && spec.Kind == KindFatTree:
+			spec.LeavesPerPod = n
+		case key == "spines" && spec.Kind == KindFatTree:
+			spec.SpinesPerPod = n
+		case key == "cores" && spec.Kind == KindFatTree:
+			spec.Cores = n
+		case key == "nodes" && spec.Kind == KindRandom:
+			spec.Nodes = n
+		case key == "extra" && spec.Kind == KindRandom:
+			spec.ExtraEdges = n
+		case key == "seed" && spec.Kind == KindRandom:
+			spec.Seed = val
+		case key == "hosts":
+			spec.Hosts = n
+		default:
+			return Spec{}, fmt.Errorf("topo: spec %q: unknown key %q for kind %s", s, key, spec.Kind)
+		}
+	}
+	if err := spec.validate(); err != nil {
+		return Spec{}, err
+	}
+	return spec, nil
+}
+
+// String renders the spec in the ParseSpec format (a round-trip identity
+// for specs that came from ParseSpec).
+func (s Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", s.Kind)
+	switch s.Kind {
+	case KindLine:
+		fmt.Fprintf(&b, "%d", s.Switches)
+		return b.String() // a line's host count is fixed; omit it
+	case KindLeafSpine:
+		fmt.Fprintf(&b, "leaves=%d,spines=%d", s.Leaves, s.Spines)
+	case KindFatTree:
+		fmt.Fprintf(&b, "pods=%d,leaves=%d,spines=%d,cores=%d", s.Pods, s.LeavesPerPod, s.SpinesPerPod, s.Cores)
+	case KindRandom:
+		fmt.Fprintf(&b, "nodes=%d,extra=%d,seed=%d", s.Nodes, s.ExtraEdges, s.Seed)
+	}
+	if s.Hosts != 0 {
+		fmt.Fprintf(&b, ",hosts=%d", s.Hosts)
+	}
+	return b.String()
+}

@@ -1,0 +1,180 @@
+package topo
+
+import (
+	"fmt"
+
+	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// InstallMode selects how the controller answers a path miss.
+type InstallMode uint8
+
+const (
+	// InstallHopByHop answers each switch's miss with that switch's rule
+	// only — every hop costs one full packet_in round trip (the chained
+	// amplification a k-hop path multiplies the paper's overhead by).
+	InstallHopByHop InstallMode = iota
+	// InstallPath answers the first miss with the whole route: the miss
+	// switch gets its flow_mod and packet_out, and every downstream path
+	// switch attached to the same controller gets its flow_mod in the same
+	// batched decision (one controller CPU job, messages back-to-back via
+	// the AppendEncode path). Downstream rules race the released packet
+	// down the path and normally win: the data packet must serialize onto
+	// each 100 Mbps data link while the flow_mods cross the parallel
+	// control links concurrently.
+	InstallPath
+)
+
+func (m InstallMode) String() string {
+	if m == InstallPath {
+		return "path"
+	}
+	return "hop"
+}
+
+// ParseInstallMode parses "hop" or "path".
+func ParseInstallMode(s string) (InstallMode, error) {
+	switch s {
+	case "hop":
+		return InstallHopByHop, nil
+	case "path":
+		return InstallPath, nil
+	}
+	return 0, fmt.Errorf("topo: unknown install mode %q (want hop or path)", s)
+}
+
+// PathForwarder is the fabric controller application: a reactive forwarder
+// that routes by the topology's shortest-path tables instead of a static
+// prefix list, knows which switch each controller connection belongs to,
+// and (in InstallPath mode) installs the whole route on the first miss.
+//
+// One PathForwarder serves one SimController; with a sharded control plane
+// each shard gets its own instance over the shared read-only Graph.
+type PathForwarder struct {
+	g    *Graph
+	mode InstallMode
+	cfg  controller.ForwarderConfig
+
+	connSwitch map[int]int // controller conn -> switch index
+	switchConn map[int]int // switch index -> conn on this controller
+
+	packetIns    uint64
+	pathInstalls uint64 // downstream flow_mods sent by path installation
+	remoteSkips  uint64 // path hops skipped because another shard masters them
+	unroutable   uint64
+}
+
+var _ controller.ConnApp = (*PathForwarder)(nil)
+
+// NewPathForwarder builds the application over a built graph.
+func NewPathForwarder(g *Graph, mode InstallMode, cfg controller.ForwarderConfig) *PathForwarder {
+	return &PathForwarder{
+		g:          g,
+		mode:       mode,
+		cfg:        cfg,
+		connSwitch: make(map[int]int),
+		switchConn: make(map[int]int),
+	}
+}
+
+// RegisterConn tells the forwarder that controller connection conn carries
+// switch sw and that this controller masters the switch — the connection
+// becomes a path-install target.
+func (p *PathForwarder) RegisterConn(conn, sw int) {
+	p.connSwitch[conn] = sw
+	if _, ok := p.switchConn[sw]; !ok {
+		p.switchConn[sw] = conn
+	}
+}
+
+// RegisterStandbyConn registers a backup connection: misses arriving on it
+// (after a master crash hands the switch over) are answered, but the switch
+// is not a path-install target here — its master installs its rules, and a
+// shard never pushes rules onto switches it merely backs up.
+func (p *PathForwarder) RegisterStandbyConn(conn, sw int) {
+	p.connSwitch[conn] = sw
+}
+
+// Name implements controller.App.
+func (p *PathForwarder) Name() string { return "path-forwarder" }
+
+// HandlePacketIn implements controller.App. The fabric always attaches
+// switches with explicit connections, so the conn-less entry point only
+// exists to satisfy the interface.
+func (p *PathForwarder) HandlePacketIn(*openflow.PacketIn, uint32) ([]openflow.Message, error) {
+	return nil, fmt.Errorf("topo: PathForwarder needs connection dispatch (use SimController.AttachConn)")
+}
+
+// HandlePacketInConn implements controller.ConnApp: route the miss by the
+// topology tables and answer with this hop's rule — plus, in path mode,
+// rules for every downstream hop this controller masters.
+func (p *PathForwarder) HandlePacketInConn(conn int, pi *openflow.PacketIn, xid uint32) ([]controller.Directed, error) {
+	p.packetIns++
+	sw, ok := p.connSwitch[conn]
+	if !ok {
+		return nil, fmt.Errorf("topo: packet_in on unregistered connection %d", conn)
+	}
+	frame, err := packet.ParseHeaders(pi.Data)
+	if err != nil {
+		return nil, fmt.Errorf("topo: parsing packet_in payload: %w", err)
+	}
+	dst, ok := p.g.HostByAddr(frame.DstIP)
+	if !ok {
+		return p.drop(conn, pi), nil
+	}
+	out, ok := p.g.NextHopPort(sw, dst)
+	if !ok {
+		return p.drop(conn, pi), nil
+	}
+	msgs := p.cfg.InstallMessages(pi, frame, out)
+	directed := make([]controller.Directed, 0, len(msgs))
+	for _, m := range msgs {
+		directed = append(directed, controller.Directed{Conn: conn, Msg: m})
+	}
+	if p.mode != InstallPath {
+		return directed, nil
+	}
+	hops, err := p.g.PathFrom(sw, pi.InPort, dst)
+	if err != nil {
+		return nil, err
+	}
+	for _, hop := range hops[1:] { // hops[0] is the miss switch, answered above
+		hopConn, ok := p.switchConn[hop.Switch]
+		if !ok {
+			// Another shard masters this hop; it will answer that switch's
+			// own miss. Sharding dilutes the batch — by design, and the
+			// sweep measures exactly how much.
+			p.remoteSkips++
+			continue
+		}
+		p.pathInstalls++
+		directed = append(directed, controller.Directed{
+			Conn: hopConn,
+			Msg:  p.cfg.RuleFor(p.cfg.MatchFor(hop.Entry, frame), hop.Exit),
+		})
+	}
+	return directed, nil
+}
+
+// drop answers an unroutable miss: release the buffered packet with no
+// actions (freeing the unit) instead of flooding — a fabric with cycles
+// must never flood blindly.
+func (p *PathForwarder) drop(conn int, pi *openflow.PacketIn) []controller.Directed {
+	p.unroutable++
+	if pi.BufferID == openflow.NoBuffer {
+		return nil
+	}
+	return []controller.Directed{{
+		Conn: conn,
+		Msg:  &openflow.PacketOut{BufferID: pi.BufferID, InPort: pi.InPort},
+	}}
+}
+
+// Stats reports the forwarder's decision counters: packet_ins handled,
+// downstream rules pushed by path installation, path hops skipped because
+// another shard masters them, and unroutable drops.
+func (p *PathForwarder) Stats() (packetIns, pathInstalls, remoteSkips, unroutable uint64) {
+	return p.packetIns, p.pathInstalls, p.remoteSkips, p.unroutable
+}

@@ -43,6 +43,7 @@ import (
 	"sdnbuffer/internal/packet"
 	"sdnbuffer/internal/pktgen"
 	"sdnbuffer/internal/testbed"
+	"sdnbuffer/internal/topo"
 )
 
 // Mode selects the switch buffer mechanism.
@@ -115,16 +116,19 @@ func (p Platform) config() (testbed.Config, error) {
 	return cfg, nil
 }
 
-// Workload is a traffic schedule for one run.
+// Workload is a traffic schedule for one run. The builder takes the
+// destination host address so the same workload runs unchanged on the
+// single-switch platform (dst 10.0.0.2) and on fabrics, where the frames
+// must target the fabric's destination host.
 type Workload struct {
 	name  string
-	build func() (pktgen.Schedule, error)
+	build func(dst netip.Addr) (pktgen.Schedule, error)
 }
 
 // Name reports the workload's description.
 func (w Workload) Name() string { return w.name }
 
-func basePktgen(rate float64) pktgen.Config {
+func basePktgen(rate float64, dst netip.Addr) pktgen.Config {
 	return pktgen.Config{
 		FrameSize: 1000,
 		RateMbps:  rate,
@@ -132,7 +136,7 @@ func basePktgen(rate float64) pktgen.Config {
 		Seed:      1,
 		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
 		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
-		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		DstIP:     dst,
 	}
 }
 
@@ -141,8 +145,8 @@ func basePktgen(rate float64) pktgen.Config {
 func SinglePacketFlows(rateMbps float64, flows int) Workload {
 	return Workload{
 		name: fmt.Sprintf("%d single-packet flows at %g Mbps", flows, rateMbps),
-		build: func() (pktgen.Schedule, error) {
-			return pktgen.SinglePacketFlows(basePktgen(rateMbps), flows)
+		build: func(dst netip.Addr) (pktgen.Schedule, error) {
+			return pktgen.SinglePacketFlows(basePktgen(rateMbps, dst), flows)
 		},
 	}
 }
@@ -153,8 +157,8 @@ func BurstFlows(rateMbps float64, flows, pktsPerFlow, groupSize int) Workload {
 	return Workload{
 		name: fmt.Sprintf("%d flows × %d packets at %g Mbps (groups of %d)",
 			flows, pktsPerFlow, rateMbps, groupSize),
-		build: func() (pktgen.Schedule, error) {
-			return pktgen.InterleavedBursts(basePktgen(rateMbps), flows, pktsPerFlow, groupSize)
+		build: func(dst netip.Addr) (pktgen.Schedule, error) {
+			return pktgen.InterleavedBursts(basePktgen(rateMbps, dst), flows, pktsPerFlow, groupSize)
 		},
 	}
 }
@@ -165,9 +169,9 @@ func TCPReconnect(rateMbps float64, burst1 int, pause time.Duration, burst2 int)
 	return Workload{
 		name: fmt.Sprintf("TCP %d-packet burst, %v pause, %d-packet burst at %g Mbps",
 			burst1, pause, burst2, rateMbps),
-		build: func() (pktgen.Schedule, error) {
+		build: func(dst netip.Addr) (pktgen.Schedule, error) {
 			return pktgen.TCPEvictionFlow(pktgen.TCPFlowConfig{
-				Config:      basePktgen(rateMbps),
+				Config:      basePktgen(rateMbps, dst),
 				SrcIP:       netip.MustParseAddr("10.1.0.1"),
 				SrcPort:     40000,
 				BurstPkts:   burst1,
@@ -177,6 +181,9 @@ func TCPReconnect(rateMbps float64, burst1 int, pause time.Duration, burst2 int)
 		},
 	}
 }
+
+// singleSwitchDst is the legacy platform's receiving host.
+var singleSwitchDst = netip.MustParseAddr("10.0.0.2")
 
 // Report is the metric set of one run — the paper's §III.B metrics. It is
 // the testbed result type re-exported.
@@ -196,7 +203,7 @@ func Run(p Platform, w Workload) (*Report, error) {
 	if w.build == nil {
 		return nil, fmt.Errorf("sdnbuffer: empty workload")
 	}
-	sched, err := w.build()
+	sched, err := w.build(singleSwitchDst)
 	if err != nil {
 		return nil, err
 	}
@@ -218,11 +225,59 @@ func RunLine(p Platform, switches int, w Workload) (*Report, error) {
 	if w.build == nil {
 		return nil, fmt.Errorf("sdnbuffer: empty workload")
 	}
-	sched, err := w.build()
+	sched, err := w.build(singleSwitchDst)
 	if err != nil {
 		return nil, err
 	}
 	return lt.Run(sched)
+}
+
+// FabricReport is the metric set of one fabric run: the single-switch
+// metrics plus fabric shape, sharding and path-install counters. It is the
+// fabric testbed result type re-exported.
+type FabricReport = testbed.FabricResult
+
+// RunFabric runs the workload across a multi-switch fabric described by a
+// topology spec ("line:4", "leafspine:leaves=8,spines=4",
+// "fattree:pods=2,leaves=2,spines=2,cores=2", "random:nodes=12,seed=7").
+// Traffic flows from host 0 to host 1 of the topology. shards splits the
+// control plane across that many controllers (switch i is mastered by
+// controller i mod shards; 0 or 1 = a single controller). With pathInstall
+// the controller pushes the whole route's flow_mods in one batch on the
+// first packet_in; otherwise every hop misses and requests independently.
+func RunFabric(p Platform, spec string, shards int, pathInstall bool, w Workload) (*FabricReport, error) {
+	cfg, err := p.config()
+	if err != nil {
+		return nil, err
+	}
+	ts, err := topo.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	g, err := topo.Build(ts)
+	if err != nil {
+		return nil, err
+	}
+	install := topo.InstallHopByHop
+	if pathInstall {
+		install = topo.InstallPath
+	}
+	fb, err := testbed.NewFabric(cfg, testbed.FabricOptions{
+		Graph:   g,
+		Shards:  shards,
+		Install: install,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if w.build == nil {
+		return nil, fmt.Errorf("sdnbuffer: empty workload")
+	}
+	sched, err := w.build(g.Hosts()[1].Addr)
+	if err != nil {
+		return nil, err
+	}
+	return fb.Run(sched)
 }
 
 // ExperimentOptions scales an experiment sweep; the zero value uses the

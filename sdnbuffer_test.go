@@ -131,6 +131,41 @@ func TestRunLineFacade(t *testing.T) {
 	}
 }
 
+func TestRunFabricFacade(t *testing.T) {
+	hop, err := RunFabric(Platform{Mode: ModeFlowGranularity}, "leafspine:leaves=2,spines=1", 1, false, SinglePacketFlows(40, 60))
+	if err != nil {
+		t.Fatalf("RunFabric: %v", err)
+	}
+	if hop.FramesDelivered != 60 {
+		t.Errorf("delivered %d of 60", hop.FramesDelivered)
+	}
+	if hop.PathHops != 3 {
+		t.Errorf("path hops = %d, want 3 (leaf-spine-leaf)", hop.PathHops)
+	}
+	if hop.PacketIns != 180 {
+		t.Errorf("packet_ins = %d, want 180 (one per flow per hop)", hop.PacketIns)
+	}
+	path, err := RunFabric(Platform{Mode: ModeFlowGranularity}, "leafspine:leaves=2,spines=1", 1, true, SinglePacketFlows(40, 60))
+	if err != nil {
+		t.Fatalf("RunFabric path install: %v", err)
+	}
+	if path.PacketIns != 60 {
+		t.Errorf("path install packet_ins = %d, want 60 (one per flow)", path.PacketIns)
+	}
+	if path.PathInstalls != 120 {
+		t.Errorf("path installs = %d, want 120 (two downstream hops per flow)", path.PathInstalls)
+	}
+	if _, err := RunFabric(Platform{Mode: 99}, "line:2", 1, false, SinglePacketFlows(40, 10)); err == nil {
+		t.Error("accepted invalid mode")
+	}
+	if _, err := RunFabric(Platform{Mode: ModeNoBuffer}, "mesh:4", 1, false, SinglePacketFlows(40, 10)); err == nil {
+		t.Error("accepted invalid topology spec")
+	}
+	if _, err := RunFabric(Platform{Mode: ModeNoBuffer}, "line:2", 1, false, Workload{}); err == nil {
+		t.Error("accepted empty workload")
+	}
+}
+
 func TestControlLossFacade(t *testing.T) {
 	rep, err := Run(Platform{
 		Mode:             ModeFlowGranularity,
