@@ -18,6 +18,8 @@
 //	benchrunner -csv results.csv        # also write CSV rows
 //	benchrunner -repeats 20             # the paper's repetition count
 //	benchrunner -parallel 1             # serial sweep (same output bytes)
+//	benchrunner -kernelworkers 8        # parallel simulation kernel inside
+//	                                    # each fabric run (same output bytes)
 //	benchrunner -cpuprofile cpu.pprof   # profile the sweep's hot spots
 //	benchrunner -memprofile mem.pprof   # heap profile after the sweep
 package main
@@ -61,6 +63,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		plot     = fs.Bool("plot", false, "render an ASCII chart per figure")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0),
 			"sweep worker goroutines; results are identical at any setting (1 = serial)")
+		kernelWorkers = fs.Int("kernelworkers", 1,
+			"goroutines inside each fabric simulation (conservative parallel kernel); results are identical at any setting (1 = serial kernel)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (after the sweep) to this file")
 	)
@@ -100,7 +104,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	opts := experiments.Options{Repeats: *repeats, FlowsA: *flowsA, Parallelism: *parallel}
+	opts := experiments.Options{Repeats: *repeats, FlowsA: *flowsA, Parallelism: *parallel, KernelWorkers: *kernelWorkers}
 	if *rates != "" {
 		for _, tok := range strings.Split(*rates, ",") {
 			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
@@ -138,7 +142,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *scenario != "" {
-		return runScenario(*scenario, *quick, *repeats, *parallel, csv, stdout, stderr)
+		return runScenario(*scenario, *quick, *repeats, *parallel, *kernelWorkers, csv, stdout, stderr)
 	}
 
 	all := experiments.All()
@@ -196,10 +200,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runScenario dispatches the resilience scenarios added alongside the
 // figure sweep: the loss-rate × mechanism sweep and the control-blackout
 // fail-mode comparison.
-func runScenario(name string, quick bool, repeats, parallel int, csv *os.File, stdout, stderr io.Writer) int {
+func runScenario(name string, quick bool, repeats, parallel, kernelWorkers int, csv *os.File, stdout, stderr io.Writer) int {
 	switch name {
 	case "resilience":
-		opts := experiments.ResilienceOptions{Repeats: repeats, Parallelism: parallel}
+		opts := experiments.ResilienceOptions{Repeats: repeats, Parallelism: parallel, KernelWorkers: kernelWorkers}
 		if quick {
 			opts.Repeats = 1
 			opts.Flows, opts.PktsPerFlow, opts.Group = 20, 10, 5
@@ -247,7 +251,7 @@ func runScenario(name string, quick bool, repeats, parallel int, csv *os.File, s
 		fmt.Fprintf(stdout, "(outage in %v)\n", time.Since(start).Round(time.Millisecond))
 		return 0
 	case "delay-decomp":
-		opts := experiments.DelayDecompOptions{Repeats: repeats, Parallelism: parallel}
+		opts := experiments.DelayDecompOptions{Repeats: repeats, Parallelism: parallel, KernelWorkers: kernelWorkers}
 		if quick {
 			opts.Repeats = 1
 			opts.Flows, opts.PktsPerFlow, opts.Group = 20, 10, 5
@@ -271,7 +275,7 @@ func runScenario(name string, quick bool, repeats, parallel int, csv *os.File, s
 		fmt.Fprintf(stdout, "(delay-decomp in %v)\n", time.Since(start).Round(time.Millisecond))
 		return 0
 	case "overload":
-		opts := experiments.OverloadOptions{Repeats: repeats, Parallelism: parallel}
+		opts := experiments.OverloadOptions{Repeats: repeats, Parallelism: parallel, KernelWorkers: kernelWorkers}
 		if quick {
 			opts.Repeats = 1
 			opts.FlowCounts = []int{32, 128}
@@ -296,7 +300,7 @@ func runScenario(name string, quick bool, repeats, parallel int, csv *os.File, s
 		fmt.Fprintf(stdout, "(overload in %v)\n", time.Since(start).Round(time.Millisecond))
 		return 0
 	case "fabric":
-		opts := experiments.FabricOptions{Repeats: repeats, Parallelism: parallel}
+		opts := experiments.FabricOptions{Repeats: repeats, Parallelism: parallel, KernelWorkers: kernelWorkers}
 		if quick {
 			opts.Repeats = 1
 			opts.Topos = []string{"line:2", "leafspine:leaves=2,spines=1"}

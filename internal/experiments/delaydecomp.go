@@ -43,6 +43,10 @@ type DelayDecompOptions struct {
 	// (default GOMAXPROCS). Per-cell histograms are merged in a fixed order,
 	// so output is byte-identical at any setting.
 	Parallelism int
+	// KernelWorkers is accepted for benchrunner flag symmetry; this
+	// scenario runs the single-switch platform, which is always serial
+	// (see FabricOptions.KernelWorkers for where the knob takes effect).
+	KernelWorkers int
 }
 
 func (o DelayDecompOptions) withDefaults() DelayDecompOptions {

@@ -133,6 +133,12 @@ type Options struct {
 	// are folded in a fixed order, so the output is identical — bit for
 	// bit — at any setting.
 	Parallelism int
+	// KernelWorkers selects intra-run parallelism for scenarios built on
+	// multi-switch fabrics (see FabricOptions.KernelWorkers). The figure
+	// sweep runs the single-switch Fig. 1 platform, which is always serial;
+	// the field is accepted here so one -kernelworkers flag threads through
+	// every benchrunner invocation uniformly.
+	KernelWorkers int
 }
 
 func (o Options) withDefaults() Options {

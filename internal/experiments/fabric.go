@@ -50,6 +50,12 @@ type FabricOptions struct {
 	// Results fold in a fixed order, so output is byte-identical at any
 	// setting.
 	Parallelism int
+	// KernelWorkers > 1 runs each fabric cell on the conservative parallel
+	// kernel with up to that many goroutines executing event windows
+	// (default 0/1 = the serial kernel). Orthogonal to Parallelism: that
+	// fans independent cells out, this speeds a single big fabric up. Every
+	// cell's metrics — and hence the CSV — are byte-identical either way.
+	KernelWorkers int
 }
 
 func (o FabricOptions) withDefaults() FabricOptions {
@@ -164,9 +170,10 @@ func runFabricCell(spec string, series Series, install topo.InstallMode, shards 
 	cfg := testbed.DefaultConfig(series.Buffer, series.BufferCapacity)
 	cfg.Seed = seed
 	fb, err := testbed.NewFabric(cfg, testbed.FabricOptions{
-		Graph:   g,
-		Shards:  shards,
-		Install: install,
+		Graph:         g,
+		Shards:        shards,
+		Install:       install,
+		KernelWorkers: opts.KernelWorkers,
 	})
 	if err != nil {
 		return fabricCell{}, err

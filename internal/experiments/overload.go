@@ -58,6 +58,10 @@ type OverloadOptions struct {
 	// workers (default GOMAXPROCS). Results fold in a fixed order, so
 	// output is byte-identical at any setting.
 	Parallelism int
+	// KernelWorkers is accepted for benchrunner flag symmetry; this
+	// scenario runs the single-switch platform, which is always serial
+	// (see FabricOptions.KernelWorkers for where the knob takes effect).
+	KernelWorkers int
 }
 
 func (o OverloadOptions) withDefaults() OverloadOptions {

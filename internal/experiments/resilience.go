@@ -61,6 +61,10 @@ type ResilienceOptions struct {
 	// (default GOMAXPROCS). Results are folded in a fixed order, so output
 	// is byte-identical at any setting.
 	Parallelism int
+	// KernelWorkers is accepted for benchrunner flag symmetry; this
+	// scenario runs the single-switch platform, which is always serial
+	// (see FabricOptions.KernelWorkers for where the knob takes effect).
+	KernelWorkers int
 }
 
 func (o ResilienceOptions) withDefaults() ResilienceOptions {

@@ -1,0 +1,388 @@
+// Conservative parallel discrete-event kernel (DESIGN.md §15).
+//
+// A ParKernel partitions a simulation into logical processes (domains): each
+// domain owns a full serial Kernel — its own event heap, free list and seeded
+// RNG stream — and executes its events on one goroutine at a time. Domains
+// interact only through Post, which turns a cross-domain send into a
+// timestamped mailbox message delivered at the next virtual-time barrier.
+//
+// The synchronization protocol is synchronous bounded-lag ("conservative
+// time windows"): every cross-domain message must be timestamped at least
+// `lookahead` after its sender's current virtual time (for the fabric the
+// lookahead is the minimum cross-domain link propagation delay, so the bound
+// is physical, not tuned). Each round the coordinator computes
+//
+//	T = min over domains of the earliest pending event
+//	B = min(T + lookahead, deadline)
+//
+// and lets every domain with work before B execute [T, B) in parallel. Any
+// message created inside the window carries a delivery time ≥ sender now +
+// lookahead ≥ T + lookahead ≥ B, so no message can target the window that
+// creates it — the windows are causally closed, and the barrier between
+// windows is the only synchronization domains ever need.
+//
+// Determinism: within a domain the serial kernel's (time, sequence) order
+// applies unchanged. At each barrier the mailboxes are folded into the
+// destination heaps in the total order (delivery time, send time, source
+// domain, source sequence), so heap sequence numbers — and therefore
+// execution order — are identical at any worker count, including one. The
+// testbed's equivalence suite checks the stronger property that a ParKernel
+// run is indistinguishable from the serial reference kernel.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SplitSeed derives an independent per-domain RNG seed from a root seed via
+// a splitmix64 finalizer — the standard way to split one seed into many
+// decorrelated streams without touching the root stream. The serial Kernel
+// keeps consuming rand.NewSource(seed) directly, so legacy single-kernel
+// runs are unaffected (pinned by TestSerialKernelRNGStreamUnchanged).
+func SplitSeed(root int64, domain int) int64 {
+	z := uint64(root) + (uint64(domain)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}
+
+// Runner is the draining surface shared by the serial Kernel and the
+// ParKernel, letting the testbeds run either without caring which.
+type Runner interface {
+	// Now reports the current virtual time (for a ParKernel: the maximum
+	// over domains, which equals the serial kernel's clock after a Drain).
+	Now() time.Duration
+	// Pending reports how many events are scheduled but not yet executed.
+	Pending() int
+	// Executed reports how many events have run.
+	Executed() uint64
+	// Drain executes pending events until none remain or the clock has
+	// reached the deadline (see Kernel.Drain for the exact boundary rule).
+	Drain(deadline time.Duration)
+}
+
+var (
+	_ Runner = (*Kernel)(nil)
+	_ Runner = (*ParKernel)(nil)
+)
+
+// message is one cross-domain send awaiting barrier delivery.
+type message struct {
+	dst  int
+	at   time.Duration // delivery time
+	sent time.Duration // sender's virtual time at Post
+	src  int           // sending domain
+	seq  uint64        // per-sender Post counter
+	fn   func()
+}
+
+// lp is one logical process: a serial kernel plus its outgoing mailbox.
+// The outbox is only appended to by the goroutine currently executing the
+// domain's events, and only drained by the coordinator at barriers.
+type lp struct {
+	id      int
+	k       *Kernel
+	outbox  []message
+	postSeq uint64
+}
+
+func (d *lp) runWindow(b time.Duration) {
+	k := d.k
+	for len(k.events) > 0 && k.events[0].at < b {
+		k.Step()
+	}
+}
+
+// ParKernel coordinates a set of per-domain serial kernels under the
+// conservative window protocol. Construct with NewPar, wire components to
+// the per-domain kernels (DomainKernel), route cross-domain sends through
+// Post, then call Drain. Like the serial kernel, a ParKernel must be driven
+// from a single goroutine; it manages its own workers during Drain.
+type ParKernel struct {
+	lps       []*lp
+	lookahead time.Duration
+	workers   int
+	maxNow    time.Duration
+
+	pending []message // barrier scratch: gathered outboxes
+	active  []*lp     // window scratch: domains with work before B
+
+	// shadowExec counts executions of ShadowAt events, which replicate a
+	// serial-mode event's side effects across domains and must not inflate
+	// Executed(). Atomic: shadow events run on worker goroutines.
+	shadowExec atomic.Uint64
+
+	tasks     chan *lp // nil unless workers are running
+	windowEnd time.Duration
+	wg        sync.WaitGroup
+}
+
+// NewPar creates a parallel kernel with the given domain count. Domain d's
+// RNG stream is seeded SplitSeed(seed, d). The lookahead must be positive:
+// it is the promise that no cross-domain message takes effect sooner than
+// lookahead after its send, and the window width the coordinator may safely
+// run domains in parallel for. workers caps the goroutines executing
+// windows (values < 1 mean 1; 1 still uses the parallel protocol, which is
+// how the protocol itself is tested for worker-count independence).
+func NewPar(seed int64, domains int, lookahead time.Duration, workers int) (*ParKernel, error) {
+	if domains < 1 {
+		return nil, fmt.Errorf("sim: parallel kernel needs at least one domain, got %d", domains)
+	}
+	if lookahead <= 0 {
+		return nil, fmt.Errorf("sim: parallel kernel needs positive lookahead, got %v", lookahead)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	p := &ParKernel{lookahead: lookahead, workers: workers}
+	p.lps = make([]*lp, domains)
+	for d := range p.lps {
+		p.lps[d] = &lp{id: d, k: New(SplitSeed(seed, d))}
+	}
+	return p, nil
+}
+
+// Domains reports the domain count.
+func (p *ParKernel) Domains() int { return len(p.lps) }
+
+// Lookahead reports the conservative window width.
+func (p *ParKernel) Lookahead() time.Duration { return p.lookahead }
+
+// DomainKernel exposes domain d's serial kernel. Components owned by the
+// domain schedule on it directly; everything scheduled there must only touch
+// state owned by the same domain.
+func (p *ParKernel) DomainKernel(d int) *Kernel { return p.lps[d].k }
+
+// Post schedules fn at absolute virtual time t on domain dst, called from
+// an event currently executing on domain src. The delivery time must honor
+// the lookahead promise; violating it would let a message target the
+// current window and breaks the conservative protocol, so it panics.
+func (p *ParKernel) Post(src, dst int, t time.Duration, fn func()) {
+	d := p.lps[src]
+	if t < d.k.now+p.lookahead {
+		panic(fmt.Sprintf("sim: cross-domain post at %v from domain %d (now %v) violates lookahead %v",
+			t, src, d.k.now, p.lookahead))
+	}
+	d.postSeq++
+	d.outbox = append(d.outbox, message{dst: dst, at: t, sent: d.k.now, src: src, seq: d.postSeq, fn: fn})
+}
+
+// ShadowAt schedules an uncounted event on domain d at time t, for
+// replicating one serial-mode event's side effects onto every domain owning
+// a piece of the touched state (the fabric's controller-crash toggles).
+// Shadow executions are excluded from Executed() so the count stays
+// byte-identical to the serial kernel, which performs the combined update
+// as a single event.
+func (p *ParKernel) ShadowAt(d int, t time.Duration, fn func()) {
+	p.lps[d].k.At(t, func() {
+		p.shadowExec.Add(1)
+		fn()
+	})
+}
+
+// Now reports the maximum virtual time reached by any domain — after a
+// Drain, exactly the serial kernel's clock (the time of the last executed
+// event).
+func (p *ParKernel) Now() time.Duration { return p.maxNow }
+
+// Pending reports scheduled-but-unexecuted events across all domains,
+// including undelivered mailbox messages.
+func (p *ParKernel) Pending() int {
+	n := 0
+	for _, d := range p.lps {
+		n += len(d.k.events) + len(d.outbox)
+	}
+	return n
+}
+
+// Executed reports executed events across all domains, minus shadow
+// replicas — byte-identical to the serial kernel's count for an equivalent
+// run.
+func (p *ParKernel) Executed() uint64 {
+	var n uint64
+	for _, d := range p.lps {
+		n += d.k.executed
+	}
+	return n - p.shadowExec.Load()
+}
+
+// minNext finds the earliest pending event time across domains; ties go to
+// the lowest domain ID (deterministic at any worker count).
+func (p *ParKernel) minNext() (time.Duration, *lp) {
+	var best *lp
+	var bt time.Duration
+	for _, d := range p.lps {
+		if len(d.k.events) == 0 {
+			continue
+		}
+		if t := d.k.events[0].at; best == nil || t < bt {
+			best, bt = d, t
+		}
+	}
+	return bt, best
+}
+
+// flush gathers every outbox and folds the messages into the destination
+// heaps in the total order (delivery time, send time, source domain, source
+// sequence). Destination sequence numbers are assigned in that order, so
+// the resulting heap order is independent of which goroutines ran the
+// window. Earlier barriers always fold before later ones, and a later
+// barrier's messages were created at strictly later virtual times, so the
+// fold order matches the serial kernel's creation order (DESIGN.md §15).
+func (p *ParKernel) flush() {
+	for _, src := range p.lps {
+		if len(src.outbox) == 0 {
+			continue
+		}
+		p.pending = append(p.pending, src.outbox...)
+		src.outbox = src.outbox[:0]
+	}
+	if len(p.pending) == 0 {
+		return
+	}
+	sort.Slice(p.pending, func(i, j int) bool {
+		a, b := p.pending[i], p.pending[j]
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		if a.sent != b.sent {
+			return a.sent < b.sent
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.seq < b.seq
+	})
+	for i := range p.pending {
+		m := &p.pending[i]
+		p.lps[m.dst].k.At(m.at, m.fn)
+		m.fn = nil
+	}
+	p.pending = p.pending[:0]
+}
+
+// startWorkers launches the window-execution pool (only useful with more
+// than one worker and more than one domain).
+func (p *ParKernel) startWorkers() {
+	n := p.workers
+	if n > len(p.lps) {
+		n = len(p.lps)
+	}
+	if n <= 1 {
+		return
+	}
+	tasks := make(chan *lp)
+	p.tasks = tasks
+	for w := 0; w < n; w++ {
+		go func() {
+			// The channel receive happens after the coordinator wrote
+			// windowEnd for this window, and the wg.Done is observed by the
+			// coordinator's wg.Wait before it writes the next window — those
+			// two edges are the protocol's entire happens-before story.
+			for d := range tasks {
+				d.runWindow(p.windowEnd)
+				p.wg.Done()
+			}
+		}()
+	}
+}
+
+func (p *ParKernel) stopWorkers() {
+	if p.tasks != nil {
+		close(p.tasks)
+		p.tasks = nil
+	}
+}
+
+// runWindow executes every domain with work before b up to (excluding) b.
+// The channel send to a worker and the barrier wait afterwards are the
+// happens-before edges that make each domain's state visible to whichever
+// goroutine touches it next.
+func (p *ParKernel) runWindow(b time.Duration) {
+	p.active = p.active[:0]
+	for _, d := range p.lps {
+		if len(d.k.events) > 0 && d.k.events[0].at < b {
+			p.active = append(p.active, d)
+		}
+	}
+	if len(p.active) == 1 || p.tasks == nil {
+		for _, d := range p.active {
+			d.runWindow(b)
+		}
+		return
+	}
+	p.windowEnd = b
+	p.wg.Add(len(p.active))
+	for _, d := range p.active {
+		p.tasks <- d
+	}
+	p.wg.Wait()
+}
+
+// Drain runs the conservative window protocol until no events remain or the
+// clock reaches deadline, with the serial kernel's exact boundary rule:
+// every event strictly before the deadline runs, plus the single earliest
+// event at or past it (whose execution advances the clock past the deadline
+// and stops the run) — replicating Kernel.Drain event for event.
+// syncClocks fast-forwards every idle domain's clock to the global final
+// time once the run is over. Serial components all read the one kernel
+// clock, so post-run accounting that closes a window "at now" — CPU busy
+// integrals, queue-length gauges — must see the same final time on every
+// domain, not the instant each LP happened to run out of events.
+func (p *ParKernel) syncClocks() {
+	for _, d := range p.lps {
+		if d.k.now < p.maxNow {
+			d.k.now = p.maxNow
+		}
+	}
+}
+
+func (p *ParKernel) Drain(deadline time.Duration) {
+	defer p.syncClocks()
+	p.flush()
+	if len(p.lps) == 1 {
+		// One domain: the protocol degenerates to the serial loop.
+		d := p.lps[0]
+		d.k.Drain(deadline)
+		if d.k.now > p.maxNow {
+			p.maxNow = d.k.now
+		}
+		return
+	}
+	p.startWorkers()
+	defer p.stopWorkers()
+	for p.maxNow < deadline {
+		t, first := p.minNext()
+		if first == nil {
+			return
+		}
+		if t >= deadline {
+			// The serial loop executes exactly one event at or past the
+			// deadline; ties across domains go to the lowest domain ID.
+			first.k.Step()
+			if first.k.now > p.maxNow {
+				p.maxNow = first.k.now
+			}
+			p.flush()
+			continue
+		}
+		b := t + p.lookahead
+		if b > deadline {
+			b = deadline
+		}
+		p.runWindow(b)
+		for _, d := range p.active {
+			if d.k.now > p.maxNow {
+				p.maxNow = d.k.now
+			}
+		}
+		p.flush()
+	}
+}

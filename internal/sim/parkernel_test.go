@@ -1,0 +1,404 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestSplitSeedDeterministicAndDistinct(t *testing.T) {
+	seen := map[int64]int{}
+	for d := 0; d < 4096; d++ {
+		s := SplitSeed(42, d)
+		if s2 := SplitSeed(42, d); s2 != s {
+			t.Fatalf("SplitSeed(42, %d) unstable: %d then %d", d, s, s2)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("SplitSeed(42, %d) collides with domain %d: %d", d, prev, s)
+		}
+		seen[s] = d
+	}
+	if SplitSeed(1, 0) == SplitSeed(2, 0) {
+		t.Fatal("SplitSeed ignores the root seed")
+	}
+	// Golden pin: the derivation function is part of the reproducibility
+	// contract (reseeding every parallel experiment would invalidate
+	// committed baselines), so lock two values.
+	if got, want := SplitSeed(1, 0), int64(-7995527694508729151); got != want {
+		t.Fatalf("SplitSeed(1, 0) = %d, want %d", got, want)
+	}
+	if got, want := SplitSeed(1, 1), int64(-4689498862643123097); got != want {
+		t.Fatalf("SplitSeed(1, 1) = %d, want %d", got, want)
+	}
+}
+
+// TestSerialKernelRNGStreamUnchanged pins the serial kernel's random stream
+// to rand.NewSource(seed): introducing the per-domain splittable streams
+// must not touch the legacy stream, or every committed experiment CSV would
+// silently shift.
+func TestSerialKernelRNGStreamUnchanged(t *testing.T) {
+	k := New(1)
+	ref := rand.New(rand.NewSource(1))
+	for i := 0; i < 64; i++ {
+		if got, want := k.Rand().Float64(), ref.Float64(); got != want {
+			t.Fatalf("draw %d: serial kernel stream diverged from rand.NewSource(1): %v != %v", i, got, want)
+		}
+	}
+	// Golden value for Go's source stability (Go 1 compatibility promise).
+	if got, want := New(1).Rand().Float64(), 0.6046602879796196; got != want {
+		t.Fatalf("first draw for seed 1 = %v, want %v", got, want)
+	}
+}
+
+// rec is one trace entry of the equivalence workload.
+type rec struct {
+	Dom int
+	At  time.Duration
+	ID  uint64
+}
+
+// mix is a tiny deterministic hash so the synthetic workload's branching
+// depends only on the event's identity, never on execution order.
+func mix(a, b uint64) uint64 {
+	z := a*0x9E3779B97F4A7C15 + b + 1
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	return z ^ z>>31
+}
+
+// dagHarness runs the same randomized event cascade on either kernel kind:
+// every event records itself, schedules 0-2 local children at arbitrary
+// delays, and 0-2 cross-domain children at delays honoring the lookahead.
+type dagHarness struct {
+	domains   int
+	lookahead time.Duration
+	trace     [][]rec
+
+	at   func(dom int, t time.Duration, fn func())
+	post func(src, dst int, t time.Duration, fn func())
+	now  func(dom int) time.Duration
+}
+
+func (h *dagHarness) event(dom int, id uint64, depth int) func() {
+	return func() {
+		now := h.now(dom)
+		h.trace[dom] = append(h.trace[dom], rec{Dom: dom, At: now, ID: id})
+		if depth <= 0 {
+			return
+		}
+		// Delays are irregular (prime-modulus pseudo-random nanoseconds) so
+		// no two events in the whole run share a timestamp: the equivalence
+		// guarantee is for tie-free schedules — at an exact cross-domain
+		// timestamp tie the serial kernel falls back to creation order,
+		// which no distributed tie-break can reconstruct (DESIGN.md §15).
+		// TestParKernelMatchesSerial asserts the run really is tie-free.
+		r := mix(uint64(dom)<<32|id, uint64(depth))
+		for c := 0; c < int(r%3); c++ {
+			cid := mix(id, uint64(c))
+			delay := time.Duration(cid % 999959)
+			h.at(dom, now+delay, h.event(dom, cid, depth-1))
+		}
+		r = mix(r, 0xBEEF)
+		for c := 0; c < int(r%3); c++ {
+			cid := mix(id, 0x100+uint64(c))
+			dst := int(cid) % h.domains
+			if dst < 0 {
+				dst = -dst
+			}
+			delay := h.lookahead + time.Duration(cid%1000003)
+			h.post(dom, dst, now+delay, h.event(dst, cid, depth-1))
+		}
+	}
+}
+
+func (h *dagHarness) seedRoots() {
+	for d := 0; d < h.domains; d++ {
+		at := time.Duration(mix(0xABCD, uint64(d)) % 500009)
+		h.at(d, at, h.event(d, uint64(d)+1, 6))
+	}
+}
+
+// runSerial executes the cascade on one serial kernel (the reference).
+func runSerial(domains int, lookahead, deadline time.Duration) ([][]rec, uint64, time.Duration) {
+	k := New(1)
+	h := &dagHarness{
+		domains:   domains,
+		lookahead: lookahead,
+		trace:     make([][]rec, domains),
+		at:        func(_ int, t time.Duration, fn func()) { k.At(t, fn) },
+		now:       func(int) time.Duration { return k.Now() },
+	}
+	h.post = func(_, _ int, t time.Duration, fn func()) { k.At(t, fn) }
+	h.seedRoots()
+	k.Drain(deadline)
+	return h.trace, k.Executed(), k.Now()
+}
+
+func runParallel(t *testing.T, domains, workers int, lookahead, deadline time.Duration) ([][]rec, uint64, time.Duration) {
+	t.Helper()
+	p, err := NewPar(1, domains, lookahead, workers)
+	if err != nil {
+		t.Fatalf("NewPar: %v", err)
+	}
+	h := &dagHarness{
+		domains:   domains,
+		lookahead: lookahead,
+		trace:     make([][]rec, domains),
+		at:        func(dom int, tt time.Duration, fn func()) { p.DomainKernel(dom).At(tt, fn) },
+		post:      p.Post,
+		now:       func(dom int) time.Duration { return p.DomainKernel(dom).Now() },
+	}
+	h.seedRoots()
+	p.Drain(deadline)
+	return h.trace, p.Executed(), p.Now()
+}
+
+// TestParKernelMatchesSerial drives the same cascade through the serial
+// reference kernel and through ParKernel at several worker counts: the
+// per-domain execution traces, the executed-event count, and the final
+// clock must match exactly.
+func TestParKernelMatchesSerial(t *testing.T) {
+	const domains = 7
+	const lookahead = 100 * time.Microsecond
+	const deadline = 50 * time.Millisecond
+	wantTrace, wantExec, wantNow := runSerial(domains, lookahead, deadline)
+	total := 0
+	times := map[time.Duration]bool{}
+	ties := 0
+	for _, tr := range wantTrace {
+		total += len(tr)
+		for _, r := range tr {
+			if times[r.At] {
+				ties++
+			}
+			times[r.At] = true
+		}
+	}
+	if total < 100 {
+		t.Fatalf("workload too small to be meaningful: %d events", total)
+	}
+	if ties > 0 {
+		t.Fatalf("workload has %d timestamp ties; the equivalence precondition needs a tie-free schedule — retune the delay constants", ties)
+	}
+	for _, workers := range []int{1, 2, 8} {
+		gotTrace, gotExec, gotNow := runParallel(t, domains, workers, lookahead, deadline)
+		if gotExec != wantExec {
+			t.Errorf("workers=%d: Executed() = %d, serial %d", workers, gotExec, wantExec)
+		}
+		if gotNow != wantNow {
+			t.Errorf("workers=%d: Now() = %v, serial %v", workers, gotNow, wantNow)
+		}
+		if !reflect.DeepEqual(gotTrace, wantTrace) {
+			t.Errorf("workers=%d: execution trace diverged from serial", workers)
+		}
+	}
+}
+
+// TestParKernelDeadlineQuirk pins the boundary rule: events strictly before
+// the deadline all run, then exactly one event at/past the deadline runs.
+func TestParKernelDeadlineQuirk(t *testing.T) {
+	run := func(r Runner, at func(dom int, t time.Duration, fn func())) (fired []time.Duration) {
+		times := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+			5 * time.Millisecond, 7 * time.Millisecond}
+		for i, tt := range times {
+			tt := tt
+			at(i%2, tt, func() { fired = append(fired, tt) })
+		}
+		r.Drain(5 * time.Millisecond)
+		return fired
+	}
+
+	k := New(1)
+	serial := run(k, func(_ int, t time.Duration, fn func()) { k.At(t, fn) })
+
+	p, err := NewPar(1, 2, time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var par []time.Duration
+	{
+		times := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+			5 * time.Millisecond, 7 * time.Millisecond}
+		perDom := make([][]time.Duration, 2)
+		for i, tt := range times {
+			tt := tt
+			dom := i % 2
+			p.DomainKernel(dom).At(tt, func() { perDom[dom] = append(perDom[dom], tt) })
+		}
+		p.Drain(5 * time.Millisecond)
+		for _, d := range perDom {
+			par = append(par, d...)
+		}
+	}
+	// Events before 5ms: both fire. At 5ms: exactly one fires (serial picks
+	// the lower sequence; parallel the lower domain — same event here).
+	if len(serial) != 3 {
+		t.Fatalf("serial fired %d events, want 3 (two before deadline + one at it)", len(serial))
+	}
+	if len(par) != 3 {
+		t.Fatalf("parallel fired %d events, want 3", len(par))
+	}
+	if k.Executed() != p.Executed() || k.Now() != p.Now() {
+		t.Fatalf("boundary divergence: serial (exec %d, now %v) vs parallel (exec %d, now %v)",
+			k.Executed(), k.Now(), p.Executed(), p.Now())
+	}
+}
+
+func TestPostLookaheadViolationPanics(t *testing.T) {
+	p, err := NewPar(1, 2, time.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.DomainKernel(0).At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("posting inside the lookahead window did not panic")
+			}
+		}()
+		p.Post(0, 1, 500*time.Microsecond, func() {})
+	})
+	p.Drain(time.Second)
+}
+
+// TestShadowEventsUncounted checks ShadowAt runs its callback but keeps
+// Executed() at the counted-event total.
+func TestShadowEventsUncounted(t *testing.T) {
+	p, err := NewPar(1, 3, time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := make([]bool, 3)
+	p.DomainKernel(0).At(time.Millisecond, func() { ran[0] = true })
+	p.ShadowAt(1, time.Millisecond, func() { ran[1] = true })
+	p.ShadowAt(2, time.Millisecond, func() { ran[2] = true })
+	p.Drain(time.Second)
+	for d, ok := range ran {
+		if !ok {
+			t.Errorf("domain %d callback did not run", d)
+		}
+	}
+	if got := p.Executed(); got != 1 {
+		t.Errorf("Executed() = %d, want 1 (shadow replicas excluded)", got)
+	}
+}
+
+// TestKernelDrainMatchesStepLoop pins the satellite perf fix: Drain must be
+// byte-for-byte the historical manual Step loop.
+func TestKernelDrainMatchesStepLoop(t *testing.T) {
+	build := func(k *Kernel) *[]time.Duration {
+		var fired []time.Duration
+		var chain func(t time.Duration, depth int) func()
+		chain = func(at time.Duration, depth int) func() {
+			return func() {
+				fired = append(fired, at)
+				if depth > 0 {
+					k.After(time.Duration(mix(uint64(depth), uint64(at))%1000)*time.Microsecond, chain(k.Now(), depth-1))
+				}
+			}
+		}
+		for i := 0; i < 50; i++ {
+			at := time.Duration(mix(7, uint64(i))%10000) * time.Microsecond
+			k.At(at, chain(at, 10))
+		}
+		return &fired
+	}
+	const deadline = 8 * time.Millisecond
+
+	ka := New(1)
+	fa := build(ka)
+	for ka.Pending() > 0 && ka.Now() < deadline {
+		ka.Step()
+	}
+	kb := New(1)
+	fb := build(kb)
+	kb.Drain(deadline)
+
+	if !reflect.DeepEqual(*fa, *fb) {
+		t.Fatal("Drain fired a different event sequence than the manual Step loop")
+	}
+	if ka.Executed() != kb.Executed() || ka.Now() != kb.Now() || ka.Pending() != kb.Pending() {
+		t.Fatalf("Drain state (exec %d, now %v, pending %d) != Step loop (exec %d, now %v, pending %d)",
+			kb.Executed(), kb.Now(), kb.Pending(), ka.Executed(), ka.Now(), ka.Pending())
+	}
+
+	kc := New(1)
+	fc := build(kc)
+	for kc.StepN(7) > 0 {
+		if kc.Now() >= deadline {
+			break
+		}
+	}
+	_ = fc // StepN has no deadline; just check it runs to exhaustion cleanly
+	kc2 := New(1)
+	build(kc2)
+	if n := kc2.StepN(1 << 30); n == 0 {
+		t.Fatal("StepN executed nothing")
+	}
+	if kc2.Pending() != 0 {
+		t.Fatalf("StepN(max) left %d events pending", kc2.Pending())
+	}
+}
+
+func BenchmarkKernelStepLoop(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 10000 {
+				k.After(time.Microsecond, tick)
+			}
+		}
+		k.At(0, tick)
+		deadline := time.Second
+		for k.Pending() > 0 && k.Now() < deadline {
+			k.Step()
+		}
+	}
+}
+
+func BenchmarkKernelDrain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := New(1)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < 10000 {
+				k.After(time.Microsecond, tick)
+			}
+		}
+		k.At(0, tick)
+		k.Drain(time.Second)
+	}
+}
+
+// BenchmarkParKernelPingPong measures the protocol overhead: two domains
+// exchanging messages at exactly the lookahead horizon, the worst case for
+// window amortization (one event per window).
+func BenchmarkParKernelPingPong(b *testing.B) {
+	const lookahead = 10 * time.Microsecond
+	for i := 0; i < b.N; i++ {
+		p, err := NewPar(1, 2, lookahead, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ping func(src, dst int) func()
+		n := 0
+		ping = func(src, dst int) func() {
+			return func() {
+				n++
+				if n < 2000 {
+					p.Post(dst, src, p.DomainKernel(dst).Now()+lookahead, ping(dst, src))
+				}
+			}
+		}
+		p.DomainKernel(0).At(0, func() {
+			p.Post(0, 1, lookahead, ping(0, 1))
+		})
+		p.Drain(time.Minute)
+	}
+}

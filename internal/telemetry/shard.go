@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"sort"
+	"time"
+
+	"sdnbuffer/internal/packet"
+)
+
+// Parallel-kernel support: when the fabric shards its simulation into
+// per-domain logical processes (DESIGN.md §15), each domain gets its own
+// child Recorder — rings and flow caches are single-goroutine structures,
+// and giving every LP its own keeps the hot path lock-free and identical to
+// the serial build. At the end of the run the shards are folded into the
+// root recorder in a deterministic order, so the merged view is identical
+// at any worker count.
+//
+// The merge is deterministic but not byte-identical to a serial run's
+// recorder: a serial ring interleaves spans in global emission order and
+// drops the globally oldest on overflow, while shards drop their locally
+// oldest; flow records observed at switches in different domains fold into
+// one record per 5-tuple, so an idle-timeout split that a serial exporter
+// would have applied against the global observation gap pattern may land
+// differently. Experiment CSVs carry no telemetry columns, so the
+// byte-identity contract on results is unaffected; the determinism suite
+// pins that the merged view itself is stable across worker counts.
+
+// MergeShards flushes every shard recorder at virtual time now and folds
+// its spans and flow records into r, which must not have been fed directly.
+// Spans are ordered by (Start, End, shard index, emission position); flow
+// records are folded per 5-tuple — counters summed, FirstSeen minimized,
+// LastSeen maximized — and exported in (FirstSeen, shard, position) order.
+func (r *Recorder) MergeShards(now time.Duration, shards []*Recorder) {
+	if r == nil {
+		return
+	}
+	type tagged struct {
+		s     Span
+		shard int
+		pos   int
+	}
+	var spans []tagged
+	var overwritten uint64
+	for si, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		overwritten += sh.tracer.Dropped()
+		for pos, s := range sh.tracer.Snapshot() {
+			spans = append(spans, tagged{s: s, shard: si, pos: pos})
+		}
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.s.Start != b.s.Start {
+			return a.s.Start < b.s.Start
+		}
+		if a.s.End != b.s.End {
+			return a.s.End < b.s.End
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.pos < b.pos
+	})
+	for _, t := range spans {
+		r.tracer.Emit(t.s)
+	}
+	// Spans a shard ring already overwrote are still part of the emitted
+	// total, exactly as overflow is accounted on a serial ring.
+	r.tracer.n += overwritten
+
+	type taggedRec struct {
+		rec   FlowRecord
+		shard int
+		pos   int
+	}
+	var recs []taggedRec
+	for si, sh := range shards {
+		if sh == nil {
+			continue
+		}
+		sh.flows.FlushAll(now)
+		for pos, rec := range sh.flows.Records() {
+			recs = append(recs, taggedRec{rec: rec, shard: si, pos: pos})
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := recs[i], recs[j]
+		if a.rec.FirstSeen != b.rec.FirstSeen {
+			return a.rec.FirstSeen < b.rec.FirstSeen
+		}
+		if a.shard != b.shard {
+			return a.shard < b.shard
+		}
+		return a.pos < b.pos
+	})
+	byKey := make(map[packet.FlowKey]int, len(recs))
+	for _, t := range recs {
+		if i, ok := byKey[t.rec.Key]; ok {
+			dst := &r.flows.exported[i]
+			dst.Packets += t.rec.Packets
+			dst.Bytes += t.rec.Bytes
+			if t.rec.FirstSeen < dst.FirstSeen {
+				dst.FirstSeen = t.rec.FirstSeen
+			}
+			if t.rec.LastSeen > dst.LastSeen {
+				dst.LastSeen = t.rec.LastSeen
+			}
+			dst.BufferResidency += t.rec.BufferResidency
+			dst.Rerequests += t.rec.Rerequests
+			dst.Giveups += t.rec.Giveups
+			dst.BufferedBytes += t.rec.BufferedBytes
+			continue
+		}
+		byKey[t.rec.Key] = len(r.flows.exported)
+		r.flows.exported = append(r.flows.exported, t.rec)
+	}
+}

@@ -240,9 +240,7 @@ func (lt *LineTestbed) Run(sched pktgen.Schedule) (*Result, error) {
 		})
 	}
 	deadline := sched.Duration() + lt.cfg.Drain
-	for lt.kernel.Pending() > 0 && lt.kernel.Now() < deadline {
-		lt.kernel.Step()
-	}
+	lt.kernel.Drain(deadline)
 	return lt.collect(sched), nil
 }
 

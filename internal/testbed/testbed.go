@@ -538,9 +538,7 @@ func (tb *Testbed) Run(sched pktgen.Schedule) (*Result, error) {
 	// pathological runs (e.g. a flow whose re-request timer is never
 	// answered re-arms forever).
 	deadline := sched.Duration() + tb.cfg.Drain
-	for tb.kernel.Pending() > 0 && tb.kernel.Now() < deadline {
-		tb.kernel.Step()
-	}
+	tb.kernel.Drain(deadline)
 	tb.tel.Finish(tb.kernel.Now()) // flush live flow records (nil-safe)
 	return tb.collect(sched), nil
 }

@@ -1,0 +1,188 @@
+//go:build ignore
+
+// parkernelbench times the parallel simulation kernel against the serial
+// one on the fabric sweep's at-scale row (a 1024-switch leaf-spine by
+// default) and prints the measurement as JSON. scripts/parkerneljson.sh is
+// the CI entry point; the committed BENCH_parkernel.json baseline was
+// produced with this harness.
+//
+// Every worker count is checked for full-result equality against the
+// serial run before its timing is reported — a speedup that changed the
+// answer would be a bug, not a result.
+//
+// Usage:
+//
+//	go run scripts/parkernelbench.go                 # default scale row, workers 1,2,4,8
+//	go run scripts/parkernelbench.go -workers 1,8 -reps 5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"reflect"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/testbed"
+	"sdnbuffer/internal/topo"
+)
+
+type row struct {
+	Workers      int     `json:"workers"`
+	Seconds      float64 `json:"seconds"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	Speedup      float64 `json:"speedup"`
+	Identical    bool    `json:"identical"`
+}
+
+type report struct {
+	Spec     string  `json:"spec"`
+	Switches int     `json:"switches"`
+	Shards   int     `json:"shards"`
+	Flows    int     `json:"flows"`
+	Pkts     int     `json:"pkts_per_flow"`
+	RateMbps float64 `json:"rate_mbps"`
+	Cores    int     `json:"cores"`
+	Reps     int     `json:"reps"`
+	Rows     []row   `json:"rows"`
+}
+
+func buildGraph(spec string) (*topo.Graph, error) {
+	s, err := topo.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return topo.Build(s)
+}
+
+func schedule(dst netip.Addr, rate float64, flows, pkts int) (pktgen.Schedule, error) {
+	return pktgen.InterleavedBursts(pktgen.Config{
+		FrameSize: 1000,
+		RateMbps:  rate,
+		Jitter:    0.5,
+		Seed:      1,
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		DstIP:     dst,
+	}, flows, pkts, 4)
+}
+
+// runOnce builds a fresh fabric (construction excluded from the timing) and
+// runs the workload, reporting the result, executed-event count, and the
+// wall-clock spent inside Run.
+func runOnce(spec string, shards, workers int, rate float64, flows, pkts int) (*testbed.FabricResult, uint64, float64, error) {
+	g, err := buildGraph(spec)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	buf := openflow.FlowBufferConfig{Granularity: openflow.GranularityFlow, RerequestTimeoutMs: 50}
+	fb, err := testbed.NewFabric(testbed.DefaultConfig(buf, 256), testbed.FabricOptions{
+		Graph:         g,
+		Shards:        shards,
+		Install:       topo.InstallPath,
+		KernelWorkers: workers,
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	sched, err := schedule(g.Hosts()[1].Addr, rate, flows, pkts)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	start := time.Now()
+	res, err := fb.Run(sched)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return res, fb.Runner().Executed(), time.Since(start).Seconds(), nil
+}
+
+func main() {
+	spec := flag.String("spec", "leafspine:leaves=1016,spines=8,hosts=16",
+		"topology spec of the timed fabric (default: the sweep's 1024-switch scale row)")
+	shards := flag.Int("shards", 4, "controller shard count")
+	// Heavier than the sweep row's 40 × 4 default: the timing needs a
+	// sustained event stream, not a 3 ms blip in which barrier setup is
+	// the whole bill.
+	flows := flag.Int("flows", 600, "workload flow count")
+	pkts := flag.Int("pkts", 8, "packets per flow")
+	rate := flag.Float64("rate", 80, "sending rate in Mbps")
+	reps := flag.Int("reps", 3, "runs per worker count; the best wall-clock is reported")
+	workersList := flag.String("workers", "1,2,4,8", "comma-separated kernel worker counts")
+	flag.Parse()
+
+	var workers []int
+	for _, tok := range strings.Split(*workersList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || w < 1 {
+			fmt.Fprintf(os.Stderr, "parkernelbench: bad worker count %q\n", tok)
+			os.Exit(2)
+		}
+		workers = append(workers, w)
+	}
+
+	g, err := buildGraph(*spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parkernelbench: %v\n", err)
+		os.Exit(1)
+	}
+	rep := report{
+		Spec: *spec, Switches: g.NumSwitches(), Shards: *shards,
+		Flows: *flows, Pkts: *pkts, RateMbps: *rate,
+		Cores: runtime.NumCPU(), Reps: *reps,
+	}
+
+	var baseline *testbed.FabricResult
+	var serialSec float64
+	for _, w := range workers {
+		best := -1.0
+		var res *testbed.FabricResult
+		var events uint64
+		for r := 0; r < *reps; r++ {
+			out, ev, sec, err := runOnce(*spec, *shards, w, *rate, *flows, *pkts)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "parkernelbench: workers=%d: %v\n", w, err)
+				os.Exit(1)
+			}
+			if best < 0 || sec < best {
+				best = sec
+			}
+			res, events = out, ev
+		}
+		if baseline == nil {
+			// The first row is the reference both for equality and speedup;
+			// run the harness with a workers list starting at 1.
+			baseline, serialSec = res, best
+		}
+		rep.Rows = append(rep.Rows, row{
+			Workers:      w,
+			Seconds:      best,
+			Events:       events,
+			EventsPerSec: float64(events) / best,
+			Speedup:      serialSec / best,
+			Identical:    reflect.DeepEqual(baseline, res),
+		})
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(os.Stderr, "parkernelbench: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Rows {
+		if !r.Identical {
+			fmt.Fprintf(os.Stderr, "parkernelbench: workers=%d diverged from the serial result\n", r.Workers)
+			os.Exit(1)
+		}
+	}
+}

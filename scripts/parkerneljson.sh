@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# parkerneljson.sh — time the parallel simulation kernel against the serial
+# one on the fabric sweep's 1024-switch scale row and emit the measurement
+# as JSON on stdout. The committed BENCH_parkernel.json baseline was
+# produced with this script; CI's parkernel-speedup job uploads a fresh run
+# as an artifact for a non-gating comparison (the ≥3× speedup target
+# applies on 8-core runners — a single-core box can only confirm the
+# results stay byte-identical).
+#
+# Usage:
+#   scripts/parkerneljson.sh                   # workers 1,2,4,8 on the scale row
+#   scripts/parkerneljson.sh -workers 1,8      # any parkernelbench flags pass through
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run scripts/parkernelbench.go "$@"
