@@ -13,6 +13,7 @@
 //	benchrunner -scenario delay-decomp  # per-stage delay decomposition vs M/M/c model
 //	benchrunner -scenario overload      # miss-storm sweep, unprotected vs protected
 //	benchrunner -scenario fabric        # multi-switch topology × mechanism × install sweep
+//	benchrunner -scenario survivability # mid-run link/switch failure × mechanism reconvergence sweep
 //	benchrunner -trace out.json         # one traced run → Chrome trace_event JSON
 //	benchrunner -flowcsv flows.csv      # same run's NetFlow-style flow records
 //	benchrunner -csv results.csv        # also write CSV rows
@@ -50,7 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		expList  = fs.String("experiments", "", "comma-separated figure ids (default: all)")
 		scenario = fs.String("scenario", "",
-			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp | overload | fabric")
+			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp | overload | fabric | survivability")
 		tracePath = fs.String("trace", "",
 			"run one telemetry-instrumented workload and write its spans as Chrome trace_event JSON to this file")
 		flowCSVPath = fs.String("flowcsv", "",
@@ -326,8 +327,33 @@ func runScenario(name string, quick bool, repeats, parallel, kernelWorkers int, 
 		}
 		fmt.Fprintf(stdout, "(fabric in %v)\n", time.Since(start).Round(time.Millisecond))
 		return 0
+	case "survivability":
+		opts := experiments.SurvivabilityOptions{Repeats: repeats, Parallelism: parallel, KernelWorkers: kernelWorkers}
+		if quick {
+			opts.Repeats = 1
+			opts.Topos = []string{"leafspine:leaves=2,spines=2"}
+			opts.Mechanisms = []experiments.Series{experiments.SeriesNoBuffer, experiments.SeriesFlowGranularity}
+		}
+		start := time.Now()
+		res, err := experiments.RunSurvivability(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: survivability: %v\n", err)
+			return 1
+		}
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing table: %v\n", err)
+			return 1
+		}
+		if csv != nil {
+			if err := res.WriteCSV(csv, true); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "(survivability in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	default:
-		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage, delay-decomp, overload or fabric)\n", name)
+		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage, delay-decomp, overload, fabric or survivability)\n", name)
 		return 2
 	}
 }

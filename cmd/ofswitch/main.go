@@ -9,14 +9,25 @@
 //
 //	ofswitch -controller 127.0.0.1:6633 -buffer packet -capacity 256
 //	ofswitch -controller 127.0.0.1:6633 -pktgen 50 -flows 1000
+//	ofswitch -controller 127.0.0.1:6633 -flap 2@500ms..1.5s
+//
+// -flap PORT@DOWN..UP simulates a link flap: the port goes down DOWN after
+// connect and comes back at UP, each transition announced to the controller
+// with a port_status message (plus flow_removed for evicted rules) — the
+// live-mode form of the fabric's failure injection. On SIGINT/SIGTERM the
+// switch shuts down gracefully: the workload stops, the final traffic
+// counters are flushed to the log, and the control connection is drained.
 package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"net/netip"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -43,9 +54,21 @@ func run() int {
 		pktgenRate     = flag.Float64("pktgen", 0, "inject a pktgen workload at this rate in Mbps (0 = off)")
 		flows          = flag.Int("flows", 1000, "pktgen flow count")
 		frameSize      = flag.Int("frame-size", 1000, "pktgen frame size in bytes")
+		flap           = flag.String("flap", "", "simulate a link flap: PORT@DOWN..UP (e.g. 2@500ms..1.5s)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
+
+	var flapPort uint16
+	var flapDown, flapUp time.Duration
+	if *flap != "" {
+		var err error
+		flapPort, flapDown, flapUp, err = parseFlap(*flap)
+		if err != nil {
+			logger.Printf("ofswitch: %v", err)
+			return 2
+		}
+	}
 
 	buf := openflow.FlowBufferConfig{}
 	switch *bufferMode {
@@ -88,6 +111,26 @@ func run() int {
 	logger.Printf("ofswitch: datapath %016x connected to %s (%s buffer, %d units)",
 		*dpid, *controllerAddr, *bufferMode, *capacity)
 
+	if *flap != "" {
+		port := flapPort
+		logger.Printf("ofswitch: will flap port %d down at +%v, up at +%v", port, flapDown, flapUp)
+		time.AfterFunc(flapDown, func() {
+			if err := agent.SetPortDown(port, true); err != nil {
+				logger.Printf("ofswitch: flap down: %v", err)
+				return
+			}
+			logger.Printf("ofswitch: port %d link down (port_status sent)", port)
+		})
+		time.AfterFunc(flapUp, func() {
+			if err := agent.SetPortDown(port, false); err != nil {
+				logger.Printf("ofswitch: flap up: %v", err)
+				return
+			}
+			logger.Printf("ofswitch: port %d link up (port_status sent)", port)
+		})
+	}
+
+	stopping := make(chan struct{})
 	done := make(chan struct{})
 	if *pktgenRate > 0 {
 		sched, err := pktgen.SinglePacketFlows(pktgen.Config{
@@ -108,7 +151,12 @@ func run() int {
 			start := time.Now()
 			for _, e := range sched {
 				if wait := e.At - time.Since(start); wait > 0 {
-					time.Sleep(wait)
+					select {
+					case <-stopping:
+						logger.Printf("ofswitch: workload stopped by shutdown")
+						return
+					case <-time.After(wait):
+					}
 				}
 				if err := agent.InjectFrame(1, e.Frame); err != nil {
 					logger.Printf("ofswitch: inject: %v", err)
@@ -116,10 +164,10 @@ func run() int {
 				}
 			}
 			// Give in-flight control round trips a moment to finish.
-			time.Sleep(time.Second)
-			rx, rxB, tx, txB, misses := agent.Stats()
-			logger.Printf("ofswitch: done: rx %d frames (%d B), tx %d frames (%d B), %d misses, %d egress callbacks",
-				rx, rxB, tx, txB, misses, egress.Load())
+			select {
+			case <-stopping:
+			case <-time.After(time.Second):
+			}
 		}()
 	} else {
 		close(done)
@@ -129,16 +177,58 @@ func run() int {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case <-sig:
-		logger.Printf("ofswitch: interrupted")
+		// Graceful shutdown: stop the workload, let it acknowledge, flush
+		// the final counters, then drain the control connection.
+		logger.Printf("ofswitch: signal received, draining")
+		close(stopping)
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			logger.Printf("ofswitch: workload did not stop in time")
+		}
 	case <-done:
 		if *pktgenRate > 0 {
 			break
 		}
 		<-sig // no workload: wait for the operator
+		logger.Printf("ofswitch: signal received, draining")
 	}
+	rx, rxB, tx, txB, misses := agent.Stats()
+	logger.Printf("ofswitch: final: rx %d frames (%d B), tx %d frames (%d B), %d misses, %d egress callbacks, %d rules installed",
+		rx, rxB, tx, txB, misses, egress.Load(), agent.TableLen())
 	if err := agent.Close(); err != nil {
 		logger.Printf("ofswitch: close: %v", err)
 		return 1
 	}
+	logger.Printf("ofswitch: control connection closed")
 	return 0
+}
+
+// parseFlap parses PORT@DOWN..UP, e.g. "2@500ms..1.5s".
+func parseFlap(s string) (port uint16, down, up time.Duration, err error) {
+	at := strings.Index(s, "@")
+	if at < 0 {
+		return 0, 0, 0, fmt.Errorf("flap %q: want PORT@DOWN..UP", s)
+	}
+	p, err := strconv.ParseUint(s[:at], 10, 16)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("flap %q: bad port: %v", s, err)
+	}
+	rest := s[at+1:]
+	dots := strings.Index(rest, "..")
+	if dots < 0 {
+		return 0, 0, 0, fmt.Errorf("flap %q: want PORT@DOWN..UP", s)
+	}
+	down, err = time.ParseDuration(rest[:dots])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("flap %q: bad down time: %v", s, err)
+	}
+	up, err = time.ParseDuration(rest[dots+2:])
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("flap %q: bad up time: %v", s, err)
+	}
+	if up <= down {
+		return 0, 0, 0, fmt.Errorf("flap %q: up %v must follow down %v", s, up, down)
+	}
+	return uint16(p), down, up, nil
 }

@@ -42,6 +42,15 @@ type ConnApp interface {
 	HandlePacketInConn(conn int, pi *openflow.PacketIn, xid uint32) ([]Directed, error)
 }
 
+// PortStatusApp is the optional App extension for topology-change
+// notifications: the controller calls it for every port_status a switch
+// announces, and the returned messages (typically flow_mod deletes flushing
+// routes through the changed link) ship like any other decision. Apps
+// without it keep the legacy behavior — port_status is consumed silently.
+type PortStatusApp interface {
+	HandlePortStatusConn(conn int, ps *openflow.PortStatus) ([]Directed, error)
+}
+
 // Route maps a destination prefix to an output port.
 type Route struct {
 	Prefix netip.Prefix

@@ -194,8 +194,16 @@ func (s *Server) dispatch(sc *switchConn, m openflow.Message, xid uint32) error 
 	case *openflow.StatsReply:
 		s.logf("controller: stats reply (%v)", t.StatsType)
 		return nil
+	case *openflow.PortStatus:
+		state := "up"
+		if t.Desc.State&openflow.PortStateLinkDown != 0 {
+			state = "down"
+		}
+		s.logf("controller: port_status from %s: port %d (%s) link %s",
+			sc.conn.RemoteAddr(), t.Desc.PortNo, t.Desc.Name, state)
+		return nil
 	case *openflow.EchoReply, *openflow.BarrierReply, *openflow.GetConfigReply,
-		*openflow.PortStatus, *openflow.Vendor:
+		*openflow.Vendor:
 		return nil
 	default:
 		s.logf("controller: ignoring %v", m.Type())

@@ -210,9 +210,18 @@ func (c *SimController) process(conn int, msg []byte, arrived time.Duration) {
 		c.sendAll(conn, []openflow.Message{&openflow.EchoReply{Data: t.Data}}, xid, arrived)
 	case *openflow.Hello:
 		c.sendAll(conn, []openflow.Message{&openflow.Hello{}}, xid, arrived)
+	case *openflow.PortStatus:
+		if pa, ok := c.app.(PortStatusApp); ok {
+			replies, err := pa.HandlePortStatusConn(conn, t)
+			if err != nil {
+				c.appErrors++
+				return
+			}
+			c.sendDirected(replies, xid, arrived)
+		}
 	case *openflow.ErrorMsg, *openflow.BarrierReply, *openflow.EchoReply,
 		*openflow.FeaturesReply, *openflow.GetConfigReply, *openflow.FlowRemoved,
-		*openflow.PortStatus, *openflow.Vendor:
+		*openflow.Vendor:
 		// Notifications and replies: consumed, no response required.
 	default:
 		c.appErrors++
@@ -295,6 +304,14 @@ func (c *SimController) sendDirected(replies []Directed, xid uint32, arrived tim
 			}
 		}
 	})
+}
+
+// InjectDirected hands the controller a batch of app-originated messages
+// to ship as one decision — how a fabric propagates topology knowledge
+// between shards: the receiving shard's flushes leave through its normal
+// egress path and pay the normal egress CPU cost.
+func (c *SimController) InjectDirected(replies []Directed) {
+	c.sendDirected(replies, 0, c.kernel.Now())
 }
 
 // CPUUtilizationPercent reports time-averaged controller CPU usage in

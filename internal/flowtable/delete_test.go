@@ -1,0 +1,144 @@
+package flowtable
+
+import (
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+)
+
+// TestNonStrictDeleteCovers pins the OpenFlow 1.0 non-strict delete
+// relation: the pattern removes every entry it covers, regardless of
+// priority, and a fully wildcarded pattern flushes the table.
+func TestNonStrictDeleteCovers(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	a := entryFor(frameFor("10.0.0.1", 100), 10)
+	b := entryFor(frameFor("10.0.0.2", 200), 20)
+	c := entryFor(frameFor("10.0.0.3", 300), 30)
+	for _, e := range []*Entry{a, b, c} {
+		if _, err := tbl.Insert(0, e); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+
+	// A pattern specifying only nw_src covers exactly the matching entry.
+	pat := openflow.Match{
+		Wildcards: openflow.WildcardAll &^ openflow.WildcardNWSrcAll,
+		NWSrc:     a.Match.NWSrc,
+	}
+	removed := tbl.Delete(time.Millisecond, &pat, 0, false, openflow.PortNone)
+	if len(removed) != 1 || removed[0].Entry != a {
+		t.Fatalf("nw_src delete removed %d entries, want just a", len(removed))
+	}
+	if removed[0].Reason != openflow.RemovedDelete {
+		t.Fatalf("reason = %d, want RemovedDelete", removed[0].Reason)
+	}
+
+	// Wildcard-all deletes everything left, at every priority.
+	all := openflow.MatchAll()
+	removed = tbl.Delete(2*time.Millisecond, &all, 0, false, openflow.PortNone)
+	if len(removed) != 2 || tbl.Len() != 0 {
+		t.Fatalf("wildcard-all delete removed %d entries, %d left", len(removed), tbl.Len())
+	}
+}
+
+// TestNonStrictDeleteDoesNotCoverWider checks a more-specific pattern does
+// not delete a wider entry: covering requires the entry to specify every
+// field the pattern specifies.
+func TestNonStrictDeleteDoesNotCoverWider(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	wide := &Entry{Match: openflow.MatchAll(), Priority: 1,
+		Actions: []openflow.Action{&openflow.ActionOutput{Port: 2}}}
+	if _, err := tbl.Insert(0, wide); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	exact := openflow.ExactMatch(1, frameFor("10.0.0.1", 100))
+	if removed := tbl.Delete(0, &exact, 0, false, openflow.PortNone); len(removed) != 0 {
+		t.Fatalf("exact pattern deleted the wildcard-all entry")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("table len = %d, want 1", tbl.Len())
+	}
+}
+
+// TestDeleteOutPortFilter pins the ofp_flow_mod out_port filter: with a
+// concrete out_port only entries forwarding to it are deleted; PortNone
+// disables the filter.
+func TestDeleteOutPortFilter(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictNone)
+	to2 := entryFor(frameFor("10.0.0.1", 100), 10) // outputs to port 2
+	to3 := entryFor(frameFor("10.0.0.2", 200), 10)
+	to3.Actions = []openflow.Action{&openflow.ActionOutput{Port: 3}}
+	for _, e := range []*Entry{to2, to3} {
+		if _, err := tbl.Insert(0, e); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	all := openflow.MatchAll()
+	removed := tbl.Delete(0, &all, 0, false, 3)
+	if len(removed) != 1 || removed[0].Entry != to3 {
+		t.Fatalf("out_port=3 delete removed %d entries", len(removed))
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("table len = %d, want 1", tbl.Len())
+	}
+	// Strict deletes honor the filter too.
+	removed = tbl.Delete(0, &to2.Match, to2.Priority, true, 9)
+	if len(removed) != 0 {
+		t.Fatal("strict delete with mismatched out_port removed an entry")
+	}
+	removed = tbl.Delete(0, &to2.Match, to2.Priority, true, 2)
+	if len(removed) != 1 {
+		t.Fatal("strict delete with matching out_port removed nothing")
+	}
+}
+
+// TestDeleteByOutPort covers the port-down eviction path and that lookups
+// stop seeing the evicted rules.
+func TestDeleteByOutPort(t *testing.T) {
+	tbl := mustNew(t, Unlimited, EvictLRU)
+	f2 := frameFor("10.0.0.1", 100)
+	to2 := entryFor(f2, 10)
+	to3 := entryFor(frameFor("10.0.0.2", 200), 10)
+	to3.Actions = []openflow.Action{&openflow.ActionOutput{Port: 3}}
+	for _, e := range []*Entry{to2, to3} {
+		if _, err := tbl.Insert(0, e); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	removed := tbl.DeleteByOutPort(time.Millisecond, 2, openflow.RemovedDelete)
+	if len(removed) != 1 || removed[0].Entry != to2 {
+		t.Fatalf("DeleteByOutPort(2) removed %d entries", len(removed))
+	}
+	if got := tbl.Lookup(2*time.Millisecond, 1, f2, 100); got != nil {
+		t.Fatal("evicted rule still matches")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("table len = %d, want 1", tbl.Len())
+	}
+}
+
+// TestClear pins crash semantics: the table empties with no flow_removed
+// records and stays usable.
+func TestClear(t *testing.T) {
+	tbl := mustNew(t, 8, EvictLRU)
+	f := frameFor("10.0.0.1", 100)
+	for i := 0; i < 5; i++ {
+		if _, err := tbl.Insert(0, entryFor(frameFor("10.0.0.1", uint16(100+i)), 10)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	tbl.Clear()
+	if tbl.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", tbl.Len())
+	}
+	if got := tbl.Lookup(0, 1, f, 100); got != nil {
+		t.Fatal("cleared table still matches")
+	}
+	if _, err := tbl.Insert(time.Millisecond, entryFor(f, 10)); err != nil {
+		t.Fatalf("Insert after Clear: %v", err)
+	}
+	if got := tbl.Lookup(2*time.Millisecond, 1, f, 100); got == nil {
+		t.Fatal("reinserted rule does not match")
+	}
+}

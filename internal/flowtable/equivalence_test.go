@@ -130,8 +130,8 @@ func TestLookupMatchesOracle(t *testing.T) {
 						continue
 					}
 					victim := es[rng.Intn(len(es))]
-					a := indexed.Delete(now, &victim.Match, victim.Priority, true)
-					b := oracle.Delete(now, &victim.Match, victim.Priority, true)
+					a := indexed.Delete(now, &victim.Match, victim.Priority, true, openflow.PortNone)
+					b := oracle.Delete(now, &victim.Match, victim.Priority, true, openflow.PortNone)
 					if len(a) != len(b) {
 						t.Fatalf("delete removed %d vs %d rules", len(a), len(b))
 					}

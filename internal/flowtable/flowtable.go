@@ -361,13 +361,24 @@ func (t *Table) Insert(now time.Duration, e *Entry) (*Removed, error) {
 // Delete removes every rule whose match equals m (strict) or is matched by
 // the wildcarded deletion pattern (non-strict behaves like strict here for
 // simplicity of the subset). It returns the removed rules.
-func (t *Table) Delete(now time.Duration, m *openflow.Match, priority uint16, strict bool) []Removed {
+func (t *Table) Delete(now time.Duration, m *openflow.Match, priority uint16, strict bool, outPort uint16) []Removed {
 	var removed []Removed
 	kept := t.entries[:0]
 	for _, e := range t.entries {
-		match := e.Match.Equal(m)
+		var match bool
 		if strict {
-			match = match && e.Priority == priority
+			match = e.Match.Equal(m) && e.Priority == priority
+		} else {
+			// Non-strict: the pattern deletes every entry it covers
+			// (OpenFlow 1.0 §4.6 — a fully wildcarded pattern flushes the
+			// table), regardless of priority.
+			match = m.Covers(&e.Match)
+		}
+		if match && outPort != openflow.PortNone && outPort != 0 {
+			// Port 0 is not a valid port number (OpenFlow 1.0 numbers physical
+			// ports from 1), so a zero-valued out_port means "no filter" just
+			// like OFPP_NONE — callers predating the filter leave it unset.
+			match = outputsTo(e.Actions, outPort)
 		}
 		if match {
 			t.detach(e)
@@ -379,6 +390,47 @@ func (t *Table) Delete(now time.Duration, m *openflow.Match, priority uint16, st
 	clearTail(t.entries, len(kept))
 	t.entries = kept
 	return removed
+}
+
+// outputsTo reports whether the action list forwards to the given port —
+// the ofp_flow_mod out_port delete filter.
+func outputsTo(actions []openflow.Action, port uint16) bool {
+	for _, a := range actions {
+		if out, ok := a.(*openflow.ActionOutput); ok && out.Port == port {
+			return true
+		}
+	}
+	return false
+}
+
+// DeleteByOutPort evicts every rule whose actions output to the given
+// port, tagged with the supplied flow_removed reason — the switch-local
+// cleanup when a data port goes down.
+func (t *Table) DeleteByOutPort(now time.Duration, port uint16, reason uint8) []Removed {
+	var removed []Removed
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if outputsTo(e.Actions, port) {
+			t.detach(e)
+			removed = append(removed, Removed{Entry: e, Reason: reason, At: now})
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	clearTail(t.entries, len(kept))
+	t.entries = kept
+	return removed
+}
+
+// Clear empties the table without emitting flow_removed records — crash
+// semantics: a restarting switch comes back with no rules and no
+// notifications about the ones it lost.
+func (t *Table) Clear() {
+	for _, e := range t.entries {
+		t.detach(e)
+	}
+	clearTail(t.entries, 0)
+	t.entries = t.entries[:0]
 }
 
 // Expire removes rules whose idle or hard timeout has passed, returning them

@@ -186,11 +186,11 @@ func TestDeleteStrict(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := openflow.ExactMatch(1, f)
-	removed := tbl.Delete(time.Millisecond, &m, 11, true)
+	removed := tbl.Delete(time.Millisecond, &m, 11, true, openflow.PortNone)
 	if len(removed) != 0 {
 		t.Errorf("strict delete with wrong priority removed %d rules", len(removed))
 	}
-	removed = tbl.Delete(time.Millisecond, &m, 10, true)
+	removed = tbl.Delete(time.Millisecond, &m, 10, true, openflow.PortNone)
 	if len(removed) != 1 || removed[0].Entry != e {
 		t.Fatalf("strict delete removed %d rules", len(removed))
 	}
@@ -311,7 +311,7 @@ func TestPropertyTableNeverExceedsCapacity(t *testing.T) {
 				tbl.Lookup(now, 1, f, 100)
 			default:
 				m := openflow.ExactMatch(1, f)
-				tbl.Delete(now, &m, 0, false)
+				tbl.Delete(now, &m, 0, false, openflow.PortNone)
 			}
 			now += time.Millisecond
 			if tbl.Len() > capacity {

@@ -1,0 +1,142 @@
+package netem
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestParseFailurePlan(t *testing.T) {
+	p, err := ParseFailurePlan("link:0-1@5ms..15ms;switch:2@10ms..30ms")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(p.Links) != 1 || len(p.Switches) != 1 {
+		t.Fatalf("got %d links, %d switches", len(p.Links), len(p.Switches))
+	}
+	lf := p.Links[0]
+	if lf.A != 0 || lf.B != 1 || lf.Window.Start != 5*time.Millisecond || lf.Window.End != 15*time.Millisecond {
+		t.Fatalf("link entry = %+v", lf)
+	}
+	sf := p.Switches[0]
+	if sf.Switch != 2 || sf.Window.Start != 10*time.Millisecond || sf.Window.End != 30*time.Millisecond {
+		t.Fatalf("switch entry = %+v", sf)
+	}
+	if p.Empty() {
+		t.Fatal("plan with entries reports Empty")
+	}
+}
+
+func TestParseFailurePlanEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";", " ; ; "} {
+		p, err := ParseFailurePlan(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		if !p.Empty() {
+			t.Fatalf("parse %q: not empty: %+v", spec, p)
+		}
+		if p.String() != "" {
+			t.Fatalf("parse %q: String() = %q", spec, p.String())
+		}
+	}
+	var zero *FailurePlan
+	if !zero.Empty() {
+		t.Fatal("nil plan must be Empty")
+	}
+	if err := zero.Validate(); err != nil {
+		t.Fatalf("nil plan Validate: %v", err)
+	}
+}
+
+func TestParseFailurePlanErrors(t *testing.T) {
+	cases := []string{
+		"link:0-1",              // missing window
+		"link:0-1@5ms",          // missing ..
+		"link:0-1@5ms..4ms",     // inverted window
+		"link:0-1@-1ms..4ms",    // negative start
+		"link:0-0@1ms..2ms",     // self loop
+		"link:0@1ms..2ms",       // missing -B
+		"link:a-b@1ms..2ms",     // non-numeric
+		"switch:-1@1ms..2ms",    // negative switch
+		"switch:x@1ms..2ms",     // non-numeric
+		"router:0@1ms..2ms",     // unknown kind
+		"garbage",               // no colon
+		"link:0-1@1ms..2ms;bad", // trailing junk entry
+	}
+	for _, spec := range cases {
+		if _, err := ParseFailurePlan(spec); err == nil {
+			t.Errorf("parse %q: expected error", spec)
+		}
+	}
+}
+
+func TestParseFailurePlanTypedWindowError(t *testing.T) {
+	_, err := ParseFailurePlan("link:0-1@5ms..5ms")
+	if !errors.Is(err, ErrInvalidWindow) {
+		t.Fatalf("want ErrInvalidWindow, got %v", err)
+	}
+	if err := (Window{Start: -time.Millisecond, End: time.Millisecond}).Validate(); !errors.Is(err, ErrInvalidWindow) {
+		t.Fatalf("negative window: want ErrInvalidWindow, got %v", err)
+	}
+	imp := Impairment{Outages: []Window{{Start: 2 * time.Millisecond, End: time.Millisecond}}}
+	if err := imp.Validate(); !errors.Is(err, ErrInvalidWindow) {
+		t.Fatalf("impairment outage: want ErrInvalidWindow, got %v", err)
+	}
+	if err := (Window{Start: 0, End: time.Millisecond}).Validate(); err != nil {
+		t.Fatalf("valid window rejected: %v", err)
+	}
+}
+
+func TestFailurePlanStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"link:0-1@5ms..15ms",
+		"switch:3@1ms..2ms",
+		"link:0-1@5ms..15ms;link:2-3@1s..2s;switch:2@10ms..30ms",
+	}
+	for _, spec := range specs {
+		p, err := ParseFailurePlan(spec)
+		if err != nil {
+			t.Fatalf("parse %q: %v", spec, err)
+		}
+		p2, err := ParseFailurePlan(p.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", p.String(), err)
+		}
+		if p.String() != p2.String() {
+			t.Fatalf("round trip: %q != %q", p.String(), p2.String())
+		}
+	}
+}
+
+// FuzzParseFailurePlan checks the parser never panics and that every
+// accepted spec round-trips: String() reparses to the same canonical form,
+// and the parsed plan always passes Validate.
+func FuzzParseFailurePlan(f *testing.F) {
+	f.Add("link:0-1@5ms..15ms;switch:2@10ms..30ms")
+	f.Add("link:0-1@5ms..15ms")
+	f.Add("switch:0@1ns..2ns")
+	f.Add("")
+	f.Add(";;;")
+	f.Add("link:0-1@1h0m0s..2h0m0s")
+	f.Add("link:10-11@5ms..15ms;link:0-1@0s..1ms")
+	f.Add("router:0@1ms..2ms")
+	f.Add("link:0-1@-5ms..15ms")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParseFailurePlan(spec)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("accepted plan fails Validate: %v (spec %q)", verr, spec)
+		}
+		canon := p.String()
+		p2, err := ParseFailurePlan(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q does not reparse: %v (spec %q)", canon, err, spec)
+		}
+		if p2.String() != canon {
+			t.Fatalf("round trip: %q -> %q (spec %q)", canon, p2.String(), spec)
+		}
+	})
+}

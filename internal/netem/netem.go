@@ -18,12 +18,19 @@
 package netem
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"sdnbuffer/internal/metrics"
 	"sdnbuffer/internal/sim"
 )
+
+// ErrInvalidWindow is the typed cause wrapped by every window validation
+// failure (empty, inverted or negative intervals), so callers assembling
+// failure plans or impairments can distinguish a bad window from other
+// configuration errors with errors.Is.
+var ErrInvalidWindow = errors.New("netem: invalid window")
 
 // Window is a half-open interval [Start, End) of virtual time, used for
 // outage schedules and fault-injection windows.
@@ -34,10 +41,11 @@ type Window struct {
 // Contains reports whether t falls inside the window.
 func (w Window) Contains(t time.Duration) bool { return t >= w.Start && t < w.End }
 
-// Validate rejects empty or negative windows.
+// Validate rejects empty or negative windows with an error wrapping
+// ErrInvalidWindow.
 func (w Window) Validate() error {
 	if w.Start < 0 || w.End <= w.Start {
-		return fmt.Errorf("netem: invalid window [%v, %v)", w.Start, w.End)
+		return fmt.Errorf("%w: [%v, %v)", ErrInvalidWindow, w.Start, w.End)
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package netem
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/sim"
+)
+
+// outageParTrace is the full observable record of one cross-domain outage
+// run: per-payload delivery times on the remote domain, echo traffic coming
+// back, and the link fault counters.
+type outageParTrace struct {
+	Delivered map[int]time.Duration
+	Echoes    map[int]time.Duration
+	Faults    [2]FaultCounters
+	Executed  uint64
+	Now       time.Duration
+}
+
+// runCrossDomainOutage drives a two-domain ParKernel joined by a duplex
+// pair of cross-domain links whose forward direction carries outage
+// windows. Domain 0 sends one payload per millisecond; domain 1 echoes each
+// delivery back. Payloads enqueued inside an outage window must vanish with
+// an OutageDropped count and everything else must arrive.
+func runCrossDomainOutage(t *testing.T, workers int) outageParTrace {
+	t.Helper()
+	const prop = time.Millisecond
+	par, err := sim.NewPar(42, 2, prop, workers)
+	if err != nil {
+		t.Fatalf("NewPar: %v", err)
+	}
+	fwd, err := NewLink(par.DomainKernel(0), "d0->d1", 100, prop)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	fwd.SetRemote(func(at time.Duration, fn func()) { par.Post(0, 1, at, fn) })
+	back, err := NewLink(par.DomainKernel(1), "d1->d0", 100, prop)
+	if err != nil {
+		t.Fatalf("NewLink: %v", err)
+	}
+	back.SetRemote(func(at time.Duration, fn func()) { par.Post(1, 0, at, fn) })
+	if err := fwd.SetImpairment(Impairment{Outages: []Window{
+		{Start: 3 * time.Millisecond, End: 6 * time.Millisecond},
+		{Start: 11 * time.Millisecond, End: 13 * time.Millisecond},
+	}}); err != nil {
+		t.Fatalf("SetImpairment: %v", err)
+	}
+
+	tr := outageParTrace{
+		Delivered: make(map[int]time.Duration),
+		Echoes:    make(map[int]time.Duration),
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		i := i
+		payload := make([]byte, 200+i)
+		par.DomainKernel(0).At(time.Duration(i)*time.Millisecond, func() {
+			fwd.Send(payload, func() {
+				tr.Delivered[i] = par.DomainKernel(1).Now()
+				back.Send(payload, func() {
+					tr.Echoes[i] = par.DomainKernel(0).Now()
+				})
+			})
+		})
+	}
+	par.Drain(time.Second)
+	tr.Faults = [2]FaultCounters{fwd.Faults(), back.Faults()}
+	tr.Executed = par.Executed()
+	tr.Now = par.Now()
+	return tr
+}
+
+// TestParKernelCrossDomainOutage pins the outage × mailbox interaction:
+// outage windows on a cross-domain link drop exactly the in-window sends,
+// deliver the rest, and produce an identical trace at 1, 2 and 8 workers.
+func TestParKernelCrossDomainOutage(t *testing.T) {
+	ref := runCrossDomainOutage(t, 1)
+
+	if ref.Faults[0].OutageDropped == 0 {
+		t.Fatal("no outage drops recorded on the impaired link")
+	}
+	// Sends at 3,4,5 ms and 11,12 ms enqueue inside the windows.
+	wantDropped := map[int]bool{3: true, 4: true, 5: true, 11: true, 12: true}
+	if got := int(ref.Faults[0].OutageDropped); got != len(wantDropped) {
+		t.Fatalf("OutageDropped = %d, want %d", got, len(wantDropped))
+	}
+	for i := 0; i < 20; i++ {
+		_, delivered := ref.Delivered[i]
+		if wantDropped[i] == delivered {
+			t.Errorf("payload %d: delivered=%v, in-window=%v", i, delivered, wantDropped[i])
+		}
+		if _, echoed := ref.Echoes[i]; echoed != delivered {
+			t.Errorf("payload %d: delivered=%v but echoed=%v", i, delivered, echoed)
+		}
+	}
+	for i, at := range ref.Delivered {
+		// Delivery must be at least send time + propagation.
+		if min := time.Duration(i)*time.Millisecond + time.Millisecond; at < min {
+			t.Errorf("payload %d delivered at %v, before %v", i, at, min)
+		}
+	}
+
+	for _, workers := range []int{2, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			got := runCrossDomainOutage(t, workers)
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("trace diverges from workers=1:\nref: %+v\ngot: %+v", ref, got)
+			}
+		})
+	}
+}

@@ -258,3 +258,30 @@ func (m *Match) Equal(o *Match) bool {
 	}
 	return true
 }
+
+// Covers reports whether every packet matched by o is also matched by m —
+// the OpenFlow 1.0 non-strict delete relation. Pattern m covers entry match
+// o when every field m specifies is also specified by o with an equal
+// value; a fully wildcarded m (MatchAll) covers everything. Strict deletes
+// keep using Equal.
+func (m *Match) Covers(o *Match) bool {
+	w := m.Wildcards
+	field := func(bit uint32, eq bool) bool {
+		if w&bit != 0 {
+			return true // m does not constrain the field
+		}
+		return o.Wildcards&bit == 0 && eq
+	}
+	return field(WildcardInPort, m.InPort == o.InPort) &&
+		field(WildcardDLSrc, m.DLSrc == o.DLSrc) &&
+		field(WildcardDLDst, m.DLDst == o.DLDst) &&
+		field(WildcardDLVLAN, m.DLVLAN == o.DLVLAN) &&
+		field(WildcardDLVLANPCP, m.DLVLANPCP == o.DLVLANPCP) &&
+		field(WildcardDLType, m.DLType == o.DLType) &&
+		field(WildcardNWTOS, m.NWTOS == o.NWTOS) &&
+		field(WildcardNWProto, m.NWProto == o.NWProto) &&
+		field(WildcardNWSrcAll, m.NWSrc == o.NWSrc) &&
+		field(WildcardNWDstAll, m.NWDst == o.NWDst) &&
+		field(WildcardTPSrc, m.TPSrc == o.TPSrc) &&
+		field(WildcardTPDst, m.TPDst == o.TPDst)
+}

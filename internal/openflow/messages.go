@@ -41,6 +41,11 @@ const (
 	ErrCodeBadBufferID uint16 = 7 // OFPBRC_BUFFER_UNKNOWN
 )
 
+// Bad-action codes (OFPBAC_*).
+const (
+	ErrCodeBadOutPort uint16 = 4 // OFPBAC_BAD_OUT_PORT
+)
+
 // ErrorMsg reports a protocol error; Data carries at least the first 64
 // bytes of the offending message per the spec.
 type ErrorMsg struct {
@@ -376,6 +381,10 @@ const (
 	PortReasonDelete uint8 = 1
 	PortReasonModify uint8 = 2
 )
+
+// PortStateLinkDown is the ofp_port_state bit reporting no physical link
+// (OFPPS_LINK_DOWN).
+const PortStateLinkDown uint32 = 1 << 0
 
 // PortStatus announces a port change.
 type PortStatus struct {

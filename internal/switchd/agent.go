@@ -566,6 +566,49 @@ func (a *Agent) InjectFrame(inPort uint16, frame []byte) error {
 	return nil
 }
 
+// SetPortDown flips one data port's link state, as a NIC driver would on
+// carrier change. Taking the port down evicts rules egressing it (emitting
+// flow_removed where flagged) and announces the transition to the
+// controller with a port_status message; bringing it up announces only.
+// No-op when already in the target state, so repeated flaps do not
+// re-notify. A dead control channel loses the notifications but not the
+// state change — the fail mode and reconnect path handle the rest.
+func (a *Agent) SetPortDown(port uint16, down bool) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("switchd: agent closed")
+	}
+	if port >= 1 && int(port) <= a.dp.cfg.NumPorts && a.dp.PortDown(port) == down {
+		a.mu.Unlock()
+		return nil
+	}
+	removed, err := a.dp.SetPortDown(a.now(), port, down)
+	var msgs []openflow.Message
+	if err == nil {
+		for _, r := range removed {
+			if fr := a.dp.FlowRemovedFor(r); fr != nil {
+				msgs = append(msgs, fr)
+			}
+		}
+		msgs = append(msgs, &openflow.PortStatus{
+			Reason: openflow.PortReasonModify,
+			Desc:   a.dp.PhyPortDesc(port),
+		})
+	}
+	a.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		if err := a.send(m, a.xid()); err != nil {
+			a.logf("switch: port_status lost (control channel down): %v", err)
+			return nil
+		}
+	}
+	return nil
+}
+
 // rearmTick schedules the next mechanism/table timer against the wall
 // clock. Callers must NOT hold a.mu.
 func (a *Agent) rearmTick() {

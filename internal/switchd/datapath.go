@@ -150,6 +150,17 @@ type Datapath struct {
 	standaloneForwards uint64
 	downMisses         uint64
 
+	// Data-plane failure state (DESIGN.md §16). portDown is indexed by port
+	// number (slot 0 unused); crashed wipes and gates the whole datapath
+	// until Restart.
+	portDown []bool
+	crashed  bool
+
+	deadPortRefusals uint64          // installs/releases refused for a down egress port
+	bufDropsDeadPort uint64          // buffered packets destroyed after a refusal
+	txDownDrops      uint64          // outputs suppressed because the egress port is down
+	crashBufferLoss  core.BufferLoss // buffered state destroyed by crashes
+
 	// Per-datapath scratch reused by HandleFrame so the steady-state packet
 	// path (parse → lookup hit → forward) allocates nothing. The returned
 	// FrameResult therefore aliases these fields — see HandleFrame's doc for
@@ -192,6 +203,7 @@ func NewDatapath(cfg Config) (*Datapath, error) {
 		portRxBytes:  make([]uint64, cfg.NumPorts+1),
 		portTxFrames: make([]uint64, cfg.NumPorts+1),
 		portTxBytes:  make([]uint64, cfg.NumPorts+1),
+		portDown:     make([]bool, cfg.NumPorts+1),
 	}, nil
 }
 
@@ -243,12 +255,7 @@ func (d *Datapath) FailStats() (standaloneForwards, downMisses uint64) {
 func (d *Datapath) Features() *openflow.FeaturesReply {
 	ports := make([]openflow.PhyPort, d.cfg.NumPorts)
 	for i := range ports {
-		no := uint16(i + 1)
-		ports[i] = openflow.PhyPort{
-			PortNo: no,
-			HWAddr: packet.MAC{0x02, 0, 0, 0, 0, byte(no)},
-			Name:   fmt.Sprintf("eth%d", no),
-		}
+		ports[i] = d.PhyPortDesc(uint16(i + 1))
 	}
 	nbuf := uint32(0)
 	if d.cfg.Buffer.Granularity != openflow.GranularityNone {
@@ -378,6 +385,15 @@ func (d *Datapath) HandleFlowMod(now time.Duration, fm *openflow.FlowMod) (*Cont
 	res := &ControlResult{}
 	switch fm.Command {
 	case openflow.FlowModAdd, openflow.FlowModModify, openflow.FlowModModifyStrict:
+		if d.deadOutput(fm.Actions) {
+			// Refuse to install a rule egressing a down port: the switch-local
+			// backstop that keeps a racing (stale-topology) controller from
+			// planting a blackhole rule. The buffered packet's fate depends on
+			// the mechanism — see refuseBuffered.
+			res.Reply = badOutPortError()
+			d.refuseBuffered(now, fm.BufferID)
+			return res, nil
+		}
 		entry := &flowtable.Entry{
 			Match:       fm.Match,
 			Priority:    fm.Priority,
@@ -403,7 +419,7 @@ func (d *Datapath) HandleFlowMod(now time.Duration, fm *openflow.FlowMod) (*Cont
 		}
 	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
 		strict := fm.Command == openflow.FlowModDeleteStrict
-		res.Removed = append(res.Removed, d.table.Delete(now, &fm.Match, fm.Priority, strict)...)
+		res.Removed = append(res.Removed, d.table.Delete(now, &fm.Match, fm.Priority, strict, fm.OutPort)...)
 		return res, nil
 	default:
 		res.Reply = &openflow.ErrorMsg{
@@ -431,6 +447,16 @@ func (d *Datapath) HandleFlowMod(now time.Duration, fm *openflow.FlowMod) (*Cont
 // message's own payload.
 func (d *Datapath) HandlePacketOut(now time.Duration, po *openflow.PacketOut) (*ControlResult, error) {
 	res := &ControlResult{}
+	if d.deadOutput(po.Actions) {
+		res.Reply = badOutPortError()
+		d.refuseBuffered(now, po.BufferID)
+		if po.BufferID == openflow.NoBuffer && len(po.Data) > 0 {
+			// The no-buffer mechanism's packet rides in the message itself;
+			// refusing the release loses it just as surely as dropping a unit.
+			d.bufDropsDeadPort++
+		}
+		return res, nil
+	}
 	if po.BufferID != openflow.NoBuffer {
 		if len(po.Actions) == 0 {
 			// Empty action list: drop the buffered packet(s).
@@ -545,10 +571,18 @@ func (d *Datapath) applyActions(_ time.Duration, inPort uint16, frame []byte, ac
 func (d *Datapath) emitAction(outs []Output, inPort uint16, cur []byte, port uint16, queue uint32) ([]Output, error) {
 	switch port {
 	case openflow.PortInPort:
+		if d.portDown[inPort] {
+			d.txDownDrops++
+			return outs, nil
+		}
 		outs = append(outs, Output{Port: inPort, Frame: cur, Queue: queue})
 	case openflow.PortFlood, openflow.PortAll:
 		for p := 1; p <= d.cfg.NumPorts; p++ {
 			if uint16(p) == inPort && port == openflow.PortFlood {
+				continue
+			}
+			if d.portDown[p] {
+				d.txDownDrops++
 				continue
 			}
 			outs = append(outs, Output{Port: uint16(p), Frame: cur, Queue: queue})
@@ -558,6 +592,13 @@ func (d *Datapath) emitAction(outs []Output, inPort uint16, cur []byte, port uin
 	default:
 		if port < 1 || int(port) > d.cfg.NumPorts {
 			return nil, fmt.Errorf("%w: output port %d", ErrBadPort, port)
+		}
+		if d.portDown[port] {
+			// Physical-layer backstop: a rule that raced past the install-time
+			// check (installed before the port died, matched before eviction
+			// lands) must not put frames on a dead wire.
+			d.txDownDrops++
+			return outs, nil
 		}
 		outs = append(outs, Output{Port: port, Frame: cur, Queue: queue})
 	}

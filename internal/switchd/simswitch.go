@@ -130,6 +130,14 @@ type SimSwitch struct {
 	parseErrors uint64
 	ctrlErrors  uint64
 
+	// Crash epoch: bumped by Crash so that CPU/bus work submitted before the
+	// power loss is discarded when it completes — the chassis that was doing
+	// it no longer exists. Ingress and control delivery while crashed are
+	// dropped at the boundary and counted.
+	epoch         uint64
+	crashRxDrops  uint64
+	crashCtlDrops uint64
+
 	// tel is nil unless telemetry is wired (SetTelemetry). Every hook is
 	// guarded on the nil check; recording never schedules kernel events, so
 	// event order is identical with telemetry on or off (DESIGN.md §12).
@@ -210,6 +218,10 @@ func (s *SimSwitch) SetTransmitEx(fn func(out Output)) { s.transmitEx = fn }
 // Ingest is called when a frame arrives on a data port (the ingress link's
 // delivery callback).
 func (s *SimSwitch) Ingest(inPort uint16, frame []byte) {
+	if s.dp.crashed {
+		s.crashRxDrops++
+		return
+	}
 	now := s.kernel.Now()
 	cost := s.cfg.PerPacketCost
 	if now >= s.nextWakeup {
@@ -218,7 +230,15 @@ func (s *SimSwitch) Ingest(inPort uint16, frame []byte) {
 	}
 	seq := s.portSeq[inPort]
 	s.portSeq[inPort] = seq + 1
+	epoch := s.epoch
 	s.cpu.Submit(cost, func() {
+		if s.epoch != epoch {
+			// The frame was in the chassis pipeline when the power died: as
+			// gone as one dropped at the boundary, and named the same way so
+			// the fabric's ledger closes.
+			s.crashRxDrops++
+			return
+		}
 		s.admitInOrder(inPort, seq, func() { s.processFrame(now, inPort, frame) })
 	})
 }
@@ -302,7 +322,13 @@ func (s *SimSwitch) processFrame(arrived time.Duration, inPort uint16, frame []b
 			return
 		}
 		cost := s.cfg.MissCost + extra + time.Duration(len(msg))*s.cfg.PerControlByte
-		s.cpu.Submit(cost, func() { s.shipControl(xid, msg) })
+		epoch := s.epoch
+		s.cpu.Submit(cost, func() {
+			if s.epoch != epoch {
+				return
+			}
+			s.shipControl(xid, msg)
+		})
 	} else if extra > 0 {
 		s.cpu.Submit(extra, nil)
 	}
@@ -313,7 +339,11 @@ func (s *SimSwitch) processFrame(arrived time.Duration, inPort uint16, frame []b
 // link, timestamping its departure for controller-delay measurement.
 func (s *SimSwitch) shipControl(xid uint32, msg []byte) {
 	shipped := s.kernel.Now()
+	epoch := s.epoch
 	s.bus.Send(msg, func() {
+		if s.epoch != epoch {
+			return
+		}
 		now := s.kernel.Now()
 		if xid != 0 {
 			s.sentAt[xid] = now
@@ -332,6 +362,10 @@ func (s *SimSwitch) shipControl(xid uint32, msg []byte) {
 // DeliverControl is called when a control message arrives from the
 // controller (the control link's delivery callback).
 func (s *SimSwitch) DeliverControl(msg []byte) {
+	if s.dp.crashed {
+		s.crashCtlDrops++
+		return
+	}
 	now := s.kernel.Now()
 	// Controller delay: packet_in departure to first response arrival,
 	// measured at the switch, exactly as the paper does (§III.B).
@@ -348,9 +382,20 @@ func (s *SimSwitch) DeliverControl(msg []byte) {
 			}
 		}
 	}
+	epoch := s.epoch
 	s.bus.Send(msg, func() {
+		if s.epoch != epoch {
+			s.crashCtlDrops++
+			return
+		}
 		cost := s.cfg.ControlOpCost + time.Duration(len(msg))*s.cfg.PerControlByte
-		s.cpu.Submit(cost, func() { s.processControl(msg) })
+		s.cpu.Submit(cost, func() {
+			if s.epoch != epoch {
+				s.crashCtlDrops++
+				return
+			}
+			s.processControl(msg)
+		})
 	})
 }
 
@@ -516,7 +561,13 @@ func (s *SimSwitch) armMechTimer() {
 				continue
 			}
 			cost := s.cfg.MissCost + time.Duration(len(msg))*s.cfg.PerControlByte
-			s.cpu.Submit(cost, func() { s.shipControl(xid, msg) })
+			epoch := s.epoch
+			s.cpu.Submit(cost, func() {
+				if s.epoch != epoch {
+					return
+				}
+				s.shipControl(xid, msg)
+			})
 		}
 		s.armMechTimer()
 	})

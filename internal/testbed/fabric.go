@@ -36,6 +36,11 @@ type FabricOptions struct {
 	// control messages to and from it are lost, and switches it masters fail
 	// over to their backup shard for the duration.
 	CrashWindows map[int][]netem.Window
+	// Failures is the data-plane fault schedule (DESIGN.md §16): link-down
+	// windows and switch crash windows, injected as ordinary kernel events on
+	// the domains that own the affected state. A nil or empty plan leaves the
+	// run byte-identical to one without the field.
+	Failures *netem.FailurePlan
 	// TrackHops records per-hop ingress/egress times for each flow's first
 	// packet (schedule sequence 0), feeding the hop-sum oracle and the hop
 	// telemetry spans. Leave it off for scale runs.
@@ -84,6 +89,25 @@ func (o FabricOptions) withDefaults() (FabricOptions, error) {
 			}
 		}
 	}
+	if !o.Failures.Empty() {
+		if err := o.Failures.Validate(); err != nil {
+			return o, fmt.Errorf("testbed: %w", err)
+		}
+		n := o.Graph.NumSwitches()
+		for _, lf := range o.Failures.Links {
+			if lf.A >= n || lf.B >= n {
+				return o, fmt.Errorf("testbed: failure plan link %d-%d out of range [0, %d)", lf.A, lf.B, n)
+			}
+			if _, _, ok := o.Graph.EdgePorts(lf.A, lf.B); !ok {
+				return o, fmt.Errorf("testbed: failure plan link %d-%d is not an edge of the topology", lf.A, lf.B)
+			}
+		}
+		for _, sf := range o.Failures.Switches {
+			if sf.Switch >= n {
+				return o, fmt.Errorf("testbed: failure plan switch %d out of range [0, %d)", sf.Switch, n)
+			}
+		}
+	}
 	return o, nil
 }
 
@@ -112,6 +136,37 @@ type FabricResult struct {
 	Unroutable   uint64
 	PathInstalls uint64
 	RemoteSkips  uint64
+
+	// Survivability metrics (FabricOptions.Failures; all zero without a
+	// plan). ReroutedPaths counts (switch, host) next hops changed by
+	// routing-table swaps and Blackholes misses for destinations a failure
+	// cut off. The drop ledger names every in-window loss: LinkDownDrops are
+	// frames destroyed in flight on a dead wire, TxDownDrops transmissions
+	// the egress backstop suppressed toward a down port, DeadPortRefusals
+	// installs/releases refused for a dead egress, BufDropsDeadPort buffered
+	// packets those refusals destroyed, CrashRxDrops frames arriving at a
+	// crashed chassis, CrashCtlDrops control messages ditto, and
+	// CrashBufPackets/CrashBufBytes what crashes wiped from the buffers.
+	// LoopFrames counts switch revisits beyond the table-epoch bound (must
+	// stay zero: the flush-and-swap protocol is loop-free). ConvergenceTime
+	// is the longest delivery gap opened by any failure-window start, and
+	// LastReorderTime when the last order violation was delivered (zero when
+	// none) — transient reordering while old-path and new-path frames race
+	// is physical, but it must end with the convergence, and
+	// OrderViolations must be zero once the fabric has settled.
+	ReroutedPaths    uint64
+	Blackholes       uint64
+	LinkDownDrops    int64
+	TxDownDrops      uint64
+	DeadPortRefusals uint64
+	BufDropsDeadPort uint64
+	CrashRxDrops     uint64
+	CrashCtlDrops    uint64
+	CrashBufPackets  uint64
+	CrashBufBytes    uint64
+	LoopFrames       int64
+	ConvergenceTime  time.Duration
+	LastReorderTime  time.Duration
 }
 
 // hopTrack is the per-hop time record for one tracked frame.
@@ -163,6 +218,17 @@ type Fabric struct {
 	misdelivered atomic.Int64
 	dups         int64
 	misorders    int64
+
+	// Survivability state (fabricfail.go), allocated only when the plan is
+	// non-empty. linkDownDrops is written from any switch domain (atomic);
+	// swIngress[i] is owned by switch i's domain; deliveryTimes and
+	// failStarts by the destination edge's domain / read-only.
+	linkDownDrops atomic.Int64
+	swIngress     []map[frameIdent]int
+	visitBound    int
+	deliveryTimes []time.Duration
+	failStarts    []time.Duration
+	lastReorderAt time.Duration
 
 	tel       *telemetry.Recorder
 	telShards []*telemetry.Recorder // per-domain recorders, parallel mode only
@@ -469,6 +535,19 @@ func NewFabric(cfg Config, opts FabricOptions) (*Fabric, error) {
 		}
 	}
 
+	// Data-plane failure plan: translated into kernel events on the domains
+	// owning the affected state, identically in serial and parallel mode
+	// (fabricfail.go). Shards learn each other's topology transitions over a
+	// modeled sync link; wiring the hook without a plan changes nothing — it
+	// only fires on first-hand learns, which need a port_status.
+	if !opts.Failures.Empty() {
+		fb.initSurvivability(opts.Failures)
+		fb.scheduleFailures(opts.Failures)
+	}
+	if opts.Shards > 1 {
+		fb.wirePeerSync()
+	}
+
 	// Data plane: one link per directed switch-switch edge plus the host
 	// access links, all created in switch/port order for determinism.
 	fb.dataLinks = make([][]*netem.Link, g.NumSwitches())
@@ -518,7 +597,12 @@ func (fb *Fabric) onTransmit(i int, port uint16, frame []byte) {
 	if peer.Host >= 0 {
 		if peer.Host == fb.opts.DstHost {
 			fb.observeExit(i, frame)
-			fb.hostDown[peer.Host].Send(frame, func() { fb.delivered++ })
+			fb.hostDown[peer.Host].Send(frame, func() {
+				fb.delivered++
+				if fb.deliveryTimes != nil {
+					fb.deliveryTimes = append(fb.deliveryTimes, fb.swKernel(i).Now())
+				}
+			})
 			return
 		}
 		// A workload frame leaving toward any other host took a wrong turn.
@@ -531,6 +615,14 @@ func (fb *Fabric) onTransmit(i int, port uint16, frame []byte) {
 	fb.hopExit(i, frame)
 	next, nextPort := peer.Switch, peer.Port
 	fb.dataLinks[i][port-1].Send(frame, func() {
+		// A frame in flight when the wire died arrives to a down port and is
+		// destroyed there — the egress backstop stops new sends at the source,
+		// this accounts for what the failure caught mid-air.
+		if fb.sws[next].Datapath().PortDown(nextPort) {
+			fb.linkDownDrops.Add(1)
+			return
+		}
+		fb.noteIngress(next, frame)
 		fb.hopEnter(next, frame)
 		fb.sws[next].Ingest(nextPort, frame)
 	})
@@ -566,6 +658,7 @@ func (fb *Fabric) observeExit(sw int, frame []byte) {
 	}
 	if seq := int(ident.ipid); seq < tr.lastSeq {
 		fb.misorders++
+		fb.lastReorderAt = now
 	} else {
 		tr.lastSeq = seq
 	}
@@ -736,6 +829,7 @@ func (fb *Fabric) Run(sched pktgen.Schedule) (*FabricResult, error) {
 						tr.haveEnter = true
 					}
 				}
+				fb.noteIngress(src.Switch, e.Frame)
 				fb.hopEnter(src.Switch, e.Frame)
 				fb.sws[src.Switch].Ingest(src.Port, e.Frame)
 			})
@@ -784,6 +878,9 @@ func (fb *Fabric) collect(sched pktgen.Schedule) *FabricResult {
 		res.PathInstalls += installs
 		res.RemoteSkips += skips
 		res.Unroutable += unroutable
+		rerouted, blackholes := app.RecoveryStats()
+		res.ReroutedPaths += rerouted
+		res.Blackholes += blackholes
 	}
 	for _, sw := range fb.sws {
 		res.SwitchUsagePercent += sw.CPUUtilizationPercent()
@@ -809,8 +906,21 @@ func (fb *Fabric) collect(sched pktgen.Schedule) *FabricResult {
 		res.StandaloneForwards += sf
 		res.ControlDownMisses += cdm
 		res.ControllerDelay.Merge(sw.ControllerDelay())
+		refusals, bufDrops, txDrops, crashLoss := sw.Datapath().FailureStats()
+		res.DeadPortRefusals += refusals
+		res.BufDropsDeadPort += bufDrops
+		res.TxDownDrops += txDrops
+		res.CrashBufPackets += uint64(crashLoss.Packets)
+		res.CrashBufBytes += uint64(crashLoss.Bytes)
+		rxDrops, ctlDrops := sw.CrashDrops()
+		res.CrashRxDrops += rxDrops
+		res.CrashCtlDrops += ctlDrops
 	}
 	res.SwitchUsagePercent /= float64(len(fb.sws))
+	res.LinkDownDrops = fb.linkDownDrops.Load()
+	res.LoopFrames = fb.loopFrames()
+	res.ConvergenceTime = fb.convergenceTime()
+	res.LastReorderTime = fb.lastReorderAt
 
 	ids := make([]int, 0, len(fb.flows))
 	for id := range fb.flows {

@@ -60,10 +60,20 @@ type PathForwarder struct {
 	connSwitch map[int]int // controller conn -> switch index
 	switchConn map[int]int // switch index -> conn on this controller
 
-	packetIns    uint64
-	pathInstalls uint64 // downstream flow_mods sent by path installation
-	remoteSkips  uint64 // path hops skipped because another shard masters them
-	unroutable   uint64
+	// Recovery state (recovery.go): the forwarder routes by table, an
+	// immutable snapshot swapped whole on every learned edge transition.
+	// masteredOrder keeps flush emission deterministic.
+	table         *RouteTable
+	failedEdges   map[EdgeKey]bool
+	masteredOrder []int
+	peerNotify    func(e EdgeKey, down bool)
+
+	packetIns     uint64
+	pathInstalls  uint64 // downstream flow_mods sent by path installation
+	remoteSkips   uint64 // path hops skipped because another shard masters them
+	unroutable    uint64
+	reroutedPaths uint64 // (switch, host) next hops changed by table swaps
+	blackholes    uint64 // misses for destinations a failure cut off
 }
 
 var _ controller.ConnApp = (*PathForwarder)(nil)
@@ -74,6 +84,7 @@ func NewPathForwarder(g *Graph, mode InstallMode, cfg controller.ForwarderConfig
 		g:          g,
 		mode:       mode,
 		cfg:        cfg,
+		table:      g.Routes(),
 		connSwitch: make(map[int]int),
 		switchConn: make(map[int]int),
 	}
@@ -86,6 +97,7 @@ func (p *PathForwarder) RegisterConn(conn, sw int) {
 	p.connSwitch[conn] = sw
 	if _, ok := p.switchConn[sw]; !ok {
 		p.switchConn[sw] = conn
+		p.masteredOrder = append(p.masteredOrder, sw)
 	}
 }
 
@@ -124,8 +136,15 @@ func (p *PathForwarder) HandlePacketInConn(conn int, pi *openflow.PacketIn, xid 
 	if !ok {
 		return p.drop(conn, pi), nil
 	}
-	out, ok := p.g.NextHopPort(sw, dst)
+	out, ok := p.table.NextHopPort(sw, dst)
 	if !ok {
+		if _, reachable := p.g.NextHopPort(sw, dst); reachable {
+			// Routable on the pristine graph, not on the failure-masked one:
+			// a failure cut this destination off. Named separately from
+			// plain unroutability so survivability runs can tell the two
+			// apart.
+			p.blackholes++
+		}
 		return p.drop(conn, pi), nil
 	}
 	msgs := p.cfg.InstallMessages(pi, frame, out)
@@ -136,7 +155,7 @@ func (p *PathForwarder) HandlePacketInConn(conn int, pi *openflow.PacketIn, xid 
 	if p.mode != InstallPath {
 		return directed, nil
 	}
-	hops, err := p.g.PathFrom(sw, pi.InPort, dst)
+	hops, err := p.table.PathFrom(sw, pi.InPort, dst)
 	if err != nil {
 		return nil, err
 	}

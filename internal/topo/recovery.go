@@ -1,0 +1,127 @@
+package topo
+
+import (
+	"fmt"
+
+	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/openflow"
+)
+
+// Failure recovery for the PathForwarder (DESIGN.md §16). The protocol is
+// deliberately table-swap shaped: a learned edge transition replaces the
+// whole routing snapshot with Graph.RoutesExcluding over the current failed
+// set and flushes every mastered switch, so the rules in the fabric are
+// always a subset of one BFS tree's next hops — the property that makes
+// routing loops impossible even while shards converge at different times.
+
+// NeighborAt reports which switch is on the far side of switch sw's port —
+// ok is false for host ports and out-of-range ports, whose state changes
+// do not affect switch-switch routing.
+func (g *Graph) NeighborAt(sw int, port uint16) (int, bool) {
+	if sw < 0 || sw >= len(g.adj) {
+		return 0, false
+	}
+	p, ok := g.PeerOf(sw, port)
+	if !ok || p.Switch < 0 {
+		return 0, false
+	}
+	return p.Switch, true
+}
+
+var _ controller.PortStatusApp = (*PathForwarder)(nil)
+
+// HandlePortStatusConn implements controller.PortStatusApp: detection. A
+// switch announced a port change; map the port to the fabric edge behind it
+// and learn the transition. Host-port flaps don't touch switch-switch
+// routing and are ignored here (the fabric accounts their loss at the
+// edge). The shard also tells its peers via the wired notify hook — a
+// port_status reaches only the failed link's endpoints' masters, but every
+// shard owning a hop of an affected path must stop using it.
+func (p *PathForwarder) HandlePortStatusConn(conn int, ps *openflow.PortStatus) ([]controller.Directed, error) {
+	sw, ok := p.connSwitch[conn]
+	if !ok {
+		return nil, fmt.Errorf("topo: port_status on unregistered connection %d", conn)
+	}
+	nb, ok := p.g.NeighborAt(sw, ps.Desc.PortNo)
+	if !ok {
+		return nil, nil
+	}
+	down := ps.Desc.State&openflow.PortStateLinkDown != 0
+	e := MakeEdgeKey(sw, nb)
+	dirs := p.LearnEdge(e, down)
+	if dirs != nil && p.peerNotify != nil {
+		p.peerNotify(e, down)
+	}
+	return dirs, nil
+}
+
+// LearnEdge records one edge transition: the routing table is swapped for a
+// fresh failure-masked snapshot and, on any actual state change, every
+// switch this shard masters is flushed (one wildcard-all non-strict delete
+// each, in registration order) so no rule computed on the old table
+// survives. Returns nil when the shard already knew — peer notifications
+// and the local port_status race benignly. Exported because peers learn
+// through it too: the fabric delivers another shard's notification here.
+func (p *PathForwarder) LearnEdge(e EdgeKey, down bool) []controller.Directed {
+	if down == p.failedEdges[e] {
+		return nil
+	}
+	if down {
+		if p.failedEdges == nil {
+			p.failedEdges = make(map[EdgeKey]bool)
+		}
+		p.failedEdges[e] = true
+	} else {
+		delete(p.failedEdges, e)
+	}
+	old := p.table
+	p.table = p.g.RoutesExcluding(p.failedEdges)
+	p.reroutedPaths += countChangedHops(old, p.table)
+
+	// Flush on every transition, up included: rules from the old tree mixed
+	// with new-tree installs are not provably loop-free, an empty table plus
+	// re-misses is.
+	dirs := make([]controller.Directed, 0, len(p.masteredOrder))
+	flushAll := openflow.MatchAll()
+	for _, sw := range p.masteredOrder {
+		dirs = append(dirs, controller.Directed{
+			Conn: p.switchConn[sw],
+			Msg: &openflow.FlowMod{
+				Match:    flushAll,
+				Command:  openflow.FlowModDelete,
+				BufferID: openflow.NoBuffer,
+				OutPort:  openflow.PortNone,
+			},
+		})
+	}
+	return dirs
+}
+
+// SetPeerNotify wires the cross-shard topology channel: fn is called once
+// per first-hand learned transition with the edge and its new state. The
+// fabric implements fn as a delayed delivery of LearnEdge on every other
+// shard, modeling the inter-controller sync link.
+func (p *PathForwarder) SetPeerNotify(fn func(e EdgeKey, down bool)) { p.peerNotify = fn }
+
+// FailedEdges reports how many edges the shard currently believes are down.
+func (p *PathForwarder) FailedEdges() int { return len(p.failedEdges) }
+
+// RecoveryStats reports reconvergence counters: (switch, host) next hops
+// changed by table swaps, and misses for destinations a failure cut off.
+func (p *PathForwarder) RecoveryStats() (reroutedPaths, blackholes uint64) {
+	return p.reroutedPaths, p.blackholes
+}
+
+// countChangedHops counts (switch, host) pairs whose next-hop port differs
+// between two snapshots — the size of the rerouting a swap caused.
+func countChangedHops(old, new *RouteTable) uint64 {
+	var n uint64
+	for h := range old.routes {
+		for sw := range old.routes[h] {
+			if old.routes[h][sw] != new.routes[h][sw] {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package topo
+
+import (
+	"testing"
+
+	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+func frameTo(t *testing.T, g *Graph, dst int) []byte {
+	t.Helper()
+	f := &packet.Frame{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     g.Hosts()[0].Addr,
+		DstIP:     g.Hosts()[dst].Addr,
+		SrcPort:   1000,
+		DstPort:   9,
+		Payload:   make([]byte, 64),
+	}
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatalf("Serialize: %v", err)
+	}
+	return wire
+}
+
+func portStatusFor(t *testing.T, g *Graph, sw, nb int, down bool) *openflow.PortStatus {
+	t.Helper()
+	pa, _, ok := g.EdgePorts(sw, nb)
+	if !ok {
+		t.Fatalf("no edge %d-%d", sw, nb)
+	}
+	var state uint32
+	if down {
+		state = openflow.PortStateLinkDown
+	}
+	return &openflow.PortStatus{
+		Reason: openflow.PortReasonModify,
+		Desc:   openflow.PhyPort{PortNo: pa, State: state},
+	}
+}
+
+// TestPortStatusRerouteAndFlush pins the recovery protocol on a 2×2
+// leaf-spine: a link-down port_status swaps the routing snapshot away from
+// the dead edge, flushes every mastered switch, is idempotent, and link-up
+// restores the pristine next hops (with another flush).
+func TestPortStatusRerouteAndFlush(t *testing.T) {
+	g, err := Build(Spec{Kind: KindLeafSpine, Leaves: 2, Spines: 2, Hosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := NewPathForwarder(g, InstallPath, controller.ForwarderConfig{})
+	for sw := 0; sw < g.NumSwitches(); sw++ {
+		pf.RegisterConn(sw+1, sw)
+	}
+
+	// Host 1 hangs off leaf 1; leaf 0's pristine next hop crosses spine 2
+	// (ports tie-break in port order).
+	pristine, ok := g.NextHopPort(0, 1)
+	if !ok {
+		t.Fatal("no pristine route")
+	}
+	spine, okn := g.NeighborAt(0, pristine)
+	if !okn {
+		t.Fatalf("pristine next hop %d is not a switch port", pristine)
+	}
+
+	dirs, err := pf.HandlePortStatusConn(1, portStatusFor(t, g, 0, spine, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) != g.NumSwitches() {
+		t.Fatalf("flush reached %d switches, want %d", len(dirs), g.NumSwitches())
+	}
+	for _, d := range dirs {
+		fm, ok := d.Msg.(*openflow.FlowMod)
+		if !ok || fm.Command != openflow.FlowModDelete || fm.Match.Wildcards != openflow.WildcardAll {
+			t.Fatalf("flush message = %+v", d.Msg)
+		}
+	}
+	rerouted, ok2 := pf.table.NextHopPort(0, 1)
+	if !ok2 || rerouted == pristine {
+		t.Fatalf("next hop after failure = %d (ok=%v), pristine %d", rerouted, ok2, pristine)
+	}
+	if nb, _ := g.NeighborAt(0, rerouted); nb == spine {
+		t.Fatal("reroute still crosses the failed edge")
+	}
+	if rr, _ := pf.RecoveryStats(); rr == 0 {
+		t.Fatal("reroutedPaths = 0 after a table swap that changed hops")
+	}
+	if pf.FailedEdges() != 1 {
+		t.Fatalf("failed edges = %d", pf.FailedEdges())
+	}
+
+	// Same notification again: already known, silent.
+	if dirs, err := pf.HandlePortStatusConn(1, portStatusFor(t, g, 0, spine, true)); err != nil || dirs != nil {
+		t.Fatalf("repeat learn: %v, %d dirs", err, len(dirs))
+	}
+
+	// Link-up: pristine routing returns, with a flush.
+	dirs, err = pf.HandlePortStatusConn(1, portStatusFor(t, g, 0, spine, false))
+	if err != nil || len(dirs) != g.NumSwitches() {
+		t.Fatalf("link-up: %v, %d dirs", err, len(dirs))
+	}
+	if restored, _ := pf.table.NextHopPort(0, 1); restored != pristine {
+		t.Fatalf("restored next hop = %d, want %d", restored, pristine)
+	}
+	if pf.FailedEdges() != 0 {
+		t.Fatalf("failed edges = %d after recovery", pf.FailedEdges())
+	}
+}
+
+// TestPeerLearnAndBlackhole pins the cross-shard path: a peer learning an
+// edge second-hand flushes too, and a miss for a destination the failure
+// cut off counts as a blackhole, not plain unroutability.
+func TestPeerLearnAndBlackhole(t *testing.T) {
+	g, err := Build(Spec{Kind: KindLine, Switches: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := NewPathForwarder(g, InstallHopByHop, controller.ForwarderConfig{})
+	pf.RegisterConn(1, 0)
+
+	var notified []EdgeKey
+	pf.SetPeerNotify(func(e EdgeKey, down bool) { notified = append(notified, e) })
+
+	// Second-hand learn (as the fabric delivers a peer's notification).
+	dirs := pf.LearnEdge(MakeEdgeKey(0, 1), true)
+	if len(dirs) != 1 {
+		t.Fatalf("peer learn flushed %d switches, want 1", len(dirs))
+	}
+	if len(notified) != 0 {
+		t.Fatal("second-hand learn must not re-notify peers")
+	}
+
+	// Host 1 is behind the cut edge: miss on switch 0 is a blackhole drop.
+	pi := &openflow.PacketIn{BufferID: 7, InPort: 1, Data: frameTo(t, g, 1)}
+	replies, err := pf.HandlePacketInConn(1, pi, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replies) != 1 {
+		t.Fatalf("blackhole miss got %d replies, want the buffer-freeing drop", len(replies))
+	}
+	po, ok := replies[0].Msg.(*openflow.PacketOut)
+	if !ok || po.BufferID != 7 || len(po.Actions) != 0 {
+		t.Fatalf("drop reply = %+v", replies[0].Msg)
+	}
+	if _, bh := pf.RecoveryStats(); bh != 1 {
+		t.Fatalf("blackholes = %d", bh)
+	}
+	// A first-hand port_status does notify peers.
+	if _, err := pf.HandlePortStatusConn(1, portStatusFor(t, g, 0, 1, false)); err != nil {
+		t.Fatal(err)
+	}
+	if len(notified) != 1 || notified[0] != MakeEdgeKey(0, 1) {
+		t.Fatalf("peer notifications = %v", notified)
+	}
+}

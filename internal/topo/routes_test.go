@@ -1,0 +1,183 @@
+package topo
+
+import (
+	"testing"
+)
+
+func TestMakeEdgeKey(t *testing.T) {
+	if MakeEdgeKey(3, 1) != (EdgeKey{A: 1, B: 3}) {
+		t.Fatalf("MakeEdgeKey(3,1) = %+v", MakeEdgeKey(3, 1))
+	}
+	if MakeEdgeKey(1, 3) != MakeEdgeKey(3, 1) {
+		t.Fatal("MakeEdgeKey is direction-dependent")
+	}
+}
+
+func TestEdgePorts(t *testing.T) {
+	g := build(t, "line:3")
+	pa, pb, ok := g.EdgePorts(0, 1)
+	if !ok {
+		t.Fatal("EdgePorts(0,1) not found")
+	}
+	peer, _ := g.PeerOf(0, pa)
+	if peer.Switch != 1 || peer.Port != pb {
+		t.Fatalf("EdgePorts(0,1) = (%d,%d) inconsistent with PeerOf: %+v", pa, pb, peer)
+	}
+	// Reversed endpoints swap the ports.
+	qb, qa, ok := g.EdgePorts(1, 0)
+	if !ok || qa != pa || qb != pb {
+		t.Fatalf("EdgePorts(1,0) = (%d,%d,%v), want (%d,%d)", qb, qa, ok, pb, pa)
+	}
+	if _, _, ok := g.EdgePorts(0, 2); ok {
+		t.Fatal("EdgePorts(0,2): no such edge, got ok")
+	}
+	if _, _, ok := g.EdgePorts(-1, 1); ok {
+		t.Fatal("EdgePorts(-1,1): out of range, got ok")
+	}
+}
+
+// switchEdges enumerates every undirected switch-switch edge once.
+func switchEdges(g *Graph) []EdgeKey {
+	seen := make(map[EdgeKey]bool)
+	var edges []EdgeKey
+	for i := 0; i < g.NumSwitches(); i++ {
+		for p := 1; p <= g.NumPorts(i); p++ {
+			peer, _ := g.PeerOf(i, uint16(p))
+			if peer.Switch < 0 {
+				continue
+			}
+			k := MakeEdgeKey(i, peer.Switch)
+			if !seen[k] {
+				seen[k] = true
+				edges = append(edges, k)
+			}
+		}
+	}
+	return edges
+}
+
+// maskedDistances is the test's independent oracle: plain BFS hop counts
+// from each host's attachment switch over the graph minus failed, sharing
+// no code with routesExcluding beyond the adjacency accessors.
+func maskedDistances(g *Graph, h int, failed map[EdgeKey]bool) []int {
+	dist := make([]int, g.NumSwitches())
+	for i := range dist {
+		dist[i] = -1
+	}
+	start := g.Hosts()[h].Switch
+	dist[start] = 0
+	queue := []int{start}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for p := 1; p <= g.NumPorts(u); p++ {
+			peer, _ := g.PeerOf(u, uint16(p))
+			if peer.Switch < 0 || dist[peer.Switch] >= 0 || failed[MakeEdgeKey(u, peer.Switch)] {
+				continue
+			}
+			dist[peer.Switch] = dist[u] + 1
+			queue = append(queue, peer.Switch)
+		}
+	}
+	return dist
+}
+
+// TestRoutesExcludingOracle masks every single edge of several topologies
+// and checks the masked table against the fresh BFS oracle: a switch has a
+// route exactly when the oracle reaches it, every next hop moves strictly
+// closer to the destination, and no route crosses the failed edge.
+func TestRoutesExcludingOracle(t *testing.T) {
+	for _, spec := range []string{
+		"line:4",
+		"leafspine:leaves=3,spines=2",
+		"fattree:pods=2,leaves=2,spines=2,cores=2",
+		"random:nodes=8,extra=4,seed=7,hosts=3",
+	} {
+		t.Run(spec, func(t *testing.T) {
+			g := build(t, spec)
+			for _, edge := range switchEdges(g) {
+				failed := map[EdgeKey]bool{edge: true}
+				rt := g.RoutesExcluding(failed)
+				for h := range g.Hosts() {
+					dist := maskedDistances(g, h, failed)
+					for sw := 0; sw < g.NumSwitches(); sw++ {
+						port, ok := rt.NextHopPort(sw, h)
+						if (dist[sw] >= 0) != ok {
+							t.Fatalf("edge %v down, host %d, sw %d: route ok=%v but oracle dist=%d",
+								edge, h, sw, ok, dist[sw])
+						}
+						if !ok {
+							continue
+						}
+						peer, pok := g.PeerOf(sw, port)
+						if !pok {
+							t.Fatalf("edge %v down: sw %d routes via missing port %d", edge, sw, port)
+						}
+						if peer.Host >= 0 {
+							if peer.Host != h || dist[sw] != 0 {
+								t.Fatalf("edge %v down: sw %d exits to host %d at dist %d", edge, sw, peer.Host, dist[sw])
+							}
+							continue
+						}
+						if MakeEdgeKey(sw, peer.Switch) == edge {
+							t.Fatalf("edge %v down but sw %d still routes across it", edge, sw)
+						}
+						if dist[peer.Switch] != dist[sw]-1 {
+							t.Fatalf("edge %v down: sw %d (dist %d) routes to sw %d (dist %d)",
+								edge, sw, dist[sw], peer.Switch, dist[peer.Switch])
+						}
+					}
+					// Every reachable switch walks a terminating path that
+					// avoids the failed edge.
+					for sw := 0; sw < g.NumSwitches(); sw++ {
+						if dist[sw] < 0 {
+							continue
+						}
+						hops, err := rt.PathFrom(sw, 0, h)
+						if err != nil {
+							t.Fatalf("edge %v down: PathFrom(%d, %d): %v", edge, sw, h, err)
+						}
+						if len(hops) != dist[sw]+1 {
+							t.Fatalf("edge %v down: path %d->%d has %d hops, oracle wants %d",
+								edge, sw, h, len(hops), dist[sw]+1)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRoutesExcludingPristine checks the no-failure fast path shares the
+// pristine table and agrees with Graph.NextHopPort everywhere.
+func TestRoutesExcludingPristine(t *testing.T) {
+	g := build(t, "leafspine:leaves=2,spines=2")
+	for _, rt := range []*RouteTable{g.Routes(), g.RoutesExcluding(nil), g.RoutesExcluding(map[EdgeKey]bool{})} {
+		for h := range g.Hosts() {
+			for sw := 0; sw < g.NumSwitches(); sw++ {
+				wp, wok := g.NextHopPort(sw, h)
+				gp, gok := rt.NextHopPort(sw, h)
+				if wp != gp || wok != gok {
+					t.Fatalf("pristine table diverges at (sw %d, host %d): (%d,%v) vs (%d,%v)",
+						sw, h, wp, wok, gp, gok)
+				}
+			}
+		}
+	}
+}
+
+// TestRoutesExcludingDisconnect pins the unreachable case: cutting a line
+// topology strands every switch on the far side.
+func TestRoutesExcludingDisconnect(t *testing.T) {
+	g := build(t, "line:2") // host0 - sw0 - sw1 - host1
+	rt := g.RoutesExcluding(map[EdgeKey]bool{MakeEdgeKey(0, 1): true})
+	if _, ok := rt.NextHopPort(0, 1); ok {
+		t.Fatal("sw0 still routes to host1 across the failed edge")
+	}
+	if _, ok := rt.NextHopPort(1, 1); !ok {
+		t.Fatal("sw1 lost its direct host attachment")
+	}
+	if _, err := rt.PathFrom(0, 1, 1); err == nil {
+		t.Fatal("PathFrom across the cut did not error")
+	}
+}

@@ -356,13 +356,50 @@ func (g *Graph) checkConnected() error {
 	return nil
 }
 
-// computeRoutes runs one BFS per host from its attachment switch, recording
-// at every switch the port leading one hop closer to the host. Neighbour
-// iteration is in port order, so equal-length paths tie-break the same way
-// on every run.
+// EdgeKey identifies an undirected switch-switch edge in canonical
+// (low, high) order; build one with MakeEdgeKey so lookups are
+// direction-independent.
+type EdgeKey struct {
+	A, B int
+}
+
+// MakeEdgeKey canonicalizes the endpoint order.
+func MakeEdgeKey(a, b int) EdgeKey {
+	if a > b {
+		a, b = b, a
+	}
+	return EdgeKey{A: a, B: b}
+}
+
+// EdgePorts reports the port numbers on either end of the a↔b edge
+// (pa on switch a, pb on switch b). ok is false when no such edge exists.
+// Builders never wire parallel edges, so the pair is unique.
+func (g *Graph) EdgePorts(a, b int) (pa, pb uint16, ok bool) {
+	if a < 0 || a >= len(g.adj) || b < 0 || b >= len(g.adj) {
+		return 0, 0, false
+	}
+	for i, p := range g.adj[a] {
+		if p.Switch == b {
+			return uint16(i + 1), p.Port, true
+		}
+	}
+	return 0, 0, false
+}
+
+// computeRoutes fills the pristine (no failed edges) routing table.
 func (g *Graph) computeRoutes() {
+	g.routes = g.routesExcluding(nil)
+}
+
+// routesExcluding runs one BFS per host from its attachment switch over the
+// graph minus the failed edges, recording at every switch the port leading
+// one hop closer to the host (0 where the host is unreachable). Neighbour
+// iteration is in port order, so equal-length paths tie-break the same way
+// on every run — and the masked table agrees with a fresh Build of the
+// reduced topology wherever both have routes.
+func (g *Graph) routesExcluding(failed map[EdgeKey]bool) [][]uint16 {
 	n := len(g.adj)
-	g.routes = make([][]uint16, len(g.hosts))
+	routes := make([][]uint16, len(g.hosts))
 	for h, host := range g.hosts {
 		next := make([]uint16, n)
 		next[host.Switch] = host.Port
@@ -376,6 +413,9 @@ func (g *Graph) computeRoutes() {
 				if p.Switch < 0 || seen[p.Switch] {
 					continue
 				}
+				if failed[MakeEdgeKey(u, p.Switch)] {
+					continue
+				}
 				seen[p.Switch] = true
 				// From the neighbour, the route toward the host is the port
 				// back across this edge to u.
@@ -383,8 +423,70 @@ func (g *Graph) computeRoutes() {
 				queue = append(queue, p.Switch)
 			}
 		}
-		g.routes[h] = next
+		routes[h] = next
 	}
+	return routes
+}
+
+// RouteTable is one next-hop table over the graph: the pristine table, or a
+// failure-masked one from RoutesExcluding. Tables are immutable snapshots —
+// recovery swaps whole tables rather than patching entries.
+type RouteTable struct {
+	g      *Graph
+	routes [][]uint16 // [host][switch] next-hop port, 0 = unreachable
+}
+
+// Routes returns the pristine routing table (shared, not copied).
+func (g *Graph) Routes() *RouteTable {
+	return &RouteTable{g: g, routes: g.routes}
+}
+
+// RoutesExcluding computes the routing table of the graph with the failed
+// edges removed. Switches cut off from a host get no route toward it
+// (NextHopPort reports ok=false), which the controller surfaces as a
+// blackhole rather than a stale path.
+func (g *Graph) RoutesExcluding(failed map[EdgeKey]bool) *RouteTable {
+	if len(failed) == 0 {
+		return g.Routes()
+	}
+	return &RouteTable{g: g, routes: g.routesExcluding(failed)}
+}
+
+// NextHopPort reports switch sw's port one hop closer to host h under this
+// table. On the host's attachment switch it is the host port itself.
+func (t *RouteTable) NextHopPort(sw, h int) (uint16, bool) {
+	if h < 0 || h >= len(t.routes) || sw < 0 || sw >= len(t.g.adj) {
+		return 0, false
+	}
+	p := t.routes[h][sw]
+	return p, p != 0
+}
+
+// PathFrom walks this table's path from switch sw (entered on port entry)
+// toward host dst, returning every hop in order. Each table is one BFS tree,
+// so the walk terminates in at most NumSwitches steps.
+func (t *RouteTable) PathFrom(sw int, entry uint16, dst int) ([]Hop, error) {
+	var hops []Hop
+	cur, curEntry := sw, entry
+	for range t.g.adj { // bounded by the switch count: BFS routes are loop-free
+		out, ok := t.NextHopPort(cur, dst)
+		if !ok {
+			return nil, fmt.Errorf("topo: no route from switch %d to host %d", cur, dst)
+		}
+		hops = append(hops, Hop{Switch: cur, Entry: curEntry, Exit: out})
+		peer, ok := t.g.PeerOf(cur, out)
+		if !ok {
+			return nil, fmt.Errorf("topo: switch %d has no port %d", cur, out)
+		}
+		if peer.Host >= 0 {
+			if peer.Host != dst {
+				return nil, fmt.Errorf("topo: route from switch %d leads to host %d, want %d", sw, peer.Host, dst)
+			}
+			return hops, nil
+		}
+		cur, curEntry = peer.Switch, peer.Port
+	}
+	return nil, fmt.Errorf("topo: routing loop walking from switch %d to host %d", sw, dst)
 }
 
 // NumSwitches reports the switch count.
@@ -432,27 +534,7 @@ type Hop struct {
 // toward host dst, returning every hop in order. The walk follows the BFS
 // tree, so it terminates in at most NumSwitches steps on a valid graph.
 func (g *Graph) PathFrom(sw int, entry uint16, dst int) ([]Hop, error) {
-	var hops []Hop
-	cur, curEntry := sw, entry
-	for range g.adj { // bounded by the switch count: BFS routes are loop-free
-		out, ok := g.NextHopPort(cur, dst)
-		if !ok {
-			return nil, fmt.Errorf("topo: no route from switch %d to host %d", cur, dst)
-		}
-		hops = append(hops, Hop{Switch: cur, Entry: curEntry, Exit: out})
-		peer, ok := g.PeerOf(cur, out)
-		if !ok {
-			return nil, fmt.Errorf("topo: switch %d has no port %d", cur, out)
-		}
-		if peer.Host >= 0 {
-			if peer.Host != dst {
-				return nil, fmt.Errorf("topo: route from switch %d leads to host %d, want %d", sw, peer.Host, dst)
-			}
-			return hops, nil
-		}
-		cur, curEntry = peer.Switch, peer.Port
-	}
-	return nil, fmt.Errorf("topo: routing loop walking from switch %d to host %d", sw, dst)
+	return g.Routes().PathFrom(sw, entry, dst)
 }
 
 // HostPath is PathFrom starting at a source host's attachment switch: the
