@@ -14,6 +14,7 @@
 //	benchrunner -scenario overload      # miss-storm sweep, unprotected vs protected
 //	benchrunner -scenario fabric        # multi-switch topology × mechanism × install sweep
 //	benchrunner -scenario survivability # mid-run link/switch failure × mechanism reconvergence sweep
+//	benchrunner -scenario tablemgmt     # flow-table capacity × eviction × aggregation × buffer sweep
 //	benchrunner -trace out.json         # one traced run → Chrome trace_event JSON
 //	benchrunner -flowcsv flows.csv      # same run's NetFlow-style flow records
 //	benchrunner -csv results.csv        # also write CSV rows
@@ -51,7 +52,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		expList  = fs.String("experiments", "", "comma-separated figure ids (default: all)")
 		scenario = fs.String("scenario", "",
-			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp | overload | fabric | survivability")
+			"run a scenario instead of the figure sweep: resilience | outage | delay-decomp | overload | fabric | survivability | tablemgmt")
 		tracePath = fs.String("trace", "",
 			"run one telemetry-instrumented workload and write its spans as Chrome trace_event JSON to this file")
 		flowCSVPath = fs.String("flowcsv", "",
@@ -352,8 +353,34 @@ func runScenario(name string, quick bool, repeats, parallel, kernelWorkers int, 
 		}
 		fmt.Fprintf(stdout, "(survivability in %v)\n", time.Since(start).Round(time.Millisecond))
 		return 0
+	case "tablemgmt":
+		opts := experiments.TableMgmtOptions{Repeats: repeats, Parallelism: parallel, KernelWorkers: kernelWorkers}
+		if quick {
+			opts.Repeats = 1
+			opts.Capacities = []int{8}
+			opts.Mechanisms = []experiments.Series{experiments.SeriesNoBuffer, experiments.SeriesPacketGranularity}
+			opts.Flows, opts.PktsPerFlow = 16, 4
+		}
+		start := time.Now()
+		res, err := experiments.RunTableMgmt(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "benchrunner: tablemgmt: %v\n", err)
+			return 1
+		}
+		if err := res.WriteTable(stdout); err != nil {
+			fmt.Fprintf(stderr, "benchrunner: writing table: %v\n", err)
+			return 1
+		}
+		if csv != nil {
+			if err := res.WriteCSV(csv, true); err != nil {
+				fmt.Fprintf(stderr, "benchrunner: writing csv: %v\n", err)
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "(tablemgmt in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	default:
-		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage, delay-decomp, overload, fabric or survivability)\n", name)
+		fmt.Fprintf(stderr, "benchrunner: unknown scenario %q (want resilience, outage, delay-decomp, overload, fabric, survivability or tablemgmt)\n", name)
 		return 2
 	}
 }

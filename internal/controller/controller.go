@@ -51,6 +51,24 @@ type PortStatusApp interface {
 	HandlePortStatusConn(conn int, ps *openflow.PortStatus) ([]Directed, error)
 }
 
+// FlowRemovedApp is the optional App extension for rule-lifetime
+// notifications: the controller calls it for every flow_removed a switch
+// reports (idle/hard expiry, delete, capacity eviction), letting the app
+// track per-switch table occupancy without polling. Apps without it keep
+// the legacy behavior — flow_removed is consumed silently.
+type FlowRemovedApp interface {
+	HandleFlowRemovedConn(conn int, fr *openflow.FlowRemoved) ([]Directed, error)
+}
+
+// ErrorApp is the optional App extension for switch-reported errors. The
+// table-management layer uses it to see all-tables-full rejections — the
+// signal that a switch's table saturated and per-flow installs are being
+// refused. Apps without it keep the legacy behavior — errors are consumed
+// silently.
+type ErrorApp interface {
+	HandleErrorConn(conn int, e *openflow.ErrorMsg) ([]Directed, error)
+}
+
 // Route maps a destination prefix to an output port.
 type Route struct {
 	Prefix netip.Prefix
@@ -144,21 +162,26 @@ func (cfg ForwarderConfig) RuleFor(match openflow.Match, outPort uint16) *openfl
 	if cfg.RequestFlowRemoved {
 		flags |= openflow.FlowModFlagSendFlowRem
 	}
-	prio := cfg.Priority
-	if prio == 0 {
-		prio = 100
-	}
 	return &openflow.FlowMod{
 		Match:       match,
 		Command:     openflow.FlowModAdd,
 		IdleTimeout: cfg.IdleTimeout,
 		HardTimeout: cfg.HardTimeout,
-		Priority:    prio,
+		Priority:    cfg.EffectivePriority(),
 		BufferID:    openflow.NoBuffer,
 		OutPort:     openflow.PortNone,
 		Flags:       flags,
 		Actions:     []openflow.Action{&openflow.ActionOutput{Port: outPort, MaxLen: 0xffff}},
 	}
+}
+
+// EffectivePriority is the priority RuleFor installs: the configured value,
+// defaulted to 100.
+func (cfg ForwarderConfig) EffectivePriority() uint16 {
+	if cfg.Priority == 0 {
+		return 100
+	}
+	return cfg.Priority
 }
 
 // MatchFor builds the config's match shape for a miss: exact-match on the

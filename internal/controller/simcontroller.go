@@ -219,8 +219,26 @@ func (c *SimController) process(conn int, msg []byte, arrived time.Duration) {
 			}
 			c.sendDirected(replies, xid, arrived)
 		}
-	case *openflow.ErrorMsg, *openflow.BarrierReply, *openflow.EchoReply,
-		*openflow.FeaturesReply, *openflow.GetConfigReply, *openflow.FlowRemoved,
+	case *openflow.FlowRemoved:
+		if fa, ok := c.app.(FlowRemovedApp); ok {
+			replies, err := fa.HandleFlowRemovedConn(conn, t)
+			if err != nil {
+				c.appErrors++
+				return
+			}
+			c.sendDirected(replies, xid, arrived)
+		}
+	case *openflow.ErrorMsg:
+		if ea, ok := c.app.(ErrorApp); ok {
+			replies, err := ea.HandleErrorConn(conn, t)
+			if err != nil {
+				c.appErrors++
+				return
+			}
+			c.sendDirected(replies, xid, arrived)
+		}
+	case *openflow.BarrierReply, *openflow.EchoReply,
+		*openflow.FeaturesReply, *openflow.GetConfigReply,
 		*openflow.Vendor:
 		// Notifications and replies: consumed, no response required.
 	default:

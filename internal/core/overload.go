@@ -131,6 +131,12 @@ type Ladder struct {
 
 	backpressure bool // controller admission signal; pins pressure to 1
 
+	// tablePressure is the flow table's occupancy fraction, fed by the
+	// switch when table→ladder coupling is enabled: a saturated table
+	// causes misses the buffer then absorbs, so the ladder treats table
+	// saturation like buffer saturation (DESIGN.md §17).
+	tablePressure float64
+
 	// Hysteresis state: a threshold crossing arms a hold timer; the
 	// transition happens only if the condition survives the hold.
 	hiArmed, loArmed bool
@@ -230,8 +236,22 @@ func (l *Ladder) SetBackpressure(on bool, now time.Duration) {
 	l.evaluate(now)
 }
 
-// pressure is the worst of the unit fraction, the byte fraction, and the
-// backpressure signal.
+// SetTablePressure records the flow table's occupancy fraction. The ladder
+// folds it into its pressure as another saturation source, so a full table
+// degrades the buffer mechanism just like a full pool.
+func (l *Ladder) SetTablePressure(frac float64, now time.Duration) {
+	if l.tablePressure == frac {
+		return
+	}
+	l.tablePressure = frac
+	l.evaluate(now)
+}
+
+// TablePressure reports the last table occupancy fraction fed in.
+func (l *Ladder) TablePressure() float64 { return l.tablePressure }
+
+// pressure is the worst of the unit fraction, the byte fraction, the table
+// occupancy fraction, and the backpressure signal.
 func (l *Ladder) pressure(now time.Duration) float64 {
 	l.pool.sweep(now)
 	p := float64(l.pool.occupied()) / float64(l.pool.capacity)
@@ -239,6 +259,9 @@ func (l *Ladder) pressure(now time.Duration) float64 {
 		if bf := float64(l.pool.bytesLive) / float64(l.pool.byteBudget); bf > p {
 			p = bf
 		}
+	}
+	if l.tablePressure > p {
+		p = l.tablePressure
 	}
 	if l.backpressure && p < 1 {
 		p = 1

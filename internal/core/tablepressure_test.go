@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLadderTablePressureDegrades pins the table→ladder coupling (DESIGN.md
+// §17): a saturated flow table alone — the pool empty, no backpressure —
+// escalates the ladder exactly like buffer pressure, and relief walks it
+// back down.
+func TestLadderTablePressureDegrades(t *testing.T) {
+	lad := ladderForTest(t, 4000)
+	now := time.Duration(0)
+	lad.SetTablePressure(0.95, now)
+	if got := lad.TablePressure(); got != 0.95 {
+		t.Fatalf("TablePressure = %v, want 0.95", got)
+	}
+	for i := 0; lad.Level() == LevelFlow; i++ {
+		if i > 100 {
+			t.Fatal("table pressure never escalated the ladder")
+		}
+		d, ok := lad.NextDeadline()
+		if !ok {
+			now += time.Millisecond
+			lad.Tick(now)
+			continue
+		}
+		now = d
+		lad.Tick(now)
+	}
+	if lad.Level() != LevelPacket {
+		t.Fatalf("level = %v, want packet after one hold", lad.Level())
+	}
+
+	// Table drains (evictions or timeouts freed slots): pressure clears and
+	// the ladder recovers on heartbeats alone.
+	lad.SetTablePressure(0.1, now)
+	for guard := 0; lad.Level() != LevelFlow; guard++ {
+		if guard > 100 {
+			t.Fatalf("ladder never recovered, stuck at %v", lad.Level())
+		}
+		d, ok := lad.NextDeadline()
+		if !ok {
+			now += time.Millisecond
+			lad.Tick(now)
+			continue
+		}
+		now = d
+		lad.Tick(now)
+	}
+
+	// Below-threshold table pressure on its own must not move the ladder.
+	lad.SetTablePressure(0.6, now)
+	for i := 0; i < 20; i++ {
+		now += time.Millisecond
+		lad.Tick(now)
+	}
+	if lad.Level() != LevelFlow {
+		t.Errorf("level = %v after sub-threshold pressure, want flow", lad.Level())
+	}
+}

@@ -1,7 +1,8 @@
 // Package flowtable implements the OpenFlow flow table the switch datapath
 // matches packets against: priority-ordered rules with idle and hard
 // timeouts, per-rule traffic counters, and a configurable capacity bound
-// with LRU eviction.
+// with pluggable table-full behaviour (reject, LRU eviction, or
+// soonest-expiry eviction).
 //
 // The capacity bound exists because the paper's root-cause analysis (§II and
 // §VI.B) hinges on it: rules for inactive flows get kicked out of the
@@ -9,12 +10,16 @@
 // can miss again mid-connection — exactly the scenario the switch buffer
 // helps with.
 //
-// Lookup is served from an exact-match hash index whenever possible: rules
-// whose match is the reactive-forwarding exact pattern (in_port plus the
-// full L2/L3/L4 header fields, the dominant rule shape in every workload
-// here) are keyed in a map and found in O(1), while wildcarded rules stay in
-// a small priority-ordered scan list. The pre-index linear scan is retained
-// as LookupOracle and property-tested for equivalence (DESIGN.md §10).
+// Lookup is served by tuple-space search: rules are grouped by their exact
+// wildcard pattern ("tuple"), each tuple hashes its rules by the fields the
+// pattern matches on (NW addresses masked to the pattern's prefix), and a
+// probe consults one hash bucket per tuple. Tuples are kept sorted by a
+// priority high-water mark so the probe stops as soon as no remaining tuple
+// can beat the best rule found. The dominant workload installs only the
+// reactive-forwarding exact pattern, which makes the probe a single O(1)
+// map hit — the PR-2 fast path, unchanged in cost. The pre-index linear
+// scans are retained as LookupOracle and LookupMaskedOracle and
+// property-tested for equivalence (DESIGN.md §10, §17).
 //
 // All methods take the current time explicitly (a time.Duration since the
 // start of the run) so the same code serves the virtual-time simulator and
@@ -24,7 +29,10 @@ package flowtable
 import (
 	"errors"
 	"fmt"
+	"encoding/binary"
+	"math"
 	"net/netip"
+	"sort"
 	"time"
 
 	"sdnbuffer/internal/openflow"
@@ -60,11 +68,30 @@ func (e *Entry) Stats(now time.Duration) (packets, bytes uint64, age time.Durati
 func (e *Entry) LastUsed() time.Duration { return e.lastUsed }
 
 // Removed describes a rule that left the table and why; the switch turns
-// these into flow_removed messages when the rule asked for them.
+// these into flow_removed messages when the rule asked for them. Packets,
+// Bytes and Age snapshot the rule's counters at the moment of removal —
+// flow_removed must report what the rule forwarded while installed, and
+// reading Entry after removal risks observing later mutation of a reused
+// or replaced rule object.
 type Removed struct {
-	Entry  *Entry
-	Reason uint8 // openflow.Removed* code
-	At     time.Duration
+	Entry   *Entry
+	Reason  uint8 // openflow.Removed* code
+	At      time.Duration
+	Packets uint64
+	Bytes   uint64
+	Age     time.Duration
+}
+
+// removedRecord snapshots a rule's counters into its removal record.
+func removedRecord(e *Entry, reason uint8, at time.Duration) Removed {
+	return Removed{
+		Entry:   e,
+		Reason:  reason,
+		At:      at,
+		Packets: e.packets,
+		Bytes:   e.bytes,
+		Age:     at - e.installedAt,
+	}
 }
 
 // EvictionPolicy selects the victim when the table is full.
@@ -79,63 +106,201 @@ const (
 	// inactive flows will be kicked out and replaced by rules for active
 	// flows").
 	EvictLRU EvictionPolicy = 2
+	// EvictSoonestExpiry removes the rule whose idle/hard timeout would
+	// fire soonest — the rule the table was about to lose anyway, so the
+	// eviction forfeits the least remaining lifetime. Rules with no
+	// timeout are treated as expiring never; if every rule is
+	// timeout-less the oldest installed (lowest seq) is chosen.
+	EvictSoonestExpiry EvictionPolicy = 3
 )
+
+// String names the policy for CSV/flag output.
+func (p EvictionPolicy) String() string {
+	switch p {
+	case EvictNone:
+		return "reject"
+	case EvictLRU:
+		return "lru"
+	case EvictSoonestExpiry:
+		return "expiry"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// ParseEvictionPolicy maps a policy name ("reject", "lru", "expiry") back
+// to its value.
+func ParseEvictionPolicy(s string) (EvictionPolicy, error) {
+	switch s {
+	case "reject":
+		return EvictNone, nil
+	case "lru":
+		return EvictLRU, nil
+	case "expiry":
+		return EvictSoonestExpiry, nil
+	}
+	return 0, fmt.Errorf("flowtable: unknown eviction policy %q", s)
+}
 
 // ErrTableFull reports an insert into a full table under EvictNone.
 var ErrTableFull = errors.New("flowtable: table full")
 
-// exactWildcards is the wildcard set of openflow.ExactMatch: everything
-// matched except VLAN and TOS. Rules with exactly this wildcard pattern are
-// servable from the hash index because key equality is then equivalent to
-// Match.Matches.
-const exactWildcards = openflow.WildcardDLVLAN | openflow.WildcardDLVLANPCP | openflow.WildcardNWTOS
-
-// exactKey is the comparable map key covering every field an exact-pattern
-// rule matches on.
-type exactKey struct {
+// tupleKey is the comparable per-tuple hash key: every field the tuple's
+// wildcard pattern matches on, with ignored fields zeroed and NW addresses
+// masked to the pattern's prefix. VLAN fields are excluded because frame
+// matching never tests them (the platform's frames carry no VLAN tags), so
+// two rules differing only in VLAN fields match identical frame sets and
+// may share a bucket. Addresses are stored as masked uint32s with validity
+// bits in nwOK rather than netip.Addr — the flat 32-byte key keeps the
+// per-probe hash at the PR-2 exact-index cost.
+// Field order avoids any implicit padding (explicit pad byte included), so
+// the runtime hashes the key as one flat 32-byte region.
+type tupleKey struct {
+	nwSrc  uint32
+	nwDst  uint32
 	inPort uint16
-	dlSrc  packet.MAC
-	dlDst  packet.MAC
 	dlType uint16
-	proto  uint8
-	nwSrc  netip.Addr
-	nwDst  netip.Addr
 	tpSrc  uint16
 	tpDst  uint16
+	dlSrc  packet.MAC
+	dlDst  packet.MAC
+	tos    uint8
+	proto  uint8
+	nwOK   uint8 // bit0: nwSrc is a matched IPv4 value; bit1: same for nwDst
+	pad    uint8
 }
 
-// indexable reports whether the entry's match is the exact pattern the hash
-// index can serve.
-func indexable(e *Entry) bool { return e.Match.Wildcards == exactWildcards }
-
-// matchKey derives the index key from an exact-pattern match.
-func matchKey(m *openflow.Match) exactKey {
-	return exactKey{
-		inPort: m.InPort,
-		dlSrc:  m.DLSrc,
-		dlDst:  m.DLDst,
-		dlType: m.DLType,
-		proto:  m.NWProto,
-		nwSrc:  m.NWSrc,
-		nwDst:  m.NWDst,
-		tpSrc:  m.TPSrc,
-		tpDst:  m.TPDst,
+// maskAddr32 canonicalises an address for the key: a matched IPv4 address
+// becomes its masked value with ok=1; an ignored field or a non-IPv4
+// address (in practice only the zero Addr of an unset field) becomes
+// (0, 0). The validity bit keeps a genuine 0.0.0.0 distinct from "unset",
+// mirroring raw netip.Addr equality in Match.Matches.
+func maskAddr32(a netip.Addr, ignore uint32) (uint32, uint8) {
+	if ignore >= 32 || !a.Is4() {
+		return 0, 0
 	}
+	v := a.As4()
+	u := binary.BigEndian.Uint32(v[:])
+	if ignore > 0 {
+		u &^= 1<<ignore - 1
+	}
+	return u, 1
 }
 
-// frameKey derives the index key a frame on inPort probes with.
-func frameKey(inPort uint16, f *packet.Frame) exactKey {
-	return exactKey{
-		inPort: inPort,
-		dlSrc:  f.SrcMAC,
-		dlDst:  f.DstMAC,
-		dlType: f.EtherType,
-		proto:  f.Proto,
-		nwSrc:  f.SrcIP,
-		nwDst:  f.DstIP,
-		tpSrc:  f.SrcPort,
-		tpDst:  f.DstPort,
+// tuple is one wildcard pattern's hash table: all rules sharing a Wildcards
+// value, keyed by their matched fields. maxPrio is a high-water bound on
+// the priorities ever stored (never lowered on removal), used to cut the
+// probe short; born orders tuples deterministically among equal bounds.
+type tuple struct {
+	wildcards uint32
+	born      uint64
+	maxPrio   uint16
+	size      int
+	buckets   map[tupleKey][]*Entry
+
+	// Precomputed per-field AND-masks of the wildcard pattern (all-ones
+	// when the field is matched, zero when ignored), so frame-key
+	// derivation on the lookup fast path is branch-free for every field
+	// but the MACs.
+	mInPort, mDLType, mTPSrc, mTPDst uint16
+	mTOS, mProto                     uint8
+	useDLSrc, useDLDst               bool
+	mNWSrc, mNWDst                   uint32 // address-bit masks (0 = field ignored)
+	okNWSrc, okNWDst                 uint8  // validity-bit masks (1 = field matched)
+	nwSrcIgnore, nwDstIgnore         uint32 // raw mask-field values, for matchKey
+}
+
+func fieldMask16(wildcards, bit uint32) uint16 {
+	if wildcards&bit == 0 {
+		return 0xffff
 	}
+	return 0
+}
+
+func newTuple(wildcards uint32, born uint64) *tuple {
+	tu := &tuple{
+		wildcards:   wildcards,
+		born:        born,
+		buckets:     make(map[tupleKey][]*Entry),
+		mInPort:     fieldMask16(wildcards, openflow.WildcardInPort),
+		mDLType:     fieldMask16(wildcards, openflow.WildcardDLType),
+		mTPSrc:      fieldMask16(wildcards, openflow.WildcardTPSrc),
+		mTPDst:      fieldMask16(wildcards, openflow.WildcardTPDst),
+		mTOS:        uint8(fieldMask16(wildcards, openflow.WildcardNWTOS)),
+		mProto:      uint8(fieldMask16(wildcards, openflow.WildcardNWProto)),
+		useDLSrc:    wildcards&openflow.WildcardDLSrc == 0,
+		useDLDst:    wildcards&openflow.WildcardDLDst == 0,
+		nwSrcIgnore: openflow.NWSrcIgnoreBits(wildcards),
+		nwDstIgnore: openflow.NWDstIgnoreBits(wildcards),
+	}
+	if tu.nwSrcIgnore < 32 {
+		tu.mNWSrc = ^uint32(0) &^ (1<<tu.nwSrcIgnore - 1)
+		tu.okNWSrc = 1
+	}
+	if tu.nwDstIgnore < 32 {
+		tu.mNWDst = ^uint32(0) &^ (1<<tu.nwDstIgnore - 1)
+		tu.okNWDst = 1
+	}
+	return tu
+}
+
+// addr32 projects an address to its key form: (big-endian value, 1) for
+// IPv4, (0, 0) otherwise.
+func addr32(a netip.Addr) (uint32, uint8) {
+	if !a.Is4() {
+		return 0, 0
+	}
+	v := a.As4()
+	return binary.BigEndian.Uint32(v[:]), 1
+}
+
+// matchKey derives the bucket key for a rule of this tuple's pattern. Key
+// equality within a tuple is equivalent to the per-field tests Matches
+// applies, so a bucket holds exactly the rules matching the probing frames.
+func (tu *tuple) matchKey(m *openflow.Match) tupleKey {
+	k := tupleKey{
+		inPort: m.InPort & tu.mInPort,
+		dlType: m.DLType & tu.mDLType,
+		tpSrc:  m.TPSrc & tu.mTPSrc,
+		tpDst:  m.TPDst & tu.mTPDst,
+		tos:    m.NWTOS & tu.mTOS,
+		proto:  m.NWProto & tu.mProto,
+	}
+	if tu.useDLSrc {
+		k.dlSrc = m.DLSrc
+	}
+	if tu.useDLDst {
+		k.dlDst = m.DLDst
+	}
+	var sOK, dOK uint8
+	k.nwSrc, sOK = maskAddr32(m.NWSrc, tu.nwSrcIgnore)
+	k.nwDst, dOK = maskAddr32(m.NWDst, tu.nwDstIgnore)
+	k.nwOK = sOK | dOK<<1
+	return k
+}
+
+// frameKey derives the bucket key a frame on inPort probes this tuple with.
+func (tu *tuple) frameKey(inPort uint16, f *packet.Frame) tupleKey {
+	k := tupleKey{
+		inPort: inPort & tu.mInPort,
+		dlType: f.EtherType & tu.mDLType,
+		tpSrc:  f.SrcPort & tu.mTPSrc,
+		tpDst:  f.DstPort & tu.mTPDst,
+		tos:    f.TOS & tu.mTOS,
+		proto:  f.Proto & tu.mProto,
+	}
+	if tu.useDLSrc {
+		k.dlSrc = f.SrcMAC
+	}
+	if tu.useDLDst {
+		k.dlDst = f.DstMAC
+	}
+	s32, sOK := addr32(f.SrcIP)
+	d32, dOK := addr32(f.DstIP)
+	k.nwSrc = s32 & tu.mNWSrc
+	k.nwDst = d32 & tu.mNWDst
+	k.nwOK = sOK&tu.okNWSrc | (dOK&tu.okNWDst)<<1
+	return k
 }
 
 // Table is a single OpenFlow flow table.
@@ -144,11 +309,13 @@ type Table struct {
 	policy   EvictionPolicy
 	entries  []*Entry
 
-	// index maps exact-pattern rules by their full key. A bucket holds the
-	// (rare) same-key rules that differ in priority, in insertion order.
-	index map[exactKey][]*Entry
-	// wild holds the non-indexable rules, in insertion order.
-	wild    []*Entry
+	// tuples holds one hash table per distinct wildcard pattern, sorted by
+	// (maxPrio desc, born asc) so Lookup can stop early; tupleByMask finds
+	// a rule's tuple in O(1) for insert/detach.
+	tuples      []*tuple
+	tupleByMask map[uint32]*tuple
+	nextBorn    uint64
+
 	nextSeq uint64
 
 	lookups   uint64
@@ -163,13 +330,13 @@ func New(capacity int, policy EvictionPolicy) (*Table, error) {
 	if capacity < 0 {
 		return nil, fmt.Errorf("flowtable: negative capacity %d", capacity)
 	}
-	if policy != EvictNone && policy != EvictLRU {
+	if policy != EvictNone && policy != EvictLRU && policy != EvictSoonestExpiry {
 		return nil, fmt.Errorf("flowtable: unknown eviction policy %d", policy)
 	}
 	return &Table{
-		capacity: capacity,
-		policy:   policy,
-		index:    make(map[exactKey][]*Entry),
+		capacity:    capacity,
+		policy:      policy,
+		tupleByMask: make(map[uint32]*tuple),
 	}, nil
 }
 
@@ -178,6 +345,9 @@ func (t *Table) Len() int { return len(t.entries) }
 
 // Capacity reports the configured bound (Unlimited if none).
 func (t *Table) Capacity() int { return t.capacity }
+
+// Policy reports the configured table-full policy.
+func (t *Table) Policy() EvictionPolicy { return t.policy }
 
 // LookupStats reports lookup/hit/miss/eviction counters.
 func (t *Table) LookupStats() (lookups, hits, misses, evictions uint64) {
@@ -200,20 +370,19 @@ func better(e, best *Entry) bool {
 // updating its counters and recency. It returns nil on a table miss — the
 // event that triggers the whole packet_in machinery.
 //
-// Exact-pattern rules are served from the hash index in O(1); only the
-// wildcarded rules are scanned.
+// Tuple-space search: one hash probe per wildcard pattern, cut short as
+// soon as the best rule found outranks every remaining tuple's priority
+// bound. The exact-pattern-only workload keeps this a single map hit.
 func (t *Table) Lookup(now time.Duration, inPort uint16, f *packet.Frame, wireLen int) *Entry {
 	var best *Entry
-	if len(t.index) > 0 {
-		for _, e := range t.index[frameKey(inPort, f)] {
+	for _, tu := range t.tuples {
+		if best != nil && best.Priority > tu.maxPrio {
+			break // sorted by maxPrio desc: no remaining tuple can win
+		}
+		for _, e := range tu.buckets[tu.frameKey(inPort, f)] {
 			if better(e, best) {
 				best = e
 			}
-		}
-	}
-	for _, e := range t.wild {
-		if better(e, best) && e.Match.Matches(inPort, f) {
-			best = e
 		}
 	}
 	return t.account(now, best, wireLen)
@@ -236,7 +405,22 @@ func (t *Table) LookupOracle(now time.Duration, inPort uint16, f *packet.Frame, 
 	return t.account(now, best, wireLen)
 }
 
-// account applies the hit/miss counter updates shared by both lookup paths.
+// LookupMaskedOracle is the linear-scan reference for the tuple-space path:
+// probe every rule with Match.Matches (which honours partial NW prefix
+// masks) and keep the best under the same priority/seq order Lookup uses.
+// The randomized equivalence tests pin Lookup to this oracle over arbitrary
+// masked rule sets; production code uses Lookup.
+func (t *Table) LookupMaskedOracle(now time.Duration, inPort uint16, f *packet.Frame, wireLen int) *Entry {
+	var best *Entry
+	for _, e := range t.entries {
+		if e.Match.Matches(inPort, f) && better(e, best) {
+			best = e
+		}
+	}
+	return t.account(now, best, wireLen)
+}
+
+// account applies the hit/miss counter updates shared by all lookup paths.
 func (t *Table) account(now time.Duration, best *Entry, wireLen int) *Entry {
 	t.lookups++
 	if best == nil {
@@ -250,40 +434,77 @@ func (t *Table) account(now time.Duration, best *Entry, wireLen int) *Entry {
 	return best
 }
 
-// attach adds a freshly appended entry to the lookup index.
+// tupleFor returns the tuple for a wildcard pattern, creating it on demand.
+func (t *Table) tupleFor(wildcards uint32) *tuple {
+	if tu, ok := t.tupleByMask[wildcards]; ok {
+		return tu
+	}
+	t.nextBorn++
+	tu := newTuple(wildcards, t.nextBorn)
+	t.tupleByMask[wildcards] = tu
+	t.tuples = append(t.tuples, tu)
+	t.sortTuples()
+	return tu
+}
+
+// sortTuples restores the probe order invariant: maxPrio descending, born
+// ascending. Selection by better() is order-independent, so this ordering
+// affects only how early the probe can stop — but it must be deterministic,
+// and (maxPrio, born) is derived purely from the insert sequence.
+func (t *Table) sortTuples() {
+	sort.Slice(t.tuples, func(i, j int) bool {
+		a, b := t.tuples[i], t.tuples[j]
+		if a.maxPrio != b.maxPrio {
+			return a.maxPrio > b.maxPrio
+		}
+		return a.born < b.born
+	})
+}
+
+// attach adds a freshly appended entry to its tuple.
 func (t *Table) attach(e *Entry) {
 	t.nextSeq++
 	e.seq = t.nextSeq
-	if indexable(e) {
-		k := matchKey(&e.Match)
-		t.index[k] = append(t.index[k], e)
-	} else {
-		t.wild = append(t.wild, e)
+	tu := t.tupleFor(e.Match.Wildcards)
+	k := tu.matchKey(&e.Match)
+	tu.buckets[k] = append(tu.buckets[k], e)
+	tu.size++
+	if e.Priority > tu.maxPrio {
+		tu.maxPrio = e.Priority
+		t.sortTuples()
 	}
 }
 
-// detach removes an entry from the lookup index (not from t.entries).
+// detach removes an entry from its tuple (not from t.entries). maxPrio is a
+// high-water mark and is deliberately not recomputed — a stale bound only
+// costs an extra probe, never a wrong answer — but a tuple whose last rule
+// leaves is dropped entirely.
 func (t *Table) detach(e *Entry) {
-	if indexable(e) {
-		k := matchKey(&e.Match)
-		bucket := t.index[k]
-		for i, b := range bucket {
-			if b == e {
-				bucket = append(bucket[:i], bucket[i+1:]...)
-				break
-			}
-		}
-		if len(bucket) == 0 {
-			delete(t.index, k)
-		} else {
-			t.index[k] = bucket
-		}
+	tu := t.tupleByMask[e.Match.Wildcards]
+	if tu == nil {
 		return
 	}
-	for i, b := range t.wild {
+	k := tu.matchKey(&e.Match)
+	bucket := tu.buckets[k]
+	for i, b := range bucket {
 		if b == e {
-			t.wild = append(t.wild[:i], t.wild[i+1:]...)
-			return
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			tu.size--
+			break
+		}
+	}
+	if len(bucket) == 0 {
+		delete(tu.buckets, k)
+	} else {
+		tu.buckets[k] = bucket
+	}
+	if tu.size == 0 {
+		delete(t.tupleByMask, tu.wildcards)
+		for i, o := range t.tuples {
+			if o == tu {
+				t.tuples = append(t.tuples[:i], t.tuples[i+1:]...)
+				break
+			}
 		}
 	}
 }
@@ -298,10 +519,26 @@ func (t *Table) replaceInEntries(old, e *Entry) {
 	}
 }
 
+// expiryInstant reports when the rule will next expire (the earlier of its
+// idle and hard deadlines), or never=false when it carries no timeout.
+func expiryInstant(e *Entry) (time.Duration, bool) {
+	var next time.Duration
+	found := false
+	if e.HardTimeout > 0 {
+		next, found = e.installedAt+e.HardTimeout, true
+	}
+	if e.IdleTimeout > 0 {
+		if d := e.lastUsed + e.IdleTimeout; !found || d < next {
+			next, found = d, true
+		}
+	}
+	return next, found
+}
+
 // Insert installs a rule. A rule with an identical match and priority
 // replaces the old one (preserving nothing — spec flow_mod ADD semantics).
-// When the table is full the policy decides: ErrTableFull, or LRU eviction
-// with the victim returned so the caller can emit flow_removed.
+// When the table is full the policy decides: ErrTableFull, or eviction with
+// the victim returned so the caller can emit flow_removed.
 func (t *Table) Insert(now time.Duration, e *Entry) (*Removed, error) {
 	if e == nil {
 		return nil, fmt.Errorf("flowtable: nil entry")
@@ -309,24 +546,17 @@ func (t *Table) Insert(now time.Duration, e *Entry) (*Removed, error) {
 	e.installedAt = now
 	e.lastUsed = now
 
-	// Replacement probe. Match.Equal requires identical wildcards, so an
-	// exact-pattern rule can only replace one in its own index bucket and a
-	// wildcard rule only one in the wild list — no full-table scan needed.
-	if indexable(e) {
-		k := matchKey(&e.Match)
-		for i, old := range t.index[k] {
+	// Replacement probe. Match.Equal requires identical wildcards and
+	// agreement on every matched field, so a replacement candidate lives in
+	// the new rule's own tuple bucket — no full-table scan needed. (The
+	// bucket can hold non-Equal rules differing in VLAN fields, so Equal is
+	// still checked per candidate.)
+	if tu, ok := t.tupleByMask[e.Match.Wildcards]; ok {
+		k := tu.matchKey(&e.Match)
+		for i, old := range tu.buckets[k] {
 			if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
 				e.seq = old.seq // keep the scan-position tie-break stable
-				t.index[k][i] = e
-				t.replaceInEntries(old, e)
-				return nil, nil
-			}
-		}
-	} else {
-		for i, old := range t.wild {
-			if old.Priority == e.Priority && old.Match.Equal(&e.Match) {
-				e.seq = old.seq
-				t.wild[i] = e
+				tu.buckets[k][i] = e
 				t.replaceInEntries(old, e)
 				return nil, nil
 			}
@@ -335,17 +565,38 @@ func (t *Table) Insert(now time.Duration, e *Entry) (*Removed, error) {
 
 	var victim *Removed
 	if t.capacity != Unlimited && len(t.entries) >= t.capacity {
+		idx := -1
 		switch t.policy {
 		case EvictNone:
 			return nil, fmt.Errorf("%w: %d rules", ErrTableFull, len(t.entries))
 		case EvictLRU:
-			idx := 0
+			idx = 0
 			for i, old := range t.entries {
 				if old.lastUsed < t.entries[idx].lastUsed {
 					idx = i
 				}
 			}
-			victim = &Removed{Entry: t.entries[idx], Reason: openflow.RemovedEviction, At: now}
+		case EvictSoonestExpiry:
+			idx = 0
+			bestAt := time.Duration(math.MaxInt64)
+			if d, ok := expiryInstant(t.entries[0]); ok {
+				bestAt = d
+			}
+			for i, old := range t.entries[1:] {
+				at := time.Duration(math.MaxInt64)
+				if d, ok := expiryInstant(old); ok {
+					at = d
+				}
+				// Strict < keeps the earliest-installed rule (entries order
+				// is insertion order) as the deterministic tie-break.
+				if at < bestAt {
+					bestAt, idx = at, i+1
+				}
+			}
+		}
+		if idx >= 0 {
+			r := removedRecord(t.entries[idx], openflow.RemovedEviction, now)
+			victim = &r
 			t.detach(t.entries[idx])
 			copy(t.entries[idx:], t.entries[idx+1:])
 			t.entries[len(t.entries)-1] = nil
@@ -382,7 +633,7 @@ func (t *Table) Delete(now time.Duration, m *openflow.Match, priority uint16, st
 		}
 		if match {
 			t.detach(e)
-			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedDelete, At: now})
+			removed = append(removed, removedRecord(e, openflow.RemovedDelete, now))
 		} else {
 			kept = append(kept, e)
 		}
@@ -412,7 +663,7 @@ func (t *Table) DeleteByOutPort(now time.Duration, port uint16, reason uint8) []
 	for _, e := range t.entries {
 		if outputsTo(e.Actions, port) {
 			t.detach(e)
-			removed = append(removed, Removed{Entry: e, Reason: reason, At: now})
+			removed = append(removed, removedRecord(e, reason, now))
 		} else {
 			kept = append(kept, e)
 		}
@@ -424,13 +675,16 @@ func (t *Table) DeleteByOutPort(now time.Duration, port uint16, reason uint8) []
 
 // Clear empties the table without emitting flow_removed records — crash
 // semantics: a restarting switch comes back with no rules and no
-// notifications about the ones it lost.
-func (t *Table) Clear() {
+// notifications about the ones it lost. It returns how many rules were
+// dropped so ledger-keeping callers can account for the loss.
+func (t *Table) Clear() int {
+	n := len(t.entries)
 	for _, e := range t.entries {
 		t.detach(e)
 	}
 	clearTail(t.entries, 0)
 	t.entries = t.entries[:0]
+	return n
 }
 
 // Expire removes rules whose idle or hard timeout has passed, returning them
@@ -442,10 +696,10 @@ func (t *Table) Expire(now time.Duration) []Removed {
 		switch {
 		case e.HardTimeout > 0 && now-e.installedAt >= e.HardTimeout:
 			t.detach(e)
-			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedHardTimeout, At: now})
+			removed = append(removed, removedRecord(e, openflow.RemovedHardTimeout, now))
 		case e.IdleTimeout > 0 && now-e.lastUsed >= e.IdleTimeout:
 			t.detach(e)
-			removed = append(removed, Removed{Entry: e, Reason: openflow.RemovedIdleTimeout, At: now})
+			removed = append(removed, removedRecord(e, openflow.RemovedIdleTimeout, now))
 		default:
 			kept = append(kept, e)
 		}
@@ -461,17 +715,9 @@ func (t *Table) Expire(now time.Duration) []Removed {
 func (t *Table) NextExpiry() (time.Duration, bool) {
 	var next time.Duration
 	found := false
-	consider := func(d time.Duration) {
-		if !found || d < next {
-			next, found = d, true
-		}
-	}
 	for _, e := range t.entries {
-		if e.HardTimeout > 0 {
-			consider(e.installedAt + e.HardTimeout)
-		}
-		if e.IdleTimeout > 0 {
-			consider(e.lastUsed + e.IdleTimeout)
+		if d, ok := expiryInstant(e); ok && (!found || d < next) {
+			next, found = d, true
 		}
 	}
 	return next, found
@@ -484,14 +730,24 @@ func (t *Table) Entries() []*Entry {
 	return out
 }
 
-// IndexSize reports how many rules are served by the exact-match hash index
-// versus the wildcard scan list (diagnostics and tests).
+// IndexSize reports how many rules are served by the exact-pattern tuple
+// (the PR-2 hash-index fast path) versus other wildcard patterns
+// (diagnostics and tests).
 func (t *Table) IndexSize() (indexed, wildcard int) {
-	for _, bucket := range t.index {
-		indexed += len(bucket)
+	const exactWildcards = openflow.WildcardDLVLAN | openflow.WildcardDLVLANPCP | openflow.WildcardNWTOS
+	for _, tu := range t.tuples {
+		if tu.wildcards == exactWildcards {
+			indexed += tu.size
+		} else {
+			wildcard += tu.size
+		}
 	}
-	return indexed, len(t.wild)
+	return indexed, wildcard
 }
+
+// TupleCount reports the number of distinct wildcard patterns currently
+// installed — the breadth of the tuple-space search.
+func (t *Table) TupleCount() int { return len(t.tuples) }
 
 func clearTail(s []*Entry, from int) {
 	for i := from; i < len(s); i++ {

@@ -1,0 +1,78 @@
+package flowtable
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// FuzzMaskedLookup drives the tuple-space index and the masked linear-scan
+// oracle with fully arbitrary wildcard words and addresses — including
+// mask-field values past 32 and undefined wildcard bits — and asserts the
+// two never diverge and neither panics. The fuzzer owns the whole Match
+// surface; the randomized equivalence tests own realistic rule mixes.
+func FuzzMaskedLookup(f *testing.F) {
+	f.Add(uint32(0), uint32(0x3f<<8), [4]byte{10, 0, 0, 1}[0], byte(0), byte(0), byte(1), uint16(1), uint16(9), byte(17))
+	f.Add(openflow.WildcardAll, openflow.WildcardNWDstPrefix(24), byte(10), byte(0), byte(1), byte(0), uint16(1000), uint16(2000), byte(6))
+	f.Add(uint32(0xffffffff), uint32(0xdeadbeef), byte(1), byte(2), byte(3), byte(4), uint16(0), uint16(0), byte(0))
+	f.Fuzz(func(t *testing.T, w1, w2 uint32, a, b, c, d byte, sport, dport uint16, proto byte) {
+		frame := &packet.Frame{
+			SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+			DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+			EtherType: packet.EtherTypeIPv4,
+			TTL:       64,
+			Proto:     proto,
+			SrcIP:     netip.AddrFrom4([4]byte{a, b, c, d}),
+			DstIP:     netip.AddrFrom4([4]byte{d, c, b, a}),
+			SrcPort:   sport,
+			DstPort:   dport,
+		}
+		indexed, err := New(Unlimited, EvictNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := New(Unlimited, EvictNone)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Two rules sharing the frame's header space under different
+		// arbitrary wildcard words, plus a third whose addresses differ only
+		// below a possible mask boundary.
+		exact := openflow.ExactMatch(1, frame)
+		rules := []openflow.Match{
+			{Wildcards: w1, InPort: exact.InPort, DLSrc: exact.DLSrc, DLDst: exact.DLDst,
+				DLType: exact.DLType, NWProto: exact.NWProto,
+				NWSrc: exact.NWSrc, NWDst: exact.NWDst, TPSrc: exact.TPSrc, TPDst: exact.TPDst},
+			{Wildcards: w2, InPort: exact.InPort, DLSrc: exact.DLSrc, DLDst: exact.DLDst,
+				DLType: exact.DLType, NWProto: exact.NWProto,
+				NWSrc: exact.NWSrc, NWDst: exact.NWDst, TPSrc: exact.TPSrc, TPDst: exact.TPDst},
+			{Wildcards: w2, InPort: exact.InPort, DLSrc: exact.DLSrc, DLDst: exact.DLDst,
+				DLType: exact.DLType, NWProto: exact.NWProto,
+				NWSrc: netip.AddrFrom4([4]byte{a, b, c, d ^ 1}), NWDst: netip.AddrFrom4([4]byte{d, c, b, a ^ 1}),
+				TPSrc: exact.TPSrc, TPDst: exact.TPDst},
+		}
+		for i, m := range rules {
+			e := &Entry{Match: m, Priority: uint16(100 - i%2*50), Cookie: uint64(i + 1)}
+			if _, err := indexed.Insert(0, cloneEntry(e)); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := oracle.Insert(0, cloneEntry(e)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, inPort := range []uint16{1, 2} {
+			got := indexed.Lookup(time.Millisecond, inPort, frame, 100)
+			want := oracle.LookupMaskedOracle(time.Millisecond, inPort, frame, 100)
+			switch {
+			case (got == nil) != (want == nil):
+				t.Fatalf("w1=%#x w2=%#x in_port %d: Lookup=%v, masked oracle=%v", w1, w2, inPort, got, want)
+			case got != nil && got.Cookie != want.Cookie:
+				t.Fatalf("w1=%#x w2=%#x in_port %d: Lookup rule %d, masked oracle rule %d",
+					w1, w2, inPort, got.Cookie, want.Cookie)
+			}
+		}
+	})
+}

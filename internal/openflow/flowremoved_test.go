@@ -1,0 +1,91 @@
+package openflow
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+)
+
+// flowRemovedFixtures is one FlowRemoved per reason code, including the
+// eviction extension, with a prefix-masked match on the eviction variant so
+// the codec exercises the partial NW_DST mask bits too.
+func flowRemovedFixtures() []*FlowRemoved {
+	// The codec decodes address fields to explicit 0.0.0.0, never the zero
+	// Addr, so the fixtures use the wire-normalized form for DeepEqual.
+	zero := netip.AddrFrom4([4]byte{})
+	plain := Match{NWSrc: zero, NWDst: zero}
+	masked := Match{
+		Wildcards: WildcardAll&^(WildcardDLType|WildcardNWDstAll) | WildcardNWDstPrefix(24),
+		DLType:    0x0800,
+		NWSrc:     zero,
+		NWDst:     netip.MustParseAddr("10.0.1.0"),
+	}
+	return []*FlowRemoved{
+		{Match: plain, Priority: 100, Reason: RemovedIdleTimeout, Cookie: 1, DurationSec: 2, DurationNs: 5000, IdleTimeout: 1, PacketCount: 5, ByteCount: 500},
+		{Match: plain, Priority: 100, Reason: RemovedHardTimeout, Cookie: 2, DurationSec: 10, PacketCount: 9, ByteCount: 9000},
+		{Match: plain, Priority: 100, Reason: RemovedDelete, Cookie: 3},
+		{Match: masked, Priority: 50, Reason: RemovedEviction, Cookie: 4, PacketCount: 1, ByteCount: 60},
+	}
+}
+
+// TestFlowRemovedReasonRoundTrip pins the reason-code extension: all four
+// codes — the three spec values plus the eviction extension — survive an
+// encode/decode round trip byte-exactly, so an unextended peer still sees a
+// well-formed flow_removed and the reason byte it was sent.
+func TestFlowRemovedReasonRoundTrip(t *testing.T) {
+	wantReasons := []uint8{RemovedIdleTimeout, RemovedHardTimeout, RemovedDelete, RemovedEviction}
+	if RemovedEviction != 3 {
+		t.Fatalf("RemovedEviction = %d; the extension must extend the spec's 0..2 contiguously", RemovedEviction)
+	}
+	for i, fr := range flowRemovedFixtures() {
+		if fr.Reason != wantReasons[i] {
+			t.Fatalf("fixture %d has reason %d, want %d", i, fr.Reason, wantReasons[i])
+		}
+		b := MustEncode(fr, uint32(i))
+		m, xid, err := Decode(b)
+		if err != nil {
+			t.Fatalf("reason %d: decode: %v", fr.Reason, err)
+		}
+		if xid != uint32(i) {
+			t.Fatalf("reason %d: xid %d, want %d", fr.Reason, xid, i)
+		}
+		got, ok := m.(*FlowRemoved)
+		if !ok {
+			t.Fatalf("reason %d: decoded %T", fr.Reason, m)
+		}
+		if !reflect.DeepEqual(got, fr) {
+			t.Errorf("reason %d: round trip diverged:\nsent: %#v\ngot:  %#v", fr.Reason, fr, got)
+		}
+	}
+}
+
+// FuzzDecodeFlowRemoved narrows FuzzDecode's corpus onto flow_removed
+// frames: decode never panics, and any accepted frame re-encodes to an
+// equivalent one — with the counter, duration, and reason fields (all four
+// codes) preserved exactly.
+func FuzzDecodeFlowRemoved(f *testing.F) {
+	for i, fr := range flowRemovedFixtures() {
+		f.Add(MustEncode(fr, uint32(i)))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, xid, err := Decode(b)
+		if err != nil {
+			return // rejected input; not panicking is the property
+		}
+		fr, ok := m.(*FlowRemoved)
+		if !ok {
+			return // some other accepted type; FuzzDecode covers it
+		}
+		re, err := Encode(fr, xid)
+		if err != nil {
+			t.Fatalf("decoded flow_removed does not re-encode: %v", err)
+		}
+		m2, _, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded flow_removed does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(fr, m2) {
+			t.Fatalf("flow_removed not equivalent across re-encode:\nfirst:  %#v\nsecond: %#v", fr, m2)
+		}
+	})
+}

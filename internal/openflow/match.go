@@ -22,8 +22,11 @@ const (
 	WildcardNWProto uint32 = 1 << 5
 	WildcardTPSrc   uint32 = 1 << 6
 	WildcardTPDst   uint32 = 1 << 7
-	// Bits 8..13 are NW_SRC mask bits, 14..19 NW_DST mask bits; this
-	// implementation supports the all-or-nothing settings only.
+	// Bits 8..13 are NW_SRC mask bits, 14..19 NW_DST mask bits: the 6-bit
+	// field value is the number of low address bits to IGNORE, so 0 is an
+	// exact match, 8 matches a /24 prefix and >=32 wildcards the field
+	// entirely. Partial values (1..31) are honoured as CIDR prefix matches;
+	// WildcardNWSrcPrefix/WildcardNWDstPrefix build them.
 	WildcardNWSrcAll  uint32 = 32 << 8
 	WildcardNWDstAll  uint32 = 32 << 14
 	WildcardDLVLANPCP uint32 = 1 << 20
@@ -35,6 +38,64 @@ const (
 		WildcardTPDst | WildcardNWSrcAll | WildcardNWDstAll |
 		WildcardDLVLANPCP | WildcardNWTOS
 )
+
+// WildcardNWSrcPrefix returns the NW_SRC wildcard bits matching a
+// /prefixLen source prefix (prefixLen 0..32; 0 wildcards the field).
+func WildcardNWSrcPrefix(prefixLen int) uint32 {
+	return nwIgnoreToBits(prefixLen) << 8
+}
+
+// WildcardNWDstPrefix returns the NW_DST wildcard bits matching a
+// /prefixLen destination prefix (prefixLen 0..32; 0 wildcards the field).
+func WildcardNWDstPrefix(prefixLen int) uint32 {
+	return nwIgnoreToBits(prefixLen) << 14
+}
+
+func nwIgnoreToBits(prefixLen int) uint32 {
+	if prefixLen <= 0 {
+		return 32
+	}
+	if prefixLen >= 32 {
+		return 0
+	}
+	return uint32(32 - prefixLen)
+}
+
+// NWSrcIgnoreBits extracts the NW_SRC mask field from a wildcard word: the
+// number of low source-address bits ignored during matching, capped at 32.
+func NWSrcIgnoreBits(wildcards uint32) uint32 { return capIgnore(wildcards >> 8 & 0x3f) }
+
+// NWDstIgnoreBits is NWSrcIgnoreBits for the NW_DST mask field.
+func NWDstIgnoreBits(wildcards uint32) uint32 { return capIgnore(wildcards >> 14 & 0x3f) }
+
+func capIgnore(v uint32) uint32 {
+	if v > 32 {
+		return 32
+	}
+	return v
+}
+
+// MaskAddr canonicalises an IPv4 address under a mask field value: the low
+// ignore bits are zeroed, and a fully ignored field collapses to the zero
+// Addr. Non-IPv4 addresses (in practice only the zero Addr of an unset
+// field) pass through unchanged so raw equality still applies to them.
+func MaskAddr(a netip.Addr, ignore uint32) netip.Addr {
+	if ignore >= 32 {
+		return netip.Addr{}
+	}
+	if ignore == 0 || !a.Is4() {
+		return a
+	}
+	v := a.As4()
+	u := binary.BigEndian.Uint32(v[:]) &^ (1<<ignore - 1)
+	binary.BigEndian.PutUint32(v[:], u)
+	return netip.AddrFrom4(v)
+}
+
+// nwEqual compares two addresses under a shared mask field value.
+func nwEqual(a, b netip.Addr, ignore uint32) bool {
+	return MaskAddr(a, ignore) == MaskAddr(b, ignore)
+}
 
 // Match is the OpenFlow 1.0 ofp_match structure. Wildcards selects which
 // fields participate in matching; a wildcarded field is ignored.
@@ -110,10 +171,10 @@ func (m *Match) Matches(inPort uint16, f *packet.Frame) bool {
 	if w&WildcardNWProto == 0 && m.NWProto != f.Proto {
 		return false
 	}
-	if w&WildcardNWSrcAll == 0 && m.NWSrc != f.SrcIP {
+	if !nwEqual(m.NWSrc, f.SrcIP, NWSrcIgnoreBits(w)) {
 		return false
 	}
-	if w&WildcardNWDstAll == 0 && m.NWDst != f.DstIP {
+	if !nwEqual(m.NWDst, f.DstIP, NWDstIgnoreBits(w)) {
 		return false
 	}
 	if w&WildcardTPSrc == 0 && m.TPSrc != f.SrcPort {
@@ -195,11 +256,19 @@ func (m *Match) String() string {
 	if w&WildcardNWProto == 0 {
 		parts = append(parts, fmt.Sprintf("nw_proto=%d", m.NWProto))
 	}
-	if w&WildcardNWSrcAll == 0 {
-		parts = append(parts, "nw_src="+m.NWSrc.String())
+	if ig := NWSrcIgnoreBits(w); ig < 32 {
+		if ig > 0 {
+			parts = append(parts, fmt.Sprintf("nw_src=%s/%d", MaskAddr(m.NWSrc, ig), 32-ig))
+		} else {
+			parts = append(parts, "nw_src="+m.NWSrc.String())
+		}
 	}
-	if w&WildcardNWDstAll == 0 {
-		parts = append(parts, "nw_dst="+m.NWDst.String())
+	if ig := NWDstIgnoreBits(w); ig < 32 {
+		if ig > 0 {
+			parts = append(parts, fmt.Sprintf("nw_dst=%s/%d", MaskAddr(m.NWDst, ig), 32-ig))
+		} else {
+			parts = append(parts, "nw_dst="+m.NWDst.String())
+		}
 	}
 	if w&WildcardTPSrc == 0 {
 		parts = append(parts, fmt.Sprintf("tp_src=%d", m.TPSrc))
@@ -244,10 +313,10 @@ func (m *Match) Equal(o *Match) bool {
 	if w&WildcardNWProto == 0 && m.NWProto != o.NWProto {
 		return false
 	}
-	if w&WildcardNWSrcAll == 0 && m.NWSrc != o.NWSrc {
+	if !nwEqual(m.NWSrc, o.NWSrc, NWSrcIgnoreBits(w)) {
 		return false
 	}
-	if w&WildcardNWDstAll == 0 && m.NWDst != o.NWDst {
+	if !nwEqual(m.NWDst, o.NWDst, NWDstIgnoreBits(w)) {
 		return false
 	}
 	if w&WildcardTPSrc == 0 && m.TPSrc != o.TPSrc {
@@ -272,6 +341,14 @@ func (m *Match) Covers(o *Match) bool {
 		}
 		return o.Wildcards&bit == 0 && eq
 	}
+	// A pattern prefix covers an entry prefix when it ignores at least as
+	// many low bits and agrees on the bits it does constrain.
+	nwField := func(mi, oi uint32, a, b netip.Addr) bool {
+		if mi >= 32 {
+			return true
+		}
+		return oi <= mi && nwEqual(a, b, mi)
+	}
 	return field(WildcardInPort, m.InPort == o.InPort) &&
 		field(WildcardDLSrc, m.DLSrc == o.DLSrc) &&
 		field(WildcardDLDst, m.DLDst == o.DLDst) &&
@@ -280,8 +357,8 @@ func (m *Match) Covers(o *Match) bool {
 		field(WildcardDLType, m.DLType == o.DLType) &&
 		field(WildcardNWTOS, m.NWTOS == o.NWTOS) &&
 		field(WildcardNWProto, m.NWProto == o.NWProto) &&
-		field(WildcardNWSrcAll, m.NWSrc == o.NWSrc) &&
-		field(WildcardNWDstAll, m.NWDst == o.NWDst) &&
+		nwField(NWSrcIgnoreBits(w), NWSrcIgnoreBits(o.Wildcards), m.NWSrc, o.NWSrc) &&
+		nwField(NWDstIgnoreBits(w), NWDstIgnoreBits(o.Wildcards), m.NWDst, o.NWDst) &&
 		field(WildcardTPSrc, m.TPSrc == o.TPSrc) &&
 		field(WildcardTPDst, m.TPDst == o.TPDst)
 }

@@ -76,6 +76,12 @@ type Config struct {
 	// byte accounting and (if Overload.Ladder is set) the automatic
 	// degradation ladder. nil keeps the legacy mechanism untouched.
 	Overload *core.OverloadConfig
+	// TableLadder couples flow-table occupancy into the degradation
+	// ladder: a saturated table (whose rejects and evictions re-raise
+	// misses the buffer must then absorb) counts as pressure the same way
+	// a saturated pool does. Requires Overload with a Ladder; off by
+	// default so table-unaware scenarios are untouched.
+	TableLadder bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -160,6 +166,16 @@ type Datapath struct {
 	bufDropsDeadPort uint64          // buffered packets destroyed after a refusal
 	txDownDrops      uint64          // outputs suppressed because the egress port is down
 	crashBufferLoss  core.BufferLoss // buffered state destroyed by crashes
+
+	// Flow-table management ledger (DESIGN.md §17): every rule that enters
+	// the table is eventually accounted active, removed by reason, or lost
+	// to a crash wipe, and every refused flow_mod is counted — the closed
+	// rule ledger the tablemgmt oracle checks.
+	ruleInstalls     uint64    // flow_mod ADDs that appended a new rule
+	ruleReplacements uint64    // flow_mod ADDs that replaced an identical match
+	tableFullRejects uint64    // flow_mod ADDs refused with all-tables-full
+	rulesCleared     uint64    // rules wiped without notification by a crash
+	removedByReason  [4]uint64 // indexed by openflow.Removed* reason code
 
 	// Per-datapath scratch reused by HandleFrame so the steady-state packet
 	// path (parse → lookup hit → forward) allocates nothing. The returned
@@ -403,9 +419,11 @@ func (d *Datapath) HandleFlowMod(now time.Duration, fm *openflow.FlowMod) (*Cont
 			HardTimeout: time.Duration(fm.HardTimeout) * time.Second,
 			Flags:       fm.Flags,
 		}
+		lenBefore := d.table.Len()
 		victim, err := d.table.Insert(now, entry)
 		if err != nil {
 			if errors.Is(err, flowtable.ErrTableFull) {
+				d.tableFullRejects++
 				res.Reply = &openflow.ErrorMsg{
 					ErrType: openflow.ErrTypeFlowModFailed,
 					Code:    openflow.ErrCodeAllTablesFull,
@@ -414,12 +432,20 @@ func (d *Datapath) HandleFlowMod(now time.Duration, fm *openflow.FlowMod) (*Cont
 			}
 			return nil, fmt.Errorf("switchd: flow_mod insert: %w", err)
 		}
+		if victim == nil && d.table.Len() == lenBefore {
+			d.ruleReplacements++
+		} else {
+			d.ruleInstalls++
+		}
 		if victim != nil {
+			d.countRemoved(*victim)
 			res.Removed = append(res.Removed, *victim)
 		}
 	case openflow.FlowModDelete, openflow.FlowModDeleteStrict:
 		strict := fm.Command == openflow.FlowModDeleteStrict
-		res.Removed = append(res.Removed, d.table.Delete(now, &fm.Match, fm.Priority, strict, fm.OutPort)...)
+		deleted := d.table.Delete(now, &fm.Match, fm.Priority, strict, fm.OutPort)
+		d.countRemoved(deleted...)
+		res.Removed = append(res.Removed, deleted...)
 		return res, nil
 	default:
 		res.Reply = &openflow.ErrorMsg{
@@ -644,27 +670,93 @@ func (d *Datapath) countTx(outs []Output) {
 // ExpireRules removes timed-out rules, returning them for flow_removed
 // notifications.
 func (d *Datapath) ExpireRules(now time.Duration) []flowtable.Removed {
-	return d.table.Expire(now)
+	removed := d.table.Expire(now)
+	d.countRemoved(removed...)
+	return removed
+}
+
+// countRemoved tallies removals into the per-reason ledger.
+func (d *Datapath) countRemoved(rs ...flowtable.Removed) {
+	for _, r := range rs {
+		if int(r.Reason) < len(d.removedByReason) {
+			d.removedByReason[r.Reason]++
+		}
+		if d.tel != nil {
+			d.tel.Instant(telemetry.KindFlowEvict, r.At, 0, uint32(r.Reason), uint32(r.Bytes))
+		}
+	}
 }
 
 // FlowRemovedFor builds the flow_removed notification for a removed rule if
-// the rule asked for one (OFPFF_SEND_FLOW_REM), else nil.
+// the rule asked for one (OFPFF_SEND_FLOW_REM), else nil. The counters come
+// from the Removed record's snapshot, taken at the moment of removal: the
+// Entry object may have been replaced or mutated between removal and
+// notification, and flow_removed must report what the rule forwarded while
+// it was installed.
 func (d *Datapath) FlowRemovedFor(r flowtable.Removed) *openflow.FlowRemoved {
 	if r.Entry.Flags&openflow.FlowModFlagSendFlowRem == 0 {
 		return nil
 	}
-	pkts, bytes, age := r.Entry.Stats(r.At)
 	return &openflow.FlowRemoved{
 		Match:       r.Entry.Match,
 		Cookie:      r.Entry.Cookie,
 		Priority:    r.Entry.Priority,
 		Reason:      r.Reason,
-		DurationSec: uint32(age / time.Second),
-		DurationNs:  uint32(age % time.Second),
+		DurationSec: uint32(r.Age / time.Second),
+		DurationNs:  uint32(r.Age % time.Second),
 		IdleTimeout: uint16(r.Entry.IdleTimeout / time.Second),
-		PacketCount: pkts,
-		ByteCount:   bytes,
+		PacketCount: r.Packets,
+		ByteCount:   r.Bytes,
 	}
+}
+
+// TableMgmtStats is the datapath's flow-table management ledger. When no
+// rules are in flight the ledger closes: Installs == Active + every
+// RemovedBy* bucket + Cleared (replacements and rejects are accounted
+// separately and do not change the active count).
+type TableMgmtStats struct {
+	Installs      uint64
+	Replacements  uint64
+	Rejects       uint64
+	Cleared       uint64
+	Active        int
+	RemovedIdle   uint64
+	RemovedHard   uint64
+	RemovedDelete uint64
+	RemovedEvict  uint64
+}
+
+// LedgerGap reports how far the rule ledger is from closing; zero means
+// every installed rule is accounted for.
+func (s TableMgmtStats) LedgerGap() int64 {
+	return int64(s.Installs) - (int64(s.Active) + int64(s.RemovedIdle) +
+		int64(s.RemovedHard) + int64(s.RemovedDelete) + int64(s.RemovedEvict) +
+		int64(s.Cleared))
+}
+
+// TableMgmt reports the flow-table management ledger.
+func (d *Datapath) TableMgmt() TableMgmtStats {
+	return TableMgmtStats{
+		Installs:      d.ruleInstalls,
+		Replacements:  d.ruleReplacements,
+		Rejects:       d.tableFullRejects,
+		Cleared:       d.rulesCleared,
+		Active:        d.table.Len(),
+		RemovedIdle:   d.removedByReason[openflow.RemovedIdleTimeout],
+		RemovedHard:   d.removedByReason[openflow.RemovedHardTimeout],
+		RemovedDelete: d.removedByReason[openflow.RemovedDelete],
+		RemovedEvict:  d.removedByReason[openflow.RemovedEviction],
+	}
+}
+
+// TablePressure reports the table's occupancy fraction (0 when unbounded)
+// — the input the degradation ladder couples on when the switch is
+// configured to treat table saturation like buffer saturation.
+func (d *Datapath) TablePressure() float64 {
+	if cap := d.table.Capacity(); cap > 0 {
+		return float64(d.table.Len()) / float64(cap)
+	}
+	return 0
 }
 
 // Stats reports datapath traffic counters.

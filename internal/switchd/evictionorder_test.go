@@ -1,0 +1,199 @@
+package switchd
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/core"
+	"sdnbuffer/internal/flowtable"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/sim"
+)
+
+// This file property-tests the eviction/expiry ordering contract (DESIGN.md
+// §17): timeouts are ordinary kernel events, so flow_removed notifications
+// must be emitted in deadline order at exactly the deadline instants, and a
+// removed rule must never act on traffic again — its buffered packets are
+// released by the controller round trip, not resurrected by the dead rule.
+
+// removedTap captures every flow_removed the switch emits, stamped with the
+// kernel time of emission.
+type removedTap struct {
+	t      *testing.T
+	kernel *sim.Kernel
+	seen   []capturedRemoved
+}
+
+type capturedRemoved struct {
+	at     time.Duration
+	reason uint8
+	cookie uint64
+}
+
+func (rt *removedTap) deliver(msg []byte) {
+	m, _, err := openflow.Decode(msg)
+	if err != nil {
+		rt.t.Fatalf("controller received garbage: %v", err)
+	}
+	if fr, ok := m.(*openflow.FlowRemoved); ok {
+		rt.seen = append(rt.seen, capturedRemoved{at: rt.kernel.Now(), reason: fr.Reason, cookie: fr.Cookie})
+	}
+}
+
+// installTimed installs one exact-match rule with the given timeouts (in
+// seconds, the flow_mod unit) and SEND_FLOW_REM set.
+func installTimed(t *testing.T, sw *SimSwitch, cookie uint64, srcPort uint16, idleSec, hardSec uint16) {
+	t.Helper()
+	frame, err := packet.ParseHeaders(testFrame(t, "10.1.0.9", srcPort, 900))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.DeliverControl(openflow.MustEncode(&openflow.FlowMod{
+		Match:       openflow.ExactMatch(1, frame),
+		Command:     openflow.FlowModAdd,
+		Cookie:      cookie,
+		IdleTimeout: idleSec,
+		HardTimeout: hardSec,
+		Priority:    100,
+		BufferID:    openflow.NoBuffer,
+		OutPort:     openflow.PortNone,
+		Flags:       openflow.FlowModFlagSendFlowRem,
+		Actions:     []openflow.Action{&openflow.ActionOutput{Port: 2}},
+	}, uint32(cookie)))
+}
+
+// TestExpiryOrderMatchesKernelOrder installs rules whose idle/hard
+// deadlines interleave and asserts the flow_removed stream comes out in
+// strict deadline order, at the deadline instants, with the right reason
+// for each rule.
+func TestExpiryOrderMatchesKernelOrder(t *testing.T) {
+	k := sim.New(1)
+	cfg := DefaultSimConfig()
+	cfg.Datapath = Config{
+		DatapathID: 1, NumPorts: 2,
+		Buffer:         openflow.FlowBufferConfig{Granularity: openflow.GranularityPacket, RerequestTimeoutMs: 20},
+		BufferCapacity: 16,
+	}
+	sw, err := NewSimSwitch(k, cfg)
+	if err != nil {
+		t.Fatalf("NewSimSwitch: %v", err)
+	}
+	tap := &removedTap{t: t, kernel: k}
+	sw.SetControlSender(tap.deliver)
+	sw.SetTransmit(func(uint16, []byte) {})
+
+	// Deadlines (seconds): cookie 1 hard@3, 2 idle@1, 3 hard@5, 4 idle@2,
+	// 5 idle@4. No traffic touches them, so idle deadlines stay at
+	// install+idle and the expected emission order is 2,4,1,5,3.
+	type spec struct {
+		cookie       uint64
+		idle, hard   uint16
+		wantReason   uint8
+		wantDeadline time.Duration
+	}
+	specs := []spec{
+		{1, 0, 3, openflow.RemovedHardTimeout, 3 * time.Second},
+		{2, 1, 0, openflow.RemovedIdleTimeout, 1 * time.Second},
+		{3, 0, 5, openflow.RemovedHardTimeout, 5 * time.Second},
+		{4, 2, 0, openflow.RemovedIdleTimeout, 2 * time.Second},
+		{5, 4, 6, openflow.RemovedIdleTimeout, 4 * time.Second},
+	}
+	for i, s := range specs {
+		installTimed(t, sw, s.cookie, uint16(1000+i), s.idle, s.hard)
+	}
+	k.Run()
+
+	if len(tap.seen) != len(specs) {
+		t.Fatalf("saw %d flow_removed, want %d", len(tap.seen), len(specs))
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].wantDeadline < specs[j].wantDeadline })
+	for i, got := range tap.seen {
+		want := specs[i]
+		if got.cookie != want.cookie {
+			t.Errorf("emission %d: cookie %d, want %d (deadline order violated)", i, got.cookie, want.cookie)
+		}
+		if got.reason != want.wantReason {
+			t.Errorf("emission %d (cookie %d): reason %d, want %d", i, got.cookie, got.reason, want.wantReason)
+		}
+		// The sweep event runs a sub-millisecond scheduling latency after
+		// the deadline; the contract is "at the deadline, before any later
+		// deadline", not bit-exact instants.
+		if got.at < want.wantDeadline || got.at-want.wantDeadline >= time.Millisecond {
+			t.Errorf("emission %d (cookie %d): emitted at %v, want within [%v, %v)",
+				i, got.cookie, got.at, want.wantDeadline, want.wantDeadline+time.Millisecond)
+		}
+		if i > 0 && got.at < tap.seen[i-1].at {
+			t.Errorf("emission %d at %v precedes emission %d at %v", i, got.at, i-1, tap.seen[i-1].at)
+		}
+	}
+	st := sw.Datapath().TableMgmt()
+	if st.RemovedIdle != 3 || st.RemovedHard != 2 {
+		t.Errorf("ledger reasons: idle %d hard %d, want 3/2", st.RemovedIdle, st.RemovedHard)
+	}
+	if gap := st.LedgerGap(); gap != 0 {
+		t.Errorf("ledger gap = %d, want 0", gap)
+	}
+}
+
+// TestEvictionNeverResurrectsBufferedUnits drives a capacity-2 LRU table
+// through a miss storm: every flow's first packet is buffered and released
+// by the controller round trip even when its rule is evicted before or
+// after the release. Each ingested frame must egress exactly once and the
+// buffer pool must drain to zero — an evicted rule must never re-emit (or
+// strand) a buffered unit.
+func TestEvictionNeverResurrectsBufferedUnits(t *testing.T) {
+	k := sim.New(1)
+	cfg := DefaultSimConfig()
+	cfg.Datapath = Config{
+		DatapathID: 1, NumPorts: 2,
+		Buffer:         openflow.FlowBufferConfig{Granularity: openflow.GranularityPacket, RerequestTimeoutMs: 20},
+		BufferCapacity: 16,
+		TableCapacity:  2,
+		EvictionPolicy: flowtable.EvictLRU,
+	}
+	sw, err := NewSimSwitch(k, cfg)
+	if err != nil {
+		t.Fatalf("NewSimSwitch: %v", err)
+	}
+	fc := &fakeController{t: t, sw: sw, outPort: 2, delay: 200 * time.Microsecond, kernel: k}
+	sw.SetControlSender(fc.deliver)
+	var egressed []uint16
+	sw.SetTransmit(func(port uint16, frame []byte) { egressed = append(egressed, port) })
+	egress := &egressed
+	const flows = 8
+	sent := 0
+	for i := 0; i < flows; i++ {
+		frame := testFrame(t, "10.1.0.1", uint16(2000+i), 900)
+		sw.Ingest(1, frame)
+		sent++
+	}
+	k.Run()
+	if len(fc.seen) != flows {
+		t.Fatalf("controller saw %d packet_ins, want %d", len(fc.seen), flows)
+	}
+	if len(*egress) != sent {
+		t.Fatalf("egressed %d frames, want %d (no frame lost or duplicated by eviction)", len(*egress), sent)
+	}
+	st := sw.Datapath().TableMgmt()
+	if st.RemovedEvict == 0 {
+		t.Fatal("capacity-2 table under 8 flows evicted nothing; the scenario is not exercising eviction")
+	}
+	if st.Active > 2 {
+		t.Errorf("active rules %d exceed capacity 2", st.Active)
+	}
+	if gap := st.LedgerGap(); gap != 0 {
+		t.Errorf("ledger gap = %d, want 0", gap)
+	}
+	// Live (still addressable) must be zero: a unit an evicted rule could
+	// resurrect would still be addressable here. Reclaiming slots are fine —
+	// they are released, just not yet returned to the free list.
+	if pm, ok := sw.Datapath().Mechanism().(interface{ Pool() *core.Pool }); ok {
+		if live := pm.Pool().Live(); live != 0 {
+			t.Errorf("buffer pool still holds %d addressable units after full drain", live)
+		}
+	} else {
+		t.Fatalf("mechanism %T does not expose its pool", sw.Datapath().Mechanism())
+	}
+}

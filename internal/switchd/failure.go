@@ -34,7 +34,9 @@ func (d *Datapath) SetPortDown(now time.Duration, port uint16, down bool) ([]flo
 	if !down {
 		return nil, nil
 	}
-	return d.table.DeleteByOutPort(now, port, openflow.RemovedDelete), nil
+	removed := d.table.DeleteByOutPort(now, port, openflow.RemovedDelete)
+	d.countRemoved(removed...)
+	return removed, nil
 }
 
 // PortDown reports one port's link state (false for out-of-range ports).
@@ -63,7 +65,7 @@ func (d *Datapath) PhyPortDesc(port uint16) openflow.PhyPort {
 // is a property of the cable, not the chassis.
 func (d *Datapath) Crash(now time.Duration) core.BufferLoss {
 	d.crashed = true
-	d.table.Clear()
+	d.rulesCleared += uint64(d.table.Clear())
 	d.macTable = nil
 	var loss core.BufferLoss
 	if ad, ok := d.mech.(core.AllDropper); ok {

@@ -455,8 +455,22 @@ func (s *SimSwitch) processControl(msg []byte) {
 	// reference to the action slice and released frames alias the packet_out
 	// data's backing array, neither of which shell recycling touches.
 	openflow.ReleaseMessage(m)
+	s.feedTableLadder()
 	s.armMechTimer()
 	s.armExpiryTimer()
+}
+
+// feedTableLadder couples flow-table occupancy into the degradation ladder
+// when the switch is configured for it (DESIGN.md §17). Called wherever the
+// table's population can have changed; armMechTimer must follow so any hold
+// deadline the evaluation armed gets scheduled.
+func (s *SimSwitch) feedTableLadder() {
+	if !s.dp.Config().TableLadder {
+		return
+	}
+	if lad, ok := s.dp.Mechanism().(*core.Ladder); ok {
+		lad.SetTablePressure(s.dp.TablePressure(), s.kernel.Now())
+	}
 }
 
 // finishControl emits the results of a flow_mod/packet_out: released
@@ -593,6 +607,8 @@ func (s *SimSwitch) armExpiryTimer() {
 				s.reply(fr, 0)
 			}
 		}
+		s.feedTableLadder()
+		s.armMechTimer()
 		s.armExpiryTimer()
 	})
 }

@@ -1,0 +1,432 @@
+// Package tablemgmt is the controller-side flow-table management layer: a
+// per-switch occupancy tracker and a destination-aware wildcard aggregation
+// policy ("Destination-aware Adaptive Traffic Flow Rule Aggregation",
+// PAPERS.md). The paper treats the switch buffer as the scarce resource and
+// assumes the flow table absorbs every flow_mod; at datacenter flow-arrival
+// rates the table saturates first, and table-full → more misses → buffer
+// pressure couples the two mechanisms (ROADMAP item 4). This package makes
+// the table side of that coupling a controllable mechanism axis.
+//
+// The Tracker lives in the controller application (the fabric
+// PathForwarder). It estimates each switch's table occupancy from the
+// controller's own observable traffic — rules it installed, flow_removed
+// notifications, all-tables-full errors — never by inspecting switch
+// internals. When a switch's estimated occupancy crosses a configurable
+// fraction of its table capacity, the tracker compresses that switch's
+// largest group of per-flow rules sharing a destination prefix and egress
+// port into one lower-priority wildcard rule (DLType + masked NW_DST), then
+// strict-deletes the per-flow rules it subsumed. De-aggregation is tied to
+// the PR-8 reroute protocol: a routing-snapshot swap flushes every mastered
+// switch, so the tracker resets with it and per-flow rules reinstall against
+// the new topology, keeping the aggregate/reroute interaction loop-free.
+//
+// The tracker is confined to its owning controller shard's goroutine, like
+// every other per-shard structure.
+package tablemgmt
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// Config parameterises the tracker.
+type Config struct {
+	// TableCapacity is the per-switch rule budget occupancy is measured
+	// against; it should match the switches' configured table capacity.
+	// Zero disables aggregation (nothing to saturate).
+	TableCapacity int
+	// Threshold is the occupancy fraction at which aggregation triggers
+	// (default 0.75).
+	Threshold float64
+	// PrefixBits is the destination-prefix width of aggregate rules
+	// (default 24).
+	PrefixBits int
+	// AggPriority is the priority of aggregate rules; it must be below the
+	// per-flow rule priority so specific rules keep winning while both are
+	// installed (default 50).
+	AggPriority uint16
+	// RequestFlowRemoved marks aggregate rules with OFPFF_SEND_FLOW_REM,
+	// mirroring the per-flow forwarder configuration so occupancy tracking
+	// sees their removal too.
+	RequestFlowRemoved bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 0.75
+	}
+	if c.PrefixBits == 0 {
+		c.PrefixBits = 24
+	}
+	if c.AggPriority == 0 {
+		c.AggPriority = 50
+	}
+	return c
+}
+
+// groupKey identifies an aggregable set of per-flow rules: same destination
+// prefix, same egress port.
+type groupKey struct {
+	prefix netip.Prefix
+	port   uint16
+}
+
+// ruleInfo is one tracked per-flow rule.
+type ruleInfo struct {
+	priority uint16
+	group    groupKey
+	grouped  bool // false when the rule has no IPv4 destination to group by
+}
+
+// switchState is the tracker's model of one switch's table.
+type switchState struct {
+	installed  int // occupancy estimate: rules sent minus removals seen
+	rules      map[openflow.Match]ruleInfo
+	groups     map[groupKey]int
+	aggregates map[netip.Prefix]uint16 // active aggregate rules: prefix → port
+}
+
+func newSwitchState() *switchState {
+	return &switchState{
+		rules:      make(map[openflow.Match]ruleInfo),
+		groups:     make(map[groupKey]int),
+		aggregates: make(map[netip.Prefix]uint16),
+	}
+}
+
+// Stats are the tracker's lifetime counters.
+type Stats struct {
+	// Aggregations counts aggregate rules installed.
+	Aggregations uint64
+	// RulesCompressed counts per-flow rules strict-deleted because an
+	// aggregate subsumed them.
+	RulesCompressed uint64
+	// Deaggregations counts reroute resets that discarded at least one
+	// active aggregate.
+	Deaggregations uint64
+	// CoveredSkips counts per-flow installs skipped because an aggregate
+	// already forwards the destination.
+	CoveredSkips uint64
+	// TableFullErrors counts all-tables-full rejections observed.
+	TableFullErrors uint64
+	// FlowRemovedSeen counts flow_removed notifications consumed.
+	FlowRemovedSeen uint64
+}
+
+// Tracker implements the policy. The zero value is unusable; use New.
+type Tracker struct {
+	cfg      Config
+	switches map[int]*switchState
+	stats    Stats
+}
+
+// New builds a tracker.
+func New(cfg Config) (*Tracker, error) {
+	cfg = cfg.withDefaults()
+	if cfg.TableCapacity < 0 {
+		return nil, fmt.Errorf("tablemgmt: negative table capacity %d", cfg.TableCapacity)
+	}
+	if cfg.Threshold < 0 || cfg.Threshold > 1 {
+		return nil, fmt.Errorf("tablemgmt: threshold %v outside [0,1]", cfg.Threshold)
+	}
+	if cfg.PrefixBits < 1 || cfg.PrefixBits > 32 {
+		return nil, fmt.Errorf("tablemgmt: prefix bits %d outside [1,32]", cfg.PrefixBits)
+	}
+	return &Tracker{cfg: cfg, switches: make(map[int]*switchState)}, nil
+}
+
+// Config reports the effective (defaulted) configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Stats reports the tracker's counters.
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// Occupancy reports the tracker's occupancy estimate for one switch.
+func (t *Tracker) Occupancy(sw int) int {
+	if s, ok := t.switches[sw]; ok {
+		return s.installed
+	}
+	return 0
+}
+
+func (t *Tracker) state(sw int) *switchState {
+	s, ok := t.switches[sw]
+	if !ok {
+		s = newSwitchState()
+		t.switches[sw] = s
+	}
+	return s
+}
+
+// prefixOf maps a destination address into its aggregation prefix.
+func (t *Tracker) prefixOf(dst netip.Addr) (netip.Prefix, bool) {
+	if !dst.Is4() {
+		return netip.Prefix{}, false
+	}
+	p, err := dst.Prefix(t.cfg.PrefixBits)
+	if err != nil {
+		return netip.Prefix{}, false
+	}
+	return p, true
+}
+
+// Covered reports whether an active aggregate rule on sw already forwards
+// dst out the given port, so the per-flow install can be skipped (the
+// caller still releases any buffered packet).
+func (t *Tracker) Covered(sw int, dst netip.Addr, port uint16) bool {
+	s, ok := t.switches[sw]
+	if !ok {
+		return false
+	}
+	pfx, ok := t.prefixOf(dst)
+	if !ok {
+		return false
+	}
+	aggPort, ok := s.aggregates[pfx]
+	if ok && aggPort == port {
+		t.stats.CoveredSkips++
+		return true
+	}
+	return false
+}
+
+// NoteInstall records a per-flow rule the controller is sending to sw and
+// returns any aggregation messages (one wildcard flow_mod plus the strict
+// deletes of the per-flow rules it subsumes) to ship to the same switch,
+// nil when the threshold hasn't been crossed.
+func (t *Tracker) NoteInstall(sw int, m openflow.Match, priority uint16, dst netip.Addr, port uint16) []openflow.Message {
+	if t.cfg.TableCapacity <= 0 {
+		return nil
+	}
+	s := t.state(sw)
+	info := ruleInfo{priority: priority}
+	if pfx, ok := t.prefixOf(dst); ok {
+		info.group = groupKey{prefix: pfx, port: port}
+		info.grouped = true
+	}
+	if old, exists := s.rules[m]; exists {
+		// Same match re-installed (replacement at the switch): occupancy
+		// unchanged; regroup in case the egress moved.
+		if old.grouped {
+			s.groups[old.group]--
+			if s.groups[old.group] <= 0 {
+				delete(s.groups, old.group)
+			}
+		}
+	} else {
+		s.installed++
+	}
+	s.rules[m] = info
+	if info.grouped {
+		s.groups[info.group]++
+	}
+	if float64(s.installed) < t.cfg.Threshold*float64(t.cfg.TableCapacity) {
+		return nil
+	}
+	return t.aggregate(sw, s)
+}
+
+// aggregate compresses the switch's most populous eligible group. The group
+// choice is a total order (count desc, prefix asc, port asc) so it never
+// depends on map iteration order.
+func (t *Tracker) aggregate(sw int, s *switchState) []openflow.Message {
+	var best groupKey
+	bestN := 1 // require at least 2 rules: compressing 1 gains nothing
+	for g, n := range s.groups {
+		if _, done := s.aggregates[g.prefix]; done {
+			continue
+		}
+		if n > bestN || (n == bestN && bestN > 1 && lessGroup(g, best)) {
+			best, bestN = g, n
+		}
+	}
+	if bestN < 2 {
+		return nil
+	}
+
+	msgs := make([]openflow.Message, 0, bestN+1)
+	msgs = append(msgs, t.aggregateRule(best))
+	s.aggregates[best.prefix] = best.port
+	s.installed++ // the aggregate rule itself
+	t.stats.Aggregations++
+
+	// Strict-delete every per-flow rule the aggregate subsumes. Deletion
+	// order is the match set sorted by a total order on the match content,
+	// again independent of map iteration.
+	var victims []openflow.Match
+	for m, info := range s.rules {
+		if info.grouped && info.group == best {
+			victims = append(victims, m)
+		}
+	}
+	sortMatches(victims)
+	for _, m := range victims {
+		info := s.rules[m]
+		msgs = append(msgs, &openflow.FlowMod{
+			Match:    m,
+			Command:  openflow.FlowModDeleteStrict,
+			Priority: info.priority,
+			BufferID: openflow.NoBuffer,
+			OutPort:  openflow.PortNone,
+		})
+		delete(s.rules, m)
+		t.stats.RulesCompressed++
+	}
+	delete(s.groups, best)
+	return msgs
+}
+
+// aggregateRule builds the wildcard flow_mod for one destination group:
+// match IPv4 traffic to the prefix, forward out the group's port, at a
+// priority below the per-flow rules so specifics win during the handover.
+func (t *Tracker) aggregateRule(g groupKey) *openflow.FlowMod {
+	w := openflow.WildcardAll&^(openflow.WildcardDLType|openflow.WildcardNWDstAll) |
+		openflow.WildcardNWDstPrefix(g.prefix.Bits())
+	var flags uint16
+	if t.cfg.RequestFlowRemoved {
+		flags |= openflow.FlowModFlagSendFlowRem
+	}
+	return &openflow.FlowMod{
+		Match: openflow.Match{
+			Wildcards: w,
+			DLType:    packet.EtherTypeIPv4,
+			NWDst:     g.prefix.Masked().Addr(),
+		},
+		Command:  openflow.FlowModAdd,
+		Priority: t.cfg.AggPriority,
+		BufferID: openflow.NoBuffer,
+		OutPort:  openflow.PortNone,
+		Flags:    flags,
+		Actions:  []openflow.Action{&openflow.ActionOutput{Port: g.port, MaxLen: 0xffff}},
+	}
+}
+
+// NoteFlowRemoved consumes a flow_removed notification from sw: the
+// occupancy estimate drops, the rule leaves its group, and a removed
+// aggregate reopens its prefix.
+func (t *Tracker) NoteFlowRemoved(sw int, fr *openflow.FlowRemoved) {
+	t.stats.FlowRemovedSeen++
+	s, ok := t.switches[sw]
+	if !ok {
+		return
+	}
+	if s.installed > 0 {
+		s.installed--
+	}
+	if info, ok := s.rules[fr.Match]; ok {
+		delete(s.rules, fr.Match)
+		if info.grouped {
+			s.groups[info.group]--
+			if s.groups[info.group] <= 0 {
+				delete(s.groups, info.group)
+			}
+		}
+		return
+	}
+	// Not a tracked per-flow rule: an aggregate whose priority and
+	// destination prefix match an active one reopens that prefix.
+	if fr.Priority != t.cfg.AggPriority {
+		return
+	}
+	if ig := openflow.NWDstIgnoreBits(fr.Match.Wildcards); ig > 0 && ig < 32 {
+		if pfx, err := fr.Match.NWDst.Prefix(32 - int(ig)); err == nil {
+			delete(s.aggregates, pfx)
+		}
+	}
+}
+
+// NoteTableFull consumes an all-tables-full rejection from sw: the last
+// counted install never landed, so the estimate backs off by one.
+func (t *Tracker) NoteTableFull(sw int) {
+	t.stats.TableFullErrors++
+	if s, ok := t.switches[sw]; ok && s.installed > 0 {
+		s.installed--
+	}
+}
+
+// Reset discards one switch's state — the de-aggregation protocol. The
+// caller invokes it under the PR-8 reroute flush-all, which already removed
+// every rule (per-flow and aggregate) from the switch, so per-flow rules
+// reinstall against the new topology before any re-aggregation: the
+// aggregate can never pin traffic to a pre-failure egress, keeping the
+// reroute loop-freedom argument intact.
+func (t *Tracker) Reset(sw int) {
+	if s, ok := t.switches[sw]; ok {
+		if len(s.aggregates) > 0 {
+			t.stats.Deaggregations++
+		}
+		delete(t.switches, sw)
+	}
+}
+
+// ResetAll is Reset over every tracked switch.
+func (t *Tracker) ResetAll() {
+	for sw, s := range t.switches {
+		if len(s.aggregates) > 0 {
+			t.stats.Deaggregations++
+		}
+		delete(t.switches, sw)
+	}
+}
+
+// sortMatches orders matches by a total order on the match content so the
+// strict-delete emission sequence never depends on map iteration order.
+func sortMatches(ms []openflow.Match) {
+	sort.Slice(ms, func(i, j int) bool { return matchLess(&ms[i], &ms[j]) })
+}
+
+func matchLess(a, b *openflow.Match) bool {
+	if a.Wildcards != b.Wildcards {
+		return a.Wildcards < b.Wildcards
+	}
+	if a.InPort != b.InPort {
+		return a.InPort < b.InPort
+	}
+	if c := bytes.Compare(a.DLSrc[:], b.DLSrc[:]); c != 0 {
+		return c < 0
+	}
+	if c := bytes.Compare(a.DLDst[:], b.DLDst[:]); c != 0 {
+		return c < 0
+	}
+	if a.DLVLAN != b.DLVLAN {
+		return a.DLVLAN < b.DLVLAN
+	}
+	if a.DLVLANPCP != b.DLVLANPCP {
+		return a.DLVLANPCP < b.DLVLANPCP
+	}
+	if a.DLType != b.DLType {
+		return a.DLType < b.DLType
+	}
+	if a.NWTOS != b.NWTOS {
+		return a.NWTOS < b.NWTOS
+	}
+	if a.NWProto != b.NWProto {
+		return a.NWProto < b.NWProto
+	}
+	if c := a.NWSrc.Compare(b.NWSrc); c != 0 {
+		return c < 0
+	}
+	if c := a.NWDst.Compare(b.NWDst); c != 0 {
+		return c < 0
+	}
+	if a.TPSrc != b.TPSrc {
+		return a.TPSrc < b.TPSrc
+	}
+	return a.TPDst < b.TPDst
+}
+
+// lessGroup is the deterministic tie-break order on groups.
+func lessGroup(a, b groupKey) bool {
+	if c := a.prefix.Addr().Compare(b.prefix.Addr()); c != 0 {
+		return c < 0
+	}
+	if a.prefix.Bits() != b.prefix.Bits() {
+		return a.prefix.Bits() < b.prefix.Bits()
+	}
+	return a.port < b.port
+}

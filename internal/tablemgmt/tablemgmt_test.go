@@ -1,0 +1,270 @@
+package tablemgmt
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// flowMatch builds a distinct per-flow match keyed by source port, destined
+// to dst — shaped like the forwarder's exact matches but only the identity
+// matters to the tracker.
+func flowMatch(tpSrc uint16, dst netip.Addr) openflow.Match {
+	return openflow.Match{
+		InPort: 1,
+		DLType: packet.EtherTypeIPv4,
+		NWDst:  dst,
+		TPSrc:  tpSrc,
+	}
+}
+
+func mustTracker(t *testing.T, cfg Config) *Tracker {
+	t.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return tr
+}
+
+// fill installs n per-flow rules on sw, all destined into 10.0.1.0/24 out
+// port 2, and returns the messages from the last install.
+func fill(t *testing.T, tr *Tracker, sw, n int) []openflow.Message {
+	t.Helper()
+	var msgs []openflow.Message
+	for i := 0; i < n; i++ {
+		dst := netip.AddrFrom4([4]byte{10, 0, 1, byte(10 + i)})
+		msgs = tr.NoteInstall(sw, flowMatch(uint16(1000+i), dst), 100, dst, 2)
+	}
+	return msgs
+}
+
+func TestConfigValidation(t *testing.T) {
+	for _, bad := range []Config{
+		{TableCapacity: -1},
+		{Threshold: -0.1},
+		{Threshold: 1.5},
+		{PrefixBits: 33},
+		{PrefixBits: -8},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%+v) accepted an invalid config", bad)
+		}
+	}
+	tr := mustTracker(t, Config{TableCapacity: 8})
+	cfg := tr.Config()
+	if cfg.Threshold != 0.75 || cfg.PrefixBits != 24 || cfg.AggPriority != 50 {
+		t.Errorf("defaults = %+v, want threshold 0.75, /24, priority 50", cfg)
+	}
+}
+
+func TestAggregationTriggersAtThreshold(t *testing.T) {
+	tr := mustTracker(t, Config{TableCapacity: 8, RequestFlowRemoved: true})
+	// Threshold 0.75×8 = 6: the first five installs must stay quiet.
+	for i := 0; i < 5; i++ {
+		dst := netip.AddrFrom4([4]byte{10, 0, 1, byte(10 + i)})
+		if msgs := tr.NoteInstall(0, flowMatch(uint16(1000+i), dst), 100, dst, 2); msgs != nil {
+			t.Fatalf("install %d below threshold returned %d messages", i, len(msgs))
+		}
+	}
+	dst := netip.AddrFrom4([4]byte{10, 0, 1, 15})
+	msgs := tr.NoteInstall(0, flowMatch(1005, dst), 100, dst, 2)
+	if len(msgs) != 7 {
+		t.Fatalf("aggregation returned %d messages, want 1 flow_mod + 6 strict deletes", len(msgs))
+	}
+	agg, ok := msgs[0].(*openflow.FlowMod)
+	if !ok || agg.Command != openflow.FlowModAdd {
+		t.Fatalf("first message = %#v, want a FlowModAdd", msgs[0])
+	}
+	if agg.Priority != 50 {
+		t.Errorf("aggregate priority %d, want 50 (below the per-flow 100)", agg.Priority)
+	}
+	if agg.Flags&openflow.FlowModFlagSendFlowRem == 0 {
+		t.Error("aggregate does not request flow_removed despite RequestFlowRemoved")
+	}
+	if got := openflow.NWDstIgnoreBits(agg.Match.Wildcards); got != 8 {
+		t.Errorf("aggregate NW_DST ignore bits = %d, want 8 (a /24)", got)
+	}
+	if want := netip.AddrFrom4([4]byte{10, 0, 1, 0}); agg.Match.NWDst != want {
+		t.Errorf("aggregate NWDst = %v, want %v", agg.Match.NWDst, want)
+	}
+	if agg.Match.DLType != packet.EtherTypeIPv4 {
+		t.Errorf("aggregate DLType = %#x, want IPv4", agg.Match.DLType)
+	}
+	// The strict deletes must subsume exactly the six per-flow rules, in the
+	// deterministic sorted order (here: ascending TPSrc), each at the
+	// per-flow priority so only the exact rule dies.
+	for i, m := range msgs[1:] {
+		del, ok := m.(*openflow.FlowMod)
+		if !ok || del.Command != openflow.FlowModDeleteStrict {
+			t.Fatalf("message %d = %#v, want a strict delete", i+1, m)
+		}
+		if del.Priority != 100 {
+			t.Errorf("delete %d priority %d, want 100", i, del.Priority)
+		}
+		if want := uint16(1000 + i); del.Match.TPSrc != want {
+			t.Errorf("delete %d is for TPSrc %d, want %d (sorted order)", i, del.Match.TPSrc, want)
+		}
+	}
+	st := tr.Stats()
+	if st.Aggregations != 1 || st.RulesCompressed != 6 {
+		t.Errorf("stats = %+v, want 1 aggregation, 6 compressed", st)
+	}
+	// Occupancy: 6 installs + 1 aggregate; the deletes reconcile only when
+	// their flow_removed notifications come back.
+	if occ := tr.Occupancy(0); occ != 7 {
+		t.Errorf("occupancy = %d, want 7 before the delete notifications", occ)
+	}
+}
+
+func TestAggregationNeedsTwoRulesInAGroup(t *testing.T) {
+	tr := mustTracker(t, Config{TableCapacity: 8})
+	// Six rules, six distinct /24s: threshold crossed, nothing compressible.
+	for i := 0; i < 6; i++ {
+		dst := netip.AddrFrom4([4]byte{10, 0, byte(i), 9})
+		if msgs := tr.NoteInstall(0, flowMatch(uint16(1000+i), dst), 100, dst, 2); msgs != nil {
+			t.Fatalf("install %d aggregated a single-rule group: %d messages", i, len(msgs))
+		}
+	}
+	if st := tr.Stats(); st.Aggregations != 0 {
+		t.Errorf("aggregations = %d, want 0", st.Aggregations)
+	}
+}
+
+func TestAggregationDisabledWithoutCapacity(t *testing.T) {
+	tr := mustTracker(t, Config{})
+	if msgs := fill(t, tr, 0, 20); msgs != nil {
+		t.Fatalf("capacity-0 tracker aggregated: %d messages", len(msgs))
+	}
+	if occ := tr.Occupancy(0); occ != 0 {
+		t.Errorf("capacity-0 tracker tracked occupancy %d", occ)
+	}
+}
+
+func TestCovered(t *testing.T) {
+	tr := mustTracker(t, Config{TableCapacity: 8})
+	fill(t, tr, 0, 6) // triggers the 10.0.1.0/24 → port 2 aggregate
+	if !tr.Covered(0, netip.AddrFrom4([4]byte{10, 0, 1, 200}), 2) {
+		t.Error("in-prefix destination out the aggregate port not covered")
+	}
+	if tr.Covered(0, netip.AddrFrom4([4]byte{10, 0, 1, 200}), 3) {
+		t.Error("covered despite a different egress port")
+	}
+	if tr.Covered(0, netip.AddrFrom4([4]byte{10, 0, 2, 200}), 2) {
+		t.Error("covered despite a different /24")
+	}
+	if tr.Covered(1, netip.AddrFrom4([4]byte{10, 0, 1, 200}), 2) {
+		t.Error("covered on a switch with no aggregate")
+	}
+	if tr.Covered(0, netip.MustParseAddr("fd00::1"), 2) {
+		t.Error("covered a non-IPv4 destination")
+	}
+	if st := tr.Stats(); st.CoveredSkips != 1 {
+		t.Errorf("covered skips = %d, want 1 (only the true case counts)", st.CoveredSkips)
+	}
+}
+
+func TestFlowRemovedAccounting(t *testing.T) {
+	tr := mustTracker(t, Config{TableCapacity: 8})
+	msgs := fill(t, tr, 0, 6)
+	// Reconcile the strict deletes: each victim's flow_removed drops the
+	// estimate and forgets the rule.
+	for _, m := range msgs[1:] {
+		del := m.(*openflow.FlowMod)
+		tr.NoteFlowRemoved(0, &openflow.FlowRemoved{Match: del.Match, Priority: del.Priority, Reason: openflow.RemovedDelete})
+	}
+	if occ := tr.Occupancy(0); occ != 1 {
+		t.Fatalf("occupancy = %d after delete reconciliation, want 1 (the aggregate)", occ)
+	}
+	// The aggregate's own removal (e.g. eviction downstream) reopens the
+	// prefix: no longer covered, and a fresh install wave may re-aggregate.
+	agg := msgs[0].(*openflow.FlowMod)
+	tr.NoteFlowRemoved(0, &openflow.FlowRemoved{Match: agg.Match, Priority: agg.Priority, Reason: openflow.RemovedEviction})
+	if occ := tr.Occupancy(0); occ != 0 {
+		t.Errorf("occupancy = %d after aggregate removal, want 0", occ)
+	}
+	if tr.Covered(0, netip.AddrFrom4([4]byte{10, 0, 1, 200}), 2) {
+		t.Error("still covered after the aggregate was removed")
+	}
+	// Untracked removals and over-notification clamp at zero, never wrap.
+	tr.NoteFlowRemoved(0, &openflow.FlowRemoved{Match: flowMatch(9999, netip.AddrFrom4([4]byte{10, 9, 9, 9})), Priority: 100})
+	if occ := tr.Occupancy(0); occ != 0 {
+		t.Errorf("occupancy = %d after spurious removal, want clamp at 0", occ)
+	}
+	if st := tr.Stats(); st.FlowRemovedSeen != 8 {
+		t.Errorf("flow_removed seen = %d, want 8", st.FlowRemovedSeen)
+	}
+	// Reopened prefix: refilling the group re-triggers aggregation.
+	if msgs := fill(t, tr, 0, 6); len(msgs) == 0 {
+		t.Error("no re-aggregation after the prefix reopened")
+	}
+}
+
+func TestNoteTableFull(t *testing.T) {
+	tr := mustTracker(t, Config{TableCapacity: 64})
+	fill(t, tr, 0, 3)
+	tr.NoteTableFull(0)
+	if occ := tr.Occupancy(0); occ != 2 {
+		t.Errorf("occupancy = %d after reject, want 2", occ)
+	}
+	for i := 0; i < 5; i++ {
+		tr.NoteTableFull(0)
+	}
+	if occ := tr.Occupancy(0); occ != 0 {
+		t.Errorf("occupancy = %d, want clamp at 0", occ)
+	}
+	if st := tr.Stats(); st.TableFullErrors != 6 {
+		t.Errorf("table-full errors = %d, want 6", st.TableFullErrors)
+	}
+}
+
+func TestResetIsDeaggregation(t *testing.T) {
+	tr := mustTracker(t, Config{TableCapacity: 8})
+	fill(t, tr, 0, 6) // aggregate active on switch 0
+	fill(t, tr, 1, 2) // no aggregate on switch 1
+	tr.ResetAll()
+	st := tr.Stats()
+	if st.Deaggregations != 1 {
+		t.Errorf("deaggregations = %d, want 1 (only the switch with an active aggregate)", st.Deaggregations)
+	}
+	if tr.Occupancy(0) != 0 || tr.Occupancy(1) != 0 {
+		t.Errorf("occupancy after reset = %d/%d, want 0/0", tr.Occupancy(0), tr.Occupancy(1))
+	}
+	if tr.Covered(0, netip.AddrFrom4([4]byte{10, 0, 1, 200}), 2) {
+		t.Error("covered after de-aggregation reset")
+	}
+}
+
+// TestAggregationMessageOrderDeterministic re-runs the same install sequence
+// and demands byte-identical message streams — the sweep's CSV determinism
+// rests on this.
+func TestAggregationMessageOrderDeterministic(t *testing.T) {
+	render := func() string {
+		tr := mustTracker(t, Config{TableCapacity: 8})
+		var out string
+		// Two competing groups with equal counts force the tie-break path.
+		for i := 0; i < 3; i++ {
+			dst := netip.AddrFrom4([4]byte{10, 0, 1, byte(10 + i)})
+			for _, m := range tr.NoteInstall(0, flowMatch(uint16(1000+i), dst), 100, dst, 2) {
+				out += fmt.Sprintf("%x\n", openflow.MustEncode(m, 0))
+			}
+			dst = netip.AddrFrom4([4]byte{10, 0, 2, byte(10 + i)})
+			for _, m := range tr.NoteInstall(0, flowMatch(uint16(2000+i), dst), 100, dst, 3) {
+				out += fmt.Sprintf("%x\n", openflow.MustEncode(m, 0))
+			}
+		}
+		return out
+	}
+	first := render()
+	if first == "" {
+		t.Fatal("scenario never aggregated")
+	}
+	for i := 0; i < 20; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d diverged:\nfirst:\n%s\ngot:\n%s", i, first, got)
+		}
+	}
+}

@@ -107,6 +107,14 @@ const (
 	// its ingress at the next path switch — the inter-hop link leg (Ref is
 	// the upstream path position).
 	KindHopLink
+	// KindFlowEvict marks a rule leaving the flow table (instant; Ref is
+	// the flow_removed reason code).
+	KindFlowEvict
+	// KindAggregate marks the controller compressing a switch's per-flow
+	// rules into a per-destination-prefix rule, or undoing it on reroute
+	// (instant; Ref is the number of per-flow rules replaced, 0 for a
+	// de-aggregation reset).
+	KindAggregate
 
 	numSpanKinds // sentinel: keep last
 )
@@ -136,6 +144,8 @@ var spanKindNames = [...]string{
 	KindPacketInShed:      "packet_in_shed",
 	KindHopResidency:      "hop_residency",
 	KindHopLink:           "hop_link",
+	KindFlowEvict:         "flow_evict",
+	KindAggregate:         "aggregate",
 }
 
 // String names the kind as it appears in CSV and trace output.

@@ -15,6 +15,7 @@ import (
 	"sdnbuffer/internal/pktgen"
 	"sdnbuffer/internal/sim"
 	"sdnbuffer/internal/switchd"
+	"sdnbuffer/internal/tablemgmt"
 	"sdnbuffer/internal/telemetry"
 	"sdnbuffer/internal/topo"
 )
@@ -45,6 +46,11 @@ type FabricOptions struct {
 	// packet (schedule sequence 0), feeding the hop-sum oracle and the hop
 	// telemetry spans. Leave it off for scale runs.
 	TrackHops bool
+	// TableMgmt, when non-nil, enables the controller-side flow-table
+	// management layer on every shard's PathForwarder: occupancy tracking
+	// from flow_removed / table-full feedback plus destination-prefix
+	// wildcard aggregation past the configured threshold.
+	TableMgmt *tablemgmt.Config
 	// KernelWorkers selects intra-run parallelism: with a value > 1 the
 	// fabric shards the simulation into per-switch and per-controller
 	// logical processes on a conservative parallel kernel (DESIGN.md §15)
@@ -167,6 +173,28 @@ type FabricResult struct {
 	LoopFrames       int64
 	ConvergenceTime  time.Duration
 	LastReorderTime  time.Duration
+
+	// Flow-table management (DESIGN.md §17). The rule ledger sums the
+	// datapath lifecycle counters across switches: every install must end up
+	// active, removed (by reason), or cleared — LedgerGap is the summed
+	// imbalance and must be zero. The aggregation counters sum the per-shard
+	// tracker stats (all zero when FabricOptions.TableMgmt is nil).
+	RuleInstalls     uint64
+	RuleReplacements uint64
+	RuleRejects      uint64
+	RulesCleared     uint64
+	RulesActive      uint64
+	RemovedIdle      uint64
+	RemovedHard      uint64
+	RemovedDelete    uint64
+	RemovedEvict     uint64
+	LedgerGap        int64
+	Aggregations     uint64
+	RulesCompressed  uint64
+	Deaggregations   uint64
+	CoveredSkips     uint64
+	TableFullErrors  uint64
+	FlowRemovedSeen  uint64
 }
 
 // hopTrack is the per-hop time record for one tracked frame.
@@ -383,6 +411,11 @@ func NewFabric(cfg Config, opts FabricOptions) (*Fabric, error) {
 	// controller lives on its own domain.
 	for j := 0; j < opts.Shards; j++ {
 		app := topo.NewPathForwarder(g, opts.Install, cfg.Forwarder)
+		if opts.TableMgmt != nil {
+			if err := app.EnableTableMgmt(*opts.TableMgmt); err != nil {
+				return nil, fmt.Errorf("testbed: controller %d: %w", j, err)
+			}
+		}
 		ctl, err := controller.NewSimController(ctlk(j), cfg.Controller, app)
 		if err != nil {
 			return nil, fmt.Errorf("testbed: building controller %d: %w", j, err)
@@ -881,6 +914,14 @@ func (fb *Fabric) collect(sched pktgen.Schedule) *FabricResult {
 		rerouted, blackholes := app.RecoveryStats()
 		res.ReroutedPaths += rerouted
 		res.Blackholes += blackholes
+		if ts, ok := app.TableMgmt(); ok {
+			res.Aggregations += ts.Aggregations
+			res.RulesCompressed += ts.RulesCompressed
+			res.Deaggregations += ts.Deaggregations
+			res.CoveredSkips += ts.CoveredSkips
+			res.TableFullErrors += ts.TableFullErrors
+			res.FlowRemovedSeen += ts.FlowRemovedSeen
+		}
 	}
 	for _, sw := range fb.sws {
 		res.SwitchUsagePercent += sw.CPUUtilizationPercent()
@@ -915,6 +956,17 @@ func (fb *Fabric) collect(sched pktgen.Schedule) *FabricResult {
 		rxDrops, ctlDrops := sw.CrashDrops()
 		res.CrashRxDrops += rxDrops
 		res.CrashCtlDrops += ctlDrops
+		tm := sw.Datapath().TableMgmt()
+		res.RuleInstalls += tm.Installs
+		res.RuleReplacements += tm.Replacements
+		res.RuleRejects += tm.Rejects
+		res.RulesCleared += tm.Cleared
+		res.RulesActive += uint64(tm.Active)
+		res.RemovedIdle += tm.RemovedIdle
+		res.RemovedHard += tm.RemovedHard
+		res.RemovedDelete += tm.RemovedDelete
+		res.RemovedEvict += tm.RemovedEvict
+		res.LedgerGap += tm.LedgerGap()
 	}
 	res.SwitchUsagePercent /= float64(len(fb.sws))
 	res.LinkDownDrops = fb.linkDownDrops.Load()

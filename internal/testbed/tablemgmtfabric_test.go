@@ -1,0 +1,102 @@
+package testbed
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"sdnbuffer/internal/flowtable"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/pktgen"
+	"sdnbuffer/internal/tablemgmt"
+	"sdnbuffer/internal/topo"
+)
+
+// runTableMgmtFabric runs a line:4 fabric under table pressure — capacity-4
+// LRU tables, 1s idle timeouts, flow_removed requested — with or without the
+// controller-side aggregation tracker, at the given kernel worker count.
+func runTableMgmtFabric(t *testing.T, workers int, agg bool, flows int, seed int64) *FabricResult {
+	t.Helper()
+	graph := buildGraph(t, "line:4")
+	buf := openflow.FlowBufferConfig{Granularity: openflow.GranularityPacket, RerequestTimeoutMs: 50}
+	cfg := DefaultConfig(buf, 256)
+	cfg.Seed = seed
+	cfg.Forwarder.IdleTimeout = 1
+	cfg.Forwarder.RequestFlowRemoved = true
+	cfg.Switch.Datapath.TableCapacity = 4
+	cfg.Switch.Datapath.EvictionPolicy = flowtable.EvictLRU
+	opts := FabricOptions{Graph: graph, Install: topo.InstallHopByHop, KernelWorkers: workers}
+	if agg {
+		opts.TableMgmt = &tablemgmt.Config{TableCapacity: 4, RequestFlowRemoved: true}
+	}
+	fb, err := NewFabric(cfg, opts)
+	if err != nil {
+		t.Fatalf("NewFabric(workers=%d, agg=%v): %v", workers, agg, err)
+	}
+	sched, err := pktgen.SinglePacketFlows(fabricPktgen(graph, 40, fb.opts.DstHost), flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fb.Run(sched)
+	if err != nil {
+		t.Fatalf("Run(workers=%d, agg=%v): %v", workers, agg, err)
+	}
+	return res
+}
+
+// TestFabricTableMgmtLedgerAcrossWorkers pins the parallel-kernel half of
+// the eviction-ordering property: the full rule ledger — installs,
+// per-reason removals, rejects, gap — and every other FabricResult field
+// must be identical whether 1 or 8 kernel workers executed the run, with
+// eviction genuinely exercised and the ledger closed in the baseline.
+func TestFabricTableMgmtLedgerAcrossWorkers(t *testing.T) {
+	for _, agg := range []bool{false, true} {
+		serial := runTableMgmtFabric(t, 1, agg, 32, 1)
+		if serial.RuleInstalls == 0 {
+			t.Fatalf("agg=%v: baseline installed no rules", agg)
+		}
+		if !agg && serial.RemovedEvict == 0 && serial.RuleRejects == 0 {
+			t.Fatal("capacity-4 tables under 32 flows saw no eviction or reject; pressure scenario inert")
+		}
+		if agg && (serial.Aggregations == 0 || serial.RulesCompressed == 0) {
+			// With aggregation on, the pressure is absorbed by compression
+			// instead of eviction — that absorption must actually happen.
+			t.Fatalf("aggregation enabled but inert: %d aggregations, %d rules compressed",
+				serial.Aggregations, serial.RulesCompressed)
+		}
+		if serial.LedgerGap != 0 {
+			t.Fatalf("agg=%v: baseline ledger gap %d", agg, serial.LedgerGap)
+		}
+		if serial.BufferUnitsLeaked != 0 {
+			t.Fatalf("agg=%v: baseline leaked %d buffer units", agg, serial.BufferUnitsLeaked)
+		}
+		for _, workers := range []int{2, 8} {
+			par := runTableMgmtFabric(t, workers, agg, 32, 1)
+			diffResults(t, fmt.Sprintf("tablemgmt agg=%v workers=%d", agg, workers), serial, par)
+		}
+	}
+}
+
+// TestTableMgmtSoak is the CI soak entry point (TABLEMGMT_SOAK=1, typically
+// under -race): 10 seeds × both aggregation arms, each seed held to a closed
+// rule ledger, zero buffer leaks, and serial-vs-8-workers equality. Skipped
+// by default.
+func TestTableMgmtSoak(t *testing.T) {
+	if os.Getenv("TABLEMGMT_SOAK") == "" {
+		t.Skip("set TABLEMGMT_SOAK=1 to run the 10-seed table-management soak")
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		for _, agg := range []bool{false, true} {
+			label := fmt.Sprintf("seed=%d agg=%v", seed, agg)
+			serial := runTableMgmtFabric(t, 1, agg, 32, seed)
+			if serial.LedgerGap != 0 {
+				t.Errorf("%s: rule ledger gap %d", label, serial.LedgerGap)
+			}
+			if serial.BufferUnitsLeaked != 0 {
+				t.Errorf("%s: leaked %d buffer units", label, serial.BufferUnitsLeaked)
+			}
+			par := runTableMgmtFabric(t, 8, agg, 32, seed)
+			diffResults(t, label, serial, par)
+		}
+	}
+}

@@ -2,10 +2,12 @@ package topo
 
 import (
 	"fmt"
+	"net/netip"
 
 	"sdnbuffer/internal/controller"
 	"sdnbuffer/internal/openflow"
 	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/tablemgmt"
 )
 
 // InstallMode selects how the controller answers a path miss.
@@ -68,6 +70,12 @@ type PathForwarder struct {
 	masteredOrder []int
 	peerNotify    func(e EdgeKey, down bool)
 
+	// tm, when non-nil, is the flow-table management layer: it tracks
+	// per-switch occupancy from flow_removed / table-full feedback and
+	// compresses per-flow rules into destination-prefix wildcards once a
+	// switch's table pressure crosses its threshold.
+	tm *tablemgmt.Tracker
+
 	packetIns     uint64
 	pathInstalls  uint64 // downstream flow_mods sent by path installation
 	remoteSkips   uint64 // path hops skipped because another shard masters them
@@ -109,6 +117,26 @@ func (p *PathForwarder) RegisterStandbyConn(conn, sw int) {
 	p.connSwitch[conn] = sw
 }
 
+// EnableTableMgmt turns on the wildcard aggregation policy with the given
+// configuration. Must be called before the forwarder handles traffic.
+func (p *PathForwarder) EnableTableMgmt(cfg tablemgmt.Config) error {
+	tm, err := tablemgmt.New(cfg)
+	if err != nil {
+		return err
+	}
+	p.tm = tm
+	return nil
+}
+
+// TableMgmt reports the aggregation layer's counters; ok is false when the
+// layer is disabled.
+func (p *PathForwarder) TableMgmt() (tablemgmt.Stats, bool) {
+	if p.tm == nil {
+		return tablemgmt.Stats{}, false
+	}
+	return p.tm.Stats(), true
+}
+
 // Name implements controller.App.
 func (p *PathForwarder) Name() string { return "path-forwarder" }
 
@@ -147,10 +175,26 @@ func (p *PathForwarder) HandlePacketInConn(conn int, pi *openflow.PacketIn, xid 
 		}
 		return p.drop(conn, pi), nil
 	}
-	msgs := p.cfg.InstallMessages(pi, frame, out)
-	directed := make([]controller.Directed, 0, len(msgs))
-	for _, m := range msgs {
-		directed = append(directed, controller.Directed{Conn: conn, Msg: m})
+	var directed []controller.Directed
+	if p.tm != nil && p.tm.Covered(sw, frame.DstIP, out) {
+		// An aggregate rule already forwards this destination: skip the
+		// per-flow install and only release the buffered packet (mirroring
+		// InstallMessages' packet_out shape).
+		po := &openflow.PacketOut{
+			BufferID: pi.BufferID,
+			InPort:   pi.InPort,
+			Actions:  []openflow.Action{&openflow.ActionOutput{Port: out, MaxLen: 0xffff}},
+		}
+		if pi.BufferID == openflow.NoBuffer {
+			po.Data = pi.Data
+		}
+		directed = append(directed, controller.Directed{Conn: conn, Msg: po})
+	} else {
+		msgs := p.cfg.InstallMessages(pi, frame, out)
+		for _, m := range msgs {
+			directed = append(directed, controller.Directed{Conn: conn, Msg: m})
+		}
+		directed = p.noteInstall(directed, conn, sw, p.cfg.MatchFor(pi.InPort, frame), frame.DstIP, out)
 	}
 	if p.mode != InstallPath {
 		return directed, nil
@@ -168,13 +212,63 @@ func (p *PathForwarder) HandlePacketInConn(conn int, pi *openflow.PacketIn, xid 
 			p.remoteSkips++
 			continue
 		}
+		if p.tm != nil && p.tm.Covered(hop.Switch, frame.DstIP, hop.Exit) {
+			// Covered downstream hops need nothing: no buffer is waiting
+			// there, the aggregate already forwards the flow.
+			continue
+		}
 		p.pathInstalls++
+		match := p.cfg.MatchFor(hop.Entry, frame)
 		directed = append(directed, controller.Directed{
 			Conn: hopConn,
-			Msg:  p.cfg.RuleFor(p.cfg.MatchFor(hop.Entry, frame), hop.Exit),
+			Msg:  p.cfg.RuleFor(match, hop.Exit),
 		})
+		directed = p.noteInstall(directed, hopConn, hop.Switch, match, frame.DstIP, hop.Exit)
 	}
 	return directed, nil
+}
+
+// noteInstall records one per-flow install with the table-management layer
+// and appends any aggregation messages (wildcard flow_mod plus strict
+// deletes) it triggers, directed at the same switch.
+func (p *PathForwarder) noteInstall(directed []controller.Directed, conn, sw int, match openflow.Match, dst netip.Addr, out uint16) []controller.Directed {
+	if p.tm == nil {
+		return directed
+	}
+	for _, m := range p.tm.NoteInstall(sw, match, p.cfg.EffectivePriority(), dst, out) {
+		directed = append(directed, controller.Directed{Conn: conn, Msg: m})
+	}
+	return directed
+}
+
+// HandleFlowRemovedConn implements controller.FlowRemovedApp: rule-lifetime
+// notifications feed the table-management occupancy estimate.
+func (p *PathForwarder) HandleFlowRemovedConn(conn int, fr *openflow.FlowRemoved) ([]controller.Directed, error) {
+	if p.tm == nil {
+		return nil, nil
+	}
+	sw, ok := p.connSwitch[conn]
+	if !ok {
+		return nil, fmt.Errorf("topo: flow_removed on unregistered connection %d", conn)
+	}
+	p.tm.NoteFlowRemoved(sw, fr)
+	return nil, nil
+}
+
+// HandleErrorConn implements controller.ErrorApp: all-tables-full
+// rejections tell the table-management layer an install never landed.
+func (p *PathForwarder) HandleErrorConn(conn int, e *openflow.ErrorMsg) ([]controller.Directed, error) {
+	if p.tm == nil {
+		return nil, nil
+	}
+	sw, ok := p.connSwitch[conn]
+	if !ok {
+		return nil, fmt.Errorf("topo: error message on unregistered connection %d", conn)
+	}
+	if e.ErrType == openflow.ErrTypeFlowModFailed && e.Code == openflow.ErrCodeAllTablesFull {
+		p.tm.NoteTableFull(sw)
+	}
+	return nil, nil
 }
 
 // drop answers an unroutable miss: release the buffered packet with no

@@ -81,6 +81,12 @@ func (p *PathForwarder) LearnEdge(e EdgeKey, down bool) []controller.Directed {
 	// Flush on every transition, up included: rules from the old tree mixed
 	// with new-tree installs are not provably loop-free, an empty table plus
 	// re-misses is.
+	if p.tm != nil {
+		// De-aggregation: the flush below removes aggregates along with the
+		// per-flow rules, so the tracker forgets them too and per-flow rules
+		// reinstall against the new routing table before any re-aggregation.
+		p.tm.ResetAll()
+	}
 	dirs := make([]controller.Directed, 0, len(p.masteredOrder))
 	flushAll := openflow.MatchAll()
 	for _, sw := range p.masteredOrder {

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# tablemgmtjson.sh — run the flow-table management sweep and emit its CSV
+# as JSON on stdout. This is the machine-readable form of
+# `benchrunner -scenario tablemgmt -csv ...`; the committed
+# BENCH_tablemgmt.json baseline was produced with this script, and CI's
+# tablemgmt soak uploads a fresh run as a non-gating artifact.
+#
+# Usage:
+#   scripts/tablemgmtjson.sh            # full grid (2 capacities × 3 policies × 2 arms × 2 mechanisms)
+#   scripts/tablemgmtjson.sh -quick     # reduced grid, 1 repeat
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/benchrunner" ./cmd/benchrunner
+"$tmp/benchrunner" -scenario tablemgmt "$@" -csv "$tmp/tablemgmt.csv" >/dev/null
+
+awk -F, '
+NR == 1 { for (i = 1; i <= NF; i++) col[i] = $i; ncol = NF; next }
+{
+    rows[++n] = $0
+}
+END {
+    printf "{\n  \"command\": \"benchrunner -scenario tablemgmt\",\n  \"rows\": [\n"
+    for (r = 1; r <= n; r++) {
+        line = rows[r]
+        # The topo column is RFC-4180-quoted when the spec contains commas
+        # (e.g. "leafspine:leaves=4,spines=3"); peel it off before splitting
+        # the remaining (comma-free) columns.
+        if (substr(line, 1, 1) == "\"") {
+            close_q = index(substr(line, 2), "\"") + 1
+            f[1] = substr(line, 2, close_q - 2)
+            line = substr(line, close_q + 2)
+        } else {
+            c = index(line, ",")
+            f[1] = substr(line, 1, c - 1)
+            line = substr(line, c + 1)
+        }
+        nf = split(line, rest, ",")
+        for (i = 1; i <= nf; i++) f[i + 1] = rest[i]
+        printf "    {"
+        for (i = 1; i <= ncol; i++) {
+            # topo, policy, aggregation and mechanism are strings; the rest numeric.
+            if (col[i] == "topo" || col[i] == "policy" || col[i] == "aggregation" || col[i] == "mechanism")
+                printf "\"%s\": \"%s\"", col[i], f[i]
+            else
+                printf "\"%s\": %s", col[i], f[i]
+            if (i < ncol) printf ", "
+        }
+        printf "}%s\n", (r < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}' "$tmp/tablemgmt.csv"
