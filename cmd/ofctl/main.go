@@ -67,6 +67,15 @@ func run() int {
 		missSendLen = flag.Uint("miss-send-len", openflow.DefaultMissSendLen, "packet_in truncation pushed via SET_CONFIG")
 		idle        = flag.Uint("idle-timeout", 0, "rule idle timeout in seconds")
 		hard        = flag.Uint("hard-timeout", 0, "rule hard timeout in seconds")
+
+		maxConns    = flag.Int("max-conns", 0, "max concurrent switch connections (0 = unlimited)")
+		acceptRate  = flag.Float64("accept-rate", 0, "admission token bucket: accepted connections per second (0 = unlimited)")
+		acceptBurst = flag.Int("accept-burst", 0, "admission token bucket burst (0 = default when -accept-rate is set)")
+		writeQueue  = flag.Int("write-queue", 0, "per-connection outbound queue depth (0 = default 512, negative = legacy direct writes)")
+		echo        = flag.Duration("echo-interval", 5*time.Second, "keepalive probe interval; silent peers are evicted (0 = off)")
+		handshakeTO = flag.Duration("handshake-timeout", 10*time.Second, "max time from accept to FEATURES_REPLY")
+		stallTO     = flag.Duration("stall-timeout", 2*time.Second, "slow-consumer bound before a stalled connection is evicted")
+		drainTO     = flag.Duration("drain-timeout", 2*time.Second, "graceful-drain bound on shutdown")
 	)
 	flag.Var(&routes, "route", "PREFIX=PORT forwarding route (repeatable)")
 	flag.Parse()
@@ -91,8 +100,19 @@ func run() int {
 	}
 
 	cfg := controller.ServerConfig{
-		MissSendLen: uint16(*missSendLen),
-		Logger:      logger,
+		MissSendLen:      uint16(*missSendLen),
+		Logger:           logger,
+		MaxConns:         *maxConns,
+		AcceptRate:       *acceptRate,
+		AcceptBurst:      *acceptBurst,
+		WriteQueue:       *writeQueue,
+		EchoInterval:     *echo,
+		HandshakeTimeout: *handshakeTO,
+		StallTimeout:     *stallTO,
+		DrainTimeout:     *drainTO,
+		OnPressure: func(level int) {
+			logger.Printf("ofctl: admission pressure level %d", level)
+		},
 	}
 	switch *bufferMode {
 	case "":
@@ -125,12 +145,16 @@ func run() int {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logger.Printf("ofctl: shutting down")
+	logger.Printf("ofctl: shutting down (draining %d connections)", len(srv.Conns()))
 	if err := srv.Close(); err != nil {
 		logger.Printf("ofctl: close: %v", err)
 		return 1
 	}
 	packetIns, flooded := app.Stats()
 	logger.Printf("ofctl: handled %d packet_ins (%d flooded)", packetIns, flooded)
+	st := srv.Stats()
+	logger.Printf("ofctl: lifetime: accepted %d (rejected %d, rate-limited %d), msgs in %d out %d, shed %d, evictions: handshake %d keepalive %d stall %d, write errors %d, framing errors %d",
+		st.Accepted, st.AdmissionRejected, st.RateLimited, st.MsgsIn, st.MsgsOut, st.Shed,
+		st.HandshakeTimeouts, st.KeepaliveEvictions, st.StallEvictions, st.WriteErrors, st.FramingErrors)
 	return 0
 }

@@ -55,6 +55,11 @@ func run() int {
 		flows          = flag.Int("flows", 1000, "pktgen flow count")
 		frameSize      = flag.Int("frame-size", 1000, "pktgen frame size in bytes")
 		flap           = flag.String("flap", "", "simulate a link flap: PORT@DOWN..UP (e.g. 2@500ms..1.5s)")
+
+		reconnect    = flag.Bool("reconnect", false, "redial the controller automatically with exponential backoff")
+		echo         = flag.Duration("echo-interval", 5*time.Second, "keepalive probe interval; a silent controller is reported dead (0 = off)")
+		dialTimeout  = flag.Duration("dial-timeout", 10*time.Second, "bound on each controller dial (0 = OS default)")
+		writeTimeout = flag.Duration("write-timeout", 10*time.Second, "bound on each control write before the channel is declared dead (0 = off)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "", log.LstdFlags|log.Lmicroseconds)
@@ -92,7 +97,17 @@ func run() int {
 			Buffer:         buf,
 			BufferCapacity: *capacity,
 		},
-		Logger: logger,
+		Logger:       logger,
+		EchoInterval: *echo,
+		DialTimeout:  *dialTimeout,
+		WriteTimeout: *writeTimeout,
+		Reconnect:    switchd.ReconnectConfig{Enable: *reconnect},
+		OnDisconnect: func(err error) {
+			logger.Printf("ofswitch: control channel down: %v", err)
+		},
+		OnReconnect: func(attempts int) {
+			logger.Printf("ofswitch: control channel re-established after %d attempts", attempts)
+		},
 	})
 	if err != nil {
 		logger.Printf("ofswitch: %v", err)

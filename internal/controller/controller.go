@@ -11,6 +11,7 @@ package controller
 import (
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"sdnbuffer/internal/openflow"
@@ -97,12 +98,15 @@ type ForwarderConfig struct {
 	RequestFlowRemoved bool
 }
 
-// ReactiveForwarder is the Floodlight-style forwarding application.
+// ReactiveForwarder is the Floodlight-style forwarding application. It is
+// safe for concurrent use: the live server dispatches packet_ins from many
+// connection goroutines at once, so the counters are atomic and the route
+// table is read-only after construction.
 type ReactiveForwarder struct {
 	cfg ForwarderConfig
 
-	packetIns uint64
-	flooded   uint64
+	packetIns atomic.Uint64
+	flooded   atomic.Uint64
 }
 
 var _ App = (*ReactiveForwarder)(nil)
@@ -137,7 +141,7 @@ func (f *ReactiveForwarder) lookupPort(dst netip.Addr) uint16 {
 		}
 	}
 	if best < 0 {
-		f.flooded++
+		f.flooded.Add(1)
 	}
 	return port
 }
@@ -145,7 +149,7 @@ func (f *ReactiveForwarder) lookupPort(dst netip.Addr) uint16 {
 // HandlePacketIn implements App: decide the output port from the packet
 // headers, install the rule, and release the miss-match packet.
 func (f *ReactiveForwarder) HandlePacketIn(pi *openflow.PacketIn, xid uint32) ([]openflow.Message, error) {
-	f.packetIns++
+	f.packetIns.Add(1)
 	frame, err := packet.ParseHeaders(pi.Data)
 	if err != nil {
 		return nil, fmt.Errorf("controller: parsing packet_in payload: %w", err)
@@ -219,7 +223,7 @@ func (cfg ForwarderConfig) InstallMessages(pi *openflow.PacketIn, frame *packet.
 
 // Stats reports requests handled and flood decisions.
 func (f *ReactiveForwarder) Stats() (packetIns, flooded uint64) {
-	return f.packetIns, f.flooded
+	return f.packetIns.Load(), f.flooded.Load()
 }
 
 // CostModel is the controller's CPU demand per handled message: a base

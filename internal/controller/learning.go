@@ -2,6 +2,7 @@ package controller
 
 import (
 	"fmt"
+	"sync"
 
 	"sdnbuffer/internal/openflow"
 	"sdnbuffer/internal/packet"
@@ -16,6 +17,7 @@ import (
 type LearningSwitch struct {
 	cfg ForwarderConfig // reuses the rule-shaping knobs; Routes ignored
 
+	mu   sync.Mutex // the live server calls from many connection goroutines
 	macs map[packet.MAC]uint16
 
 	packetIns uint64
@@ -39,6 +41,8 @@ func (*LearningSwitch) Name() string { return "learning-switch" }
 
 // HandlePacketIn implements App.
 func (l *LearningSwitch) HandlePacketIn(pi *openflow.PacketIn, xid uint32) ([]openflow.Message, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	l.packetIns++
 	frame, err := packet.ParseHeaders(pi.Data)
 	if err != nil {
@@ -95,11 +99,15 @@ func (l *LearningSwitch) HandlePacketIn(pi *openflow.PacketIn, xid uint32) ([]op
 
 // Stats reports requests handled, MACs learned and flood decisions.
 func (l *LearningSwitch) Stats() (packetIns, learned, flooded uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.packetIns, l.learned, l.flooded
 }
 
 // Lookup reports the learned port for a MAC (0, false if unknown).
 func (l *LearningSwitch) Lookup(mac packet.MAC) (uint16, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	p, ok := l.macs[mac]
 	return p, ok
 }

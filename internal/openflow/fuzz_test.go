@@ -163,3 +163,46 @@ func FuzzReader(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReaderStream drives the live-mode framing path with multi-message
+// byte streams — the attack surface a real switch connection exposes: valid
+// frames back to back, truncated tails, corrupt length prefixes, oversized
+// lengths, garbage versions. The reader must hand back every well-formed
+// prefix message unchanged and then fail with an error (never panic, never
+// spin): exactly the contract the live controller relies on to close a
+// misbehaving connection without disturbing the others.
+func FuzzReaderStream(f *testing.F) {
+	seeds := fuzzSeedMessages(f)
+	// Clean two- and three-message streams.
+	f.Add(append(append([]byte{}, seeds[0]...), seeds[1]...))
+	f.Add(append(append(append([]byte{}, seeds[2]...), seeds[3]...), seeds[4]...))
+	// A valid frame followed by a truncated one (mid-frame cut).
+	cut := append(append([]byte{}, seeds[0]...), seeds[9][:len(seeds[9])-3]...)
+	f.Add(cut)
+	// Corrupt length prefixes after a valid frame.
+	under := append([]byte{}, seeds[0]...)
+	under = append(under, Version, byte(TypeHello), 0x00, 0x04, 0, 0, 0, 1) // length < header
+	f.Add(under)
+	over := append([]byte{}, seeds[0]...)
+	over = append(over, Version, byte(TypeEchoRequest), 0xff, 0xff, 0, 0, 0, 1) // 65535-byte claim, no body
+	f.Add(over)
+	f.Add([]byte{0xff, 0x00, 0x00, 0x08, 0, 0, 0, 0}) // bad version
+	f.Add([]byte{Version, 0xee, 0x00, 0x08, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		r := NewReader(bytes.NewReader(b))
+		consumed := 0
+		for {
+			m, _, err := r.ReadMessage()
+			if err != nil {
+				return // any error ends the connection; the stream may not resync
+			}
+			if m == nil {
+				t.Fatal("ReadMessage returned nil message with nil error")
+			}
+			consumed += EncodedLen(m)
+			if consumed > len(b) {
+				t.Fatalf("reader produced %d message bytes from a %d-byte stream", consumed, len(b))
+			}
+		}
+	})
+}

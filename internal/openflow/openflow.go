@@ -351,7 +351,14 @@ func WriteMessage(w io.Writer, m Message, xid uint32) error {
 // Writer writes framed messages to a stream, reusing one encode buffer
 // across calls — the per-connection encode buffer of the live-mode agent and
 // controller. It is not safe for concurrent use; callers must serialize
-// writes (the live endpoints hold their write mutex around each call).
+// writes (the live endpoints hold their write mutex around each call, or
+// funnel all writes through one writer goroutine).
+//
+// Beyond per-message WriteMessage, a Writer can batch: AppendMessage stages
+// encoded frames without writing, and Flush emits everything staged in a
+// single Write call — one syscall for a burst of flow_mods and packet_outs,
+// which is what lets the live controller's per-connection writer goroutine
+// drain its queue faster than the dispatch side fills it.
 type Writer struct {
 	w   io.Writer
 	buf []byte
@@ -360,17 +367,43 @@ type Writer struct {
 // NewWriter wraps a stream for framed message writes.
 func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
 
-// WriteMessage encodes and writes one message, reusing the Writer's buffer.
-func (w *Writer) WriteMessage(m Message, xid uint32) error {
-	b, err := AppendEncode(w.buf[:0], m, xid)
+// AppendMessage encodes one message into the Writer's staging buffer without
+// writing it. Call Flush to emit everything staged as one Write. An encode
+// error leaves previously staged frames intact.
+func (w *Writer) AppendMessage(m Message, xid uint32) error {
+	b, err := AppendEncode(w.buf, m, xid)
 	if err != nil {
 		return err
 	}
 	w.buf = b
-	if _, err := w.w.Write(b); err != nil {
-		return fmt.Errorf("openflow: writing %v: %w", m.Type(), err)
+	return nil
+}
+
+// Buffered reports the number of staged bytes awaiting Flush.
+func (w *Writer) Buffered() int { return len(w.buf) }
+
+// Flush writes all staged frames in a single Write call and resets the
+// staging buffer (retaining its capacity). A no-op when nothing is staged.
+func (w *Writer) Flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.w.Write(w.buf)
+	w.buf = w.buf[:0]
+	if err != nil {
+		return fmt.Errorf("openflow: flushing batch: %w", err)
 	}
 	return nil
+}
+
+// WriteMessage encodes and writes one message, reusing the Writer's buffer.
+// Any frames staged with AppendMessage are flushed ahead of it, preserving
+// order.
+func (w *Writer) WriteMessage(m Message, xid uint32) error {
+	if err := w.AppendMessage(m, xid); err != nil {
+		return err
+	}
+	return w.Flush()
 }
 
 // Reader reads framed OpenFlow messages from a byte stream (live mode).

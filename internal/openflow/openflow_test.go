@@ -732,3 +732,108 @@ func TestPropertyMatchEncodeDecodeIdentity(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestWriterBatchSingleWrite(t *testing.T) {
+	// AppendMessage stages without touching the stream; Flush emits every
+	// staged frame in exactly one Write call, and a Reader sees the same
+	// message sequence it would from per-message writes.
+	var w countingWriter
+	bw := NewWriter(&w)
+	msgs := []Message{
+		&FlowMod{Command: FlowModAdd, Priority: 1, BufferID: NoBuffer,
+			Actions: []Action{&ActionOutput{Port: 2}}},
+		&PacketOut{BufferID: 9, InPort: 1, Actions: []Action{&ActionOutput{Port: 2}}},
+		&EchoRequest{Data: []byte("keepalive")},
+	}
+	for i, m := range msgs {
+		if err := bw.AppendMessage(m, uint32(i)); err != nil {
+			t.Fatalf("AppendMessage %d: %v", i, err)
+		}
+	}
+	if w.writes != 0 {
+		t.Fatalf("AppendMessage wrote to the stream (%d writes)", w.writes)
+	}
+	if bw.Buffered() == 0 {
+		t.Fatal("nothing staged")
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.writes != 1 {
+		t.Errorf("Flush used %d writes, want 1", w.writes)
+	}
+	if bw.Buffered() != 0 {
+		t.Errorf("Buffered after Flush = %d", bw.Buffered())
+	}
+	// Flush with nothing staged is a no-op.
+	if err := bw.Flush(); err != nil || w.writes != 1 {
+		t.Errorf("empty Flush: err %v, writes %d", err, w.writes)
+	}
+	r := NewReader(bytes.NewReader(w.buf.Bytes()))
+	for i, want := range msgs {
+		got, xid, err := r.ReadMessage()
+		if err != nil {
+			t.Fatalf("ReadMessage %d: %v", i, err)
+		}
+		if got.Type() != want.Type() || xid != uint32(i) {
+			t.Errorf("message %d: type %v xid %d, want %v %d", i, got.Type(), xid, want.Type(), i)
+		}
+	}
+	if _, _, err := r.ReadMessage(); err != io.EOF {
+		t.Errorf("after batch end: %v, want io.EOF", err)
+	}
+}
+
+func TestWriterMixedAppendAndWriteMessagePreservesOrder(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.AppendMessage(&Hello{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	// WriteMessage flushes the staged hello ahead of the echo.
+	if err := bw.WriteMessage(&EchoRequest{Data: []byte("x")}, 2); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	m1, x1, err := r.ReadMessage()
+	if err != nil || m1.Type() != TypeHello || x1 != 1 {
+		t.Fatalf("first = %v xid %d err %v, want HELLO 1", m1, x1, err)
+	}
+	m2, x2, err := r.ReadMessage()
+	if err != nil || m2.Type() != TypeEchoRequest || x2 != 2 {
+		t.Fatalf("second = %v xid %d err %v, want ECHO_REQUEST 2", m2, x2, err)
+	}
+}
+
+func TestWriterAppendOversizedLeavesStageIntact(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewWriter(&buf)
+	if err := bw.AppendMessage(&Hello{}, 1); err != nil {
+		t.Fatal(err)
+	}
+	staged := bw.Buffered()
+	big := &EchoRequest{Data: make([]byte, MaxMessageLen)}
+	if err := bw.AppendMessage(big, 2); !errors.Is(err, ErrMessageTooLong) {
+		t.Fatalf("oversized append error = %v", err)
+	}
+	if bw.Buffered() != staged {
+		t.Errorf("failed append changed stage: %d -> %d bytes", staged, bw.Buffered())
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if m, _, err := NewReader(&buf).ReadMessage(); err != nil || m.Type() != TypeHello {
+		t.Errorf("staged hello lost: %v, %v", m, err)
+	}
+}
+
+// countingWriter counts Write calls while collecting the bytes.
+type countingWriter struct {
+	buf    bytes.Buffer
+	writes int
+}
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return w.buf.Write(p)
+}

@@ -82,6 +82,13 @@ type AgentConfig struct {
 	// the number of dial attempts it took. Runs on an agent goroutine and
 	// must not block.
 	OnReconnect func(attempts int)
+	// DialTimeout bounds each Connect (and automatic redial) attempt.
+	// 0 means the operating system's default.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each control-channel write; past it the write
+	// fails and the connection is reported dead rather than wedging the
+	// datapath behind a stalled controller socket. 0 disables the bound.
+	WriteTimeout time.Duration
 }
 
 // Agent is the live-mode switch: a Datapath driven by a real OpenFlow TCP
@@ -91,6 +98,8 @@ type AgentConfig struct {
 type Agent struct {
 	logger       *log.Logger
 	echoInterval time.Duration
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
 	onDisconnect func(err error)
 	onReconnect  func(attempts int)
 	reconnect    ReconnectConfig
@@ -132,6 +141,8 @@ func NewAgent(cfg AgentConfig) (*Agent, error) {
 		dp:           dp,
 		logger:       cfg.Logger,
 		echoInterval: cfg.EchoInterval,
+		dialTimeout:  cfg.DialTimeout,
+		writeTimeout: cfg.WriteTimeout,
 		onDisconnect: cfg.OnDisconnect,
 		onReconnect:  cfg.OnReconnect,
 		reconnect:    rc,
@@ -206,7 +217,7 @@ func (a *Agent) now() time.Duration { return time.Since(a.start) }
 // Connect dials the controller and starts the message loop. It performs the
 // OpenFlow handshake inline and returns once the connection is serving.
 func (a *Agent) Connect(addr string) error {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, a.dialTimeout)
 	if err != nil {
 		return fmt.Errorf("switchd: dialing controller %s: %w", addr, err)
 	}
@@ -365,14 +376,26 @@ func (a *Agent) xid() uint32 {
 
 func (a *Agent) send(m openflow.Message, xid uint32) error {
 	a.mu.Lock()
-	w := a.writer
+	w, conn := a.writer, a.conn
 	a.mu.Unlock()
 	if w == nil {
 		return fmt.Errorf("switchd: not connected")
 	}
 	a.writeMu.Lock()
-	defer a.writeMu.Unlock()
-	return w.WriteMessage(m, xid)
+	if a.writeTimeout > 0 {
+		_ = conn.SetWriteDeadline(time.Now().Add(a.writeTimeout))
+	}
+	err := w.WriteMessage(m, xid)
+	a.writeMu.Unlock()
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		// A write that can't complete within the bound means the controller
+		// socket is wedged: treat it like a missed keepalive, not a lost
+		// message — tear the connection down (readLoop unblocks on the
+		// close) so the reconnect path can take over.
+		a.reportDisconnect(fmt.Errorf("switchd: control write stalled: %w", err))
+	}
+	return err
 }
 
 func (a *Agent) readLoop(conn net.Conn) {

@@ -1,0 +1,165 @@
+package switchd_test
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+	"sdnbuffer/internal/switchd"
+)
+
+// hungListener opens a loopback listener with a zero accept backlog and
+// saturates it, so further SYNs hang — the deterministic way to make a dial
+// block without touching external routes.
+func hungListener(t *testing.T) string {
+	t.Helper()
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_STREAM, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = syscall.Close(fd) })
+	if err := syscall.Bind(fd, &syscall.SockaddrInet4{Addr: [4]byte{127, 0, 0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Listen(fd, 0); err != nil {
+		t.Fatal(err)
+	}
+	sa, err := syscall.Getsockname(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := fmt.Sprintf("127.0.0.1:%d", sa.(*syscall.SockaddrInet4).Port)
+	// The single backlog slot goes to this connection; nobody accepts it.
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = c.Close() })
+	return addr
+}
+
+// TestAgentDialTimeoutBoundsConnect pins that Connect cannot hang on an
+// unresponsive address: with DialTimeout set, an attempt whose SYN goes
+// unanswered fails within the bound instead of blocking for minutes.
+func TestAgentDialTimeoutBoundsConnect(t *testing.T) {
+	addr := hungListener(t)
+	agent, err := switchd.NewAgent(switchd.AgentConfig{
+		Datapath:    switchd.Config{DatapathID: 1, NumPorts: 2},
+		DialTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	start := time.Now()
+	err = agent.Connect(addr)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Connect through a saturated backlog succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("Connect took %v despite 200ms dial timeout", elapsed)
+	}
+}
+
+// TestAgentWriteTimeoutDetectsWedgedController pins the write-side liveness
+// bound: a controller socket that stops draining (here: never reads at all)
+// must surface as a disconnect within ~WriteTimeout once the kernel buffers
+// fill, instead of wedging InjectFrame callers forever.
+func TestAgentWriteTimeoutDetectsWedgedController(t *testing.T) {
+	rc := startRawController(t)
+	var disconnected atomic.Bool
+	agent, err := switchd.NewAgent(switchd.AgentConfig{
+		Datapath:     switchd.Config{DatapathID: 1, NumPorts: 2},
+		WriteTimeout: 200 * time.Millisecond,
+		OnDisconnect: func(err error) { disconnected.Store(true) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	done := make(chan error, 1)
+	go func() { done <- agent.Connect(rc.ln.Addr().String()) }()
+	rc.accept()
+	if err := <-done; err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	// Never read from rc.conn. Misses produce full-payload packet_ins (no
+	// buffering configured), so a few MB of injected frames exhaust the
+	// kernel's socket buffers and wedge the next write.
+	f := &packet.Frame{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     netip.MustParseAddr("10.1.0.1"),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		SrcPort:   1000,
+		DstPort:   9,
+		Payload:   make([]byte, 16<<10),
+	}
+	wire, err := f.Serialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for !disconnected.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("wedged controller never detected")
+		}
+		if err := agent.InjectFrame(1, wire); err != nil {
+			// Agent closed the channel mid-call; the callback check decides.
+			break
+		}
+	}
+	waitUntil := time.Now().Add(5 * time.Second)
+	for !disconnected.Load() {
+		if time.Now().After(waitUntil) {
+			t.Fatal("OnDisconnect never fired after write stall")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAgentWriteTimeoutSparesHealthyController pins the other side: with a
+// controller that reads promptly, WriteTimeout never trips during a normal
+// miss/install/hit cycle.
+func TestAgentWriteTimeoutSparesHealthyController(t *testing.T) {
+	rc := startRawController(t)
+	var disconnected atomic.Bool
+	agent, err := switchd.NewAgent(switchd.AgentConfig{
+		Datapath:     switchd.Config{DatapathID: 1, NumPorts: 2},
+		WriteTimeout: 2 * time.Second,
+		OnDisconnect: func(err error) { disconnected.Store(true) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = agent.Close() })
+	done := make(chan error, 1)
+	go func() { done <- agent.Connect(rc.ln.Addr().String()) }()
+	rc.accept()
+	if err := <-done; err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	rc.readType(openflow.TypeHello)
+	for i := 0; i < 20; i++ {
+		frame := liveFrame(t, "10.1.0.1", uint16(1000+i))
+		if err := agent.InjectFrame(1, frame); err != nil {
+			t.Fatalf("InjectFrame %d: %v", i, err)
+		}
+		if m, _ := rc.readType(openflow.TypePacketIn); m == nil {
+			t.Fatal("no packet_in")
+		}
+	}
+	if disconnected.Load() {
+		t.Error("write timeout tripped against a healthy controller")
+	}
+}

@@ -212,9 +212,9 @@ type Fabric struct {
 	cfg    Config
 	opts   FabricOptions
 	g      *topo.Graph
-	kernel *sim.Kernel     // serial mode only (nil under the parallel kernel)
-	par    *sim.ParKernel  // parallel mode only (domain i = switch i, domain NumSwitches+j = controller j)
-	runner sim.Runner      // whichever of the two drives this fabric
+	kernel *sim.Kernel    // serial mode only (nil under the parallel kernel)
+	par    *sim.ParKernel // parallel mode only (domain i = switch i, domain NumSwitches+j = controller j)
+	runner sim.Runner     // whichever of the two drives this fabric
 	sws    []*switchd.SimSwitch
 	ctls   []*controller.SimController
 	apps   []*topo.PathForwarder

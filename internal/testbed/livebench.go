@@ -1,0 +1,165 @@
+package testbed
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"sdnbuffer/internal/controller"
+	"sdnbuffer/internal/openflow"
+	"sdnbuffer/internal/packet"
+)
+
+// LiveFanoutRow is one cell of the live fan-out grid: n raw loopback
+// switches pumping packet_ins at one controller daemon, measured end to
+// end (packet_in written → both replies read back).
+type LiveFanoutRow struct {
+	Conns       int     `json:"conns"`
+	MsgsPerConn int     `json:"msgs_per_conn"`
+	QueueMode   string  `json:"queue_mode"` // "queued" or "direct"
+	Seconds     float64 `json:"seconds"`
+	PacketInsPS float64 `json:"packet_ins_per_sec"` // fleet-wide handled misses/s
+	MsgsOutPS   float64 `json:"msgs_out_per_sec"`   // server→switch messages/s
+	Shed        uint64  `json:"shed"`               // sheddable messages dropped
+}
+
+// MeasureLiveFanout runs one cell: conns raw OpenFlow clients over real
+// loopback TCP against a controller.Server running ReactiveForwarder, each
+// client pumping msgsPerConn buffered packet_ins while concurrently reading
+// the flow_mod+packet_out replies. direct selects the legacy synchronous
+// write path (WriteQueue < 0) instead of the bounded-queue writer, so the
+// two paths are comparable on the same workload.
+func MeasureLiveFanout(conns, msgsPerConn int, direct bool) (LiveFanoutRow, error) {
+	row := LiveFanoutRow{Conns: conns, MsgsPerConn: msgsPerConn, QueueMode: "queued"}
+	if conns < 1 || msgsPerConn < 1 {
+		return row, fmt.Errorf("testbed: fan-out needs conns and msgs >= 1")
+	}
+	scfg := controller.ServerConfig{StallTimeout: 30 * time.Second}
+	if direct {
+		scfg.WriteQueue = -1
+		row.QueueMode = "direct"
+	}
+	app, err := controller.NewReactiveForwarder(controller.ForwarderConfig{Routes: []controller.Route{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/8"), Port: 2},
+	}})
+	if err != nil {
+		return row, err
+	}
+	srv, err := controller.NewServer(scfg, app)
+	if err != nil {
+		return row, err
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return row, err
+	}
+	defer srv.Close()
+
+	frame, err := (&packet.Frame{
+		SrcMAC:    packet.MAC{2, 0, 0, 0, 0, 1},
+		DstMAC:    packet.MAC{2, 0, 0, 0, 0, 2},
+		EtherType: packet.EtherTypeIPv4,
+		TTL:       64,
+		Proto:     packet.ProtoUDP,
+		SrcIP:     netip.MustParseAddr("10.1.0.1"),
+		DstIP:     netip.MustParseAddr("10.0.0.2"),
+		SrcPort:   1000,
+		DstPort:   9,
+		Payload:   make([]byte, 64),
+	}).Serialize()
+	if err != nil {
+		return row, err
+	}
+
+	// Handshake every client before the clock starts: the measurement is
+	// steady-state fan-out, not connection setup.
+	clients := make([]net.Conn, conns)
+	readers := make([]*openflow.Reader, conns)
+	for i := range clients {
+		c, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			return row, err
+		}
+		defer c.Close()
+		r := openflow.NewReader(c)
+		for _, want := range []openflow.MsgType{openflow.TypeHello, openflow.TypeFeaturesRequest} {
+			_ = c.SetReadDeadline(time.Now().Add(10 * time.Second))
+			m, _, err := r.ReadMessage()
+			if err != nil || m.Type() != want {
+				return row, fmt.Errorf("testbed: client %d handshake: got %v, %w", i, m, err)
+			}
+		}
+		if err := openflow.WriteMessage(c, &openflow.Hello{}, 1); err != nil {
+			return row, err
+		}
+		if err := openflow.WriteMessage(c, &openflow.FeaturesReply{DatapathID: uint64(i + 1)}, 2); err != nil {
+			return row, err
+		}
+		clients[i], readers[i] = c, r
+	}
+
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	start := time.Now()
+	for i := range clients {
+		c, r := clients[i], readers[i]
+		wg.Add(2)
+		// Writer: pump packet_ins as fast as the socket takes them.
+		go func() {
+			defer wg.Done()
+			w := openflow.NewWriter(c)
+			for m := 0; m < msgsPerConn; m++ {
+				pi := &openflow.PacketIn{
+					BufferID: uint32(m + 1),
+					TotalLen: uint16(len(frame)),
+					InPort:   1,
+					Reason:   openflow.ReasonNoMatch,
+					Data:     frame,
+				}
+				_ = c.SetWriteDeadline(time.Now().Add(30 * time.Second))
+				if err := w.WriteMessage(pi, uint32(m+1)); err != nil {
+					fail(fmt.Errorf("testbed: fan-out write: %w", err))
+					return
+				}
+			}
+		}()
+		// Reader: drain replies until every flow_mod is back. Flow_mods are
+		// never shed, so msgsPerConn of them proves every miss completed;
+		// packet_outs may legally be dropped by the slow-consumer policy
+		// (the row's Shed column reports how many were).
+		go func() {
+			defer wg.Done()
+			for got := 0; got < msgsPerConn; {
+				_ = c.SetReadDeadline(time.Now().Add(30 * time.Second))
+				m, _, err := r.ReadMessage()
+				if err != nil {
+					fail(fmt.Errorf("testbed: fan-out read after %d/%d flow_mods: %w", got, msgsPerConn, err))
+					return
+				}
+				if m.Type() == openflow.TypeFlowMod {
+					got++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return row, firstErr
+	}
+	st := srv.Stats()
+	row.Seconds = elapsed.Seconds()
+	row.PacketInsPS = float64(conns*msgsPerConn) / elapsed.Seconds()
+	row.MsgsOutPS = float64(st.MsgsOut) / elapsed.Seconds()
+	row.Shed = st.Shed
+	return row, nil
+}

@@ -1,0 +1,34 @@
+package testbed
+
+import "testing"
+
+// TestMeasureLiveFanoutSmoke runs one tiny cell in each write-path mode —
+// the gating slice of the scripts/livebench.go grid. Both paths must
+// deliver every flow_mod (they are never shed) and report sane rates.
+func TestMeasureLiveFanoutSmoke(t *testing.T) {
+	for _, direct := range []bool{false, true} {
+		row, err := MeasureLiveFanout(4, 50, direct)
+		if err != nil {
+			t.Fatalf("direct=%v: %v", direct, err)
+		}
+		if row.Seconds <= 0 || row.PacketInsPS <= 0 || row.MsgsOutPS <= 0 {
+			t.Errorf("direct=%v: degenerate row %+v", direct, row)
+		}
+		wantMode := "queued"
+		if direct {
+			wantMode = "direct"
+		}
+		if row.QueueMode != wantMode {
+			t.Errorf("direct=%v: QueueMode = %q, want %q", direct, row.QueueMode, wantMode)
+		}
+	}
+}
+
+func TestMeasureLiveFanoutRejectsBadArgs(t *testing.T) {
+	if _, err := MeasureLiveFanout(0, 10, false); err == nil {
+		t.Error("conns=0 accepted")
+	}
+	if _, err := MeasureLiveFanout(1, 0, false); err == nil {
+		t.Error("msgs=0 accepted")
+	}
+}

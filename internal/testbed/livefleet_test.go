@@ -1,0 +1,218 @@
+package testbed
+
+import (
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"sdnbuffer/internal/netem"
+	"sdnbuffer/internal/netem/tcpchaos"
+)
+
+// countFDs reads /proc/self/fd — the leak oracle for sockets.
+func countFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc/self/fd: %v", err)
+	}
+	return len(ents)
+}
+
+// leakCheck snapshots goroutines and fds, returning a function that
+// asserts both have returned to (near) baseline. Goroutines get slack for
+// runtime internals; fds must come back exactly (sockets are what we pin).
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	runtime.GC()
+	baseGoroutines := runtime.NumGoroutine()
+	baseFDs := countFDs(t)
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			runtime.GC()
+			g, f := runtime.NumGoroutine(), countFDs(t)
+			if g <= baseGoroutines+2 && f <= baseFDs {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<20)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("leak: %d goroutines (base %d), %d fds (base %d)\n%s",
+					g, baseGoroutines, f, baseFDs, buf[:n])
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+func TestLiveFleetCleanConvergence(t *testing.T) {
+	check := leakCheck(t)
+	lf, err := NewLiveFleet(LiveFleetConfig{Agents: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := lf.Converge(10 * time.Second); failed != 0 {
+		t.Errorf("%d/8 agents failed to converge on a clean network", failed)
+	}
+	st := lf.Server().Stats()
+	if st.Accepted < 8 || st.MsgsIn == 0 || st.MsgsOut == 0 {
+		t.Errorf("server stats = %+v", st)
+	}
+	if err := lf.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	check()
+}
+
+// TestLiveFleetSurvivesChaos is the gating slice of the acceptance soak: a
+// small fleet through an aggressive fault profile — every agent must still
+// converge (possibly after several reconnects), and teardown must leak
+// nothing.
+func TestLiveFleetSurvivesChaos(t *testing.T) {
+	check := leakCheck(t)
+	lf, err := NewLiveFleet(LiveFleetConfig{
+		Agents: 8,
+		Chaos: tcpchaos.Profile{
+			Seed:         42,
+			Latency:      time.Millisecond,
+			Jitter:       2 * time.Millisecond,
+			PartialWrite: 0.3,
+			Truncate:     0.005,
+			Reset:        0.005,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := lf.Converge(30 * time.Second); failed != 0 {
+		t.Errorf("%d/8 agents failed to converge through chaos (reconnects %d, disconnects %d)",
+			failed, lf.Reconnects(), lf.Disconnects())
+	}
+	if err := lf.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	check()
+}
+
+// TestLiveFleetMassReconnect drops every control connection at once
+// (KillAll — the management-network blip) and requires the whole fleet to
+// re-handshake and re-install rules.
+func TestLiveFleetMassReconnect(t *testing.T) {
+	check := leakCheck(t)
+	lf, err := NewLiveFleet(LiveFleetConfig{
+		Agents: 8,
+		Chaos:  tcpchaos.Profile{Seed: 1, Latency: 100 * time.Microsecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := lf.Converge(10 * time.Second); failed != 0 {
+		t.Fatalf("%d agents failed pre-kill convergence", failed)
+	}
+	lf.Proxy().KillAll()
+	// Every agent must notice (disconnect), redial, and converge again.
+	if failed := lf.Converge(30 * time.Second); failed != 0 {
+		t.Errorf("%d/8 agents failed to reconverge after KillAll (reconnects %d)",
+			failed, lf.Reconnects())
+	}
+	if lf.Reconnects() == 0 {
+		t.Error("no reconnects recorded after KillAll")
+	}
+	if err := lf.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	check()
+}
+
+// TestLiveFleetBlackholeRecovery runs a fleet through a blackhole window:
+// during the window keepalives die on both sides, after it the fleet must
+// reconverge via reconnect.
+func TestLiveFleetBlackholeRecovery(t *testing.T) {
+	check := leakCheck(t)
+	lf, err := NewLiveFleet(LiveFleetConfig{
+		Agents:       4,
+		EchoInterval: 100 * time.Millisecond,
+		Chaos: tcpchaos.Profile{
+			Seed: 9,
+			// The window opens shortly after assembly and lasts 1s —
+			// several keepalive periods of total silence.
+			Blackholes: []netem.Window{{Start: 500 * time.Millisecond, End: 1500 * time.Millisecond}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Second) // ride through the window
+	if failed := lf.Converge(30 * time.Second); failed != 0 {
+		t.Errorf("%d/4 agents failed to reconverge after blackhole (reconnects %d, disconnects %d)",
+			failed, lf.Reconnects(), lf.Disconnects())
+	}
+	if err := lf.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	check()
+}
+
+// TestLiveFleetSoak is the full acceptance soak: ≥256 agents through the
+// chaos proxy under -race. Gated behind LIVE_SOAK=1 — minutes of wall
+// clock and thousands of goroutines.
+func TestLiveFleetSoak(t *testing.T) {
+	if os.Getenv("LIVE_SOAK") == "" {
+		t.Skip("set LIVE_SOAK=1 to run the 256-agent live soak")
+	}
+	check := leakCheck(t)
+	start := time.Now()
+	lf, err := NewLiveFleet(LiveFleetConfig{
+		Agents: 256,
+		Chaos: tcpchaos.Profile{
+			Seed:         2024,
+			Latency:      500 * time.Microsecond,
+			Jitter:       time.Millisecond,
+			PartialWrite: 0.2,
+			Truncate:     0.002,
+			Reset:        0.002,
+			Blackholes:   []netem.Window{{Start: 10 * time.Second, End: 12 * time.Second}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round 1: full convergence through latency/partial-write/kill chaos.
+	if failed := lf.Converge(60 * time.Second); failed != 0 {
+		t.Fatalf("round 1: %d/256 agents failed to converge", failed)
+	}
+	// Mass failure: drop every control connection at once, reconverge.
+	lf.Proxy().KillAll()
+	if failed := lf.Converge(120 * time.Second); failed != 0 {
+		t.Fatalf("round 2 (post-KillAll): %d/256 agents failed to reconverge (reconnects %d)",
+			failed, lf.Reconnects())
+	}
+	// Ride through the blackhole window (10s–12s after proxy start), then
+	// prove liveness once more. The window is placed relative to the proxy's
+	// start, which is within milliseconds of ours — sleep until it has
+	// definitely closed. On a fast machine rounds 1–2 finish well before
+	// 10s, so this is where the fleet sits through total silence.
+	if until := time.Until(start.Add(13 * time.Second)); until > 0 {
+		time.Sleep(until)
+	}
+	if failed := lf.Converge(120 * time.Second); failed != 0 {
+		t.Fatalf("round 3 (post-blackhole): %d/256 agents failed", failed)
+	}
+	st := lf.Server().Stats()
+	ps := lf.Proxy().Stats()
+	if ps.BytesSwallow == 0 {
+		// 512 keepalive streams tick every 150ms; a 2s blackhole that
+		// swallowed nothing means the window never overlapped live traffic.
+		t.Error("blackhole window swallowed no bytes — window never engaged")
+	}
+	t.Logf("soak: server %+v", st)
+	t.Logf("soak: proxy %+v, fleet reconnects %d disconnects %d",
+		ps, lf.Reconnects(), lf.Disconnects())
+	if err := lf.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	check()
+}

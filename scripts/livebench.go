@@ -1,0 +1,69 @@
+//go:build ignore
+
+// livebench measures live-mode controller fan-out: n raw OpenFlow clients
+// over real loopback TCP against one controller.Server, each pumping
+// buffered packet_ins while reading the flow_mod replies back, in both
+// write-path modes (bounded per-connection queue vs legacy direct write).
+// scripts/livejson.sh is the CI entry point; the committed BENCH_live.json
+// baseline was produced with this harness.
+//
+// Usage:
+//
+//	go run scripts/livebench.go                  # conns 1,16,64,256 × both modes
+//	go run scripts/livebench.go -conns 8,32 -msgs 500
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+
+	"sdnbuffer/internal/testbed"
+)
+
+type report struct {
+	MsgsPerConn int                     `json:"msgs_per_conn"`
+	Cores       int                     `json:"cores"`
+	Rows        []testbed.LiveFanoutRow `json:"rows"`
+}
+
+func main() {
+	connsFlag := flag.String("conns", "1,16,64,256", "comma-separated connection counts")
+	msgs := flag.Int("msgs", 200, "packet_ins pumped per connection")
+	flag.Parse()
+
+	var conns []int
+	for _, s := range strings.Split(*connsFlag, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "livebench: bad -conns entry %q\n", s)
+			os.Exit(1)
+		}
+		conns = append(conns, n)
+	}
+
+	rep := report{MsgsPerConn: *msgs, Cores: runtime.NumCPU()}
+	for _, n := range conns {
+		for _, direct := range []bool{false, true} {
+			row, err := testbed.MeasureLiveFanout(n, *msgs, direct)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "livebench: conns=%d direct=%v: %v\n", n, direct, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "conns=%-4d mode=%-6s %8.0f packet_ins/s (%.3fs, shed %d)\n",
+				row.Conns, row.QueueMode, row.PacketInsPS, row.Seconds, row.Shed)
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# livejson.sh — run the live-mode controller fan-out benchmark (real
+# loopback TCP, both the bounded-queue and direct write paths) and emit the
+# measurement as JSON on stdout. The committed BENCH_live.json baseline was
+# produced with this script; CI's live-soak job uploads a fresh run as an
+# artifact for a non-gating comparison (absolute rates are machine-bound —
+# the interesting invariants are that queued ≈ direct on a healthy fleet
+# and that flow_mods are never shed).
+#
+# Usage:
+#   scripts/livejson.sh                  # conns 1,16,64,256 × both modes
+#   scripts/livejson.sh -conns 8,64      # any livebench flags pass through
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go run scripts/livebench.go "$@"
